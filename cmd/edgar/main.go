@@ -1,0 +1,92 @@
+// edgar is the post-link-time optimizer: it compiles (or accepts) a
+// program, runs procedural abstraction with the selected miner and
+// reports the shrinkage, optionally verifying behaviour differentially.
+//
+// Usage:
+//
+//	edgar [-miner edgar|dgspan|sfx|edgar-canon] [-schedule] [-maxrounds n]
+//	      [-minsup n] [-maxfrag n] [-greedy-mis] [-verify] [-dump] file.mc
+//
+// The paper's pipeline (§2.1): decompile, reconstruct labels, split into
+// basic blocks, build data-flow graphs, mine, extract, repeat.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphpa/internal/codegen"
+	"graphpa/internal/core"
+	"graphpa/internal/link"
+	"graphpa/internal/loader"
+	"graphpa/internal/pa"
+)
+
+func main() {
+	miner := flag.String("miner", "edgar", "sfx | dgspan | edgar | edgar-canon")
+	asmIn := flag.Bool("asm", false, "input is assembly (must define _start; no runtime linked)")
+	optimizeIR := flag.Bool("O", true, "compile with the IR optimizer (inlining, folding)")
+	schedule := flag.Bool("schedule", true, "compile with the list scheduler")
+	maxRounds := flag.Int("maxrounds", 0, "bound mine/extract rounds (0 = fixpoint)")
+	minSup := flag.Int("minsup", 0, "minimum fragment frequency (default 2)")
+	maxFrag := flag.Int("maxfrag", 0, "maximum fragment size in instructions (default 8)")
+	greedyMIS := flag.Bool("greedy-mis", false, "use greedy instead of exact independent sets")
+	verify := flag.Bool("verify", true, "run before/after and compare behaviour")
+	dump := flag.Bool("dump", false, "print the optimized assembly")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: edgar [flags] file.mc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var img *link.Image
+	if *asmIn {
+		img, err = core.BuildAsm(string(src))
+	} else {
+		img, err = core.Build(string(src), codegen.Options{Optimize: *optimizeIR, Schedule: *schedule})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	m, err := core.MinerByName(*miner)
+	if err != nil {
+		fatal(err)
+	}
+	res, out, err := core.Optimize(img, m, pa.Options{
+		MaxRounds:  *maxRounds,
+		MinSupport: *minSup,
+		MaxNodes:   *maxFrag,
+		GreedyMIS:  *greedyMIS,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d -> %d instructions (saved %d) in %d rounds, %v\n",
+		res.Miner, res.Before, res.After, res.Saved(), res.Rounds, res.Duration)
+	for _, e := range res.Extractions {
+		fmt.Printf("  %-8s %-10s size=%d occs=%d benefit=%d\n",
+			e.Name, e.Method, e.Size, e.Occs, e.Benefit)
+	}
+	if *verify {
+		if err := core.VerifyEquivalent(img, out, nil); err != nil {
+			fatal(fmt.Errorf("VERIFICATION FAILED: %w", err))
+		}
+		fmt.Println("verified: optimized binary behaves identically")
+	}
+	if *dump {
+		prog, err := loader.Load(out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(prog.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "edgar:", err)
+	os.Exit(1)
+}

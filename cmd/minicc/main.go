@@ -1,0 +1,87 @@
+// minicc compiles mini-C source to assembly or a linked image and can run
+// the result on the bundled emulator.
+//
+// Usage:
+//
+//	minicc [-S] [-run] [-O] [-schedule] [-o out] file.mc
+//
+//	-S         emit assembly text instead of linking
+//	-run       execute the linked image and print its output/exit code
+//	-O         enable the IR optimizer (inlining, constant folding)
+//	-schedule  enable the list scheduler (load hoisting)
+//	-o         output path (default: stdout for -S, a.out.words otherwise)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphpa/internal/asm"
+	"graphpa/internal/codegen"
+	"graphpa/internal/core"
+	"graphpa/internal/emu"
+)
+
+func main() {
+	emitAsm := flag.Bool("S", false, "emit assembly instead of linking")
+	run := flag.Bool("run", false, "run the linked image")
+	schedule := flag.Bool("schedule", false, "enable the list scheduler")
+	optimize := flag.Bool("O", false, "enable the IR optimizer (inlining, folding)")
+	out := flag.String("o", "", "output path")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [-S] [-run] [-schedule] [-o out] file.mc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	opts := codegen.Options{Optimize: *optimize, Schedule: *schedule}
+
+	if *emitAsm {
+		unit, err := codegen.Compile(string(src), opts)
+		if err != nil {
+			fatal(err)
+		}
+		text := asm.Print(unit)
+		if *out == "" {
+			fmt.Print(text)
+			return
+		}
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	img, err := core.Build(string(src), opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *run {
+		m := emu.New(img, nil)
+		code, err := m.Run()
+		os.Stdout.Write(m.Stdout.Bytes())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[exit %d, %d steps, %d text words]\n", code, m.Steps, img.TextWords)
+		os.Exit(int(code & 0xFF))
+	}
+	path := *out
+	if path == "" {
+		path = "a.out.words"
+	}
+	if err := os.WriteFile(path, img.Bytes(), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d words (%d text), entry %#x\n",
+		path, len(img.Words), img.TextWords, img.Entry)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minicc:", err)
+	os.Exit(1)
+}

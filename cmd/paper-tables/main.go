@@ -1,0 +1,95 @@
+// paper-tables regenerates the evaluation artifacts of "Graph-Based
+// Procedural Abstraction" (CGO 2007): Table 1 (saved instructions),
+// Figure 11 (relative savings), Table 2 and Table 3 (dependence-graph
+// degree statistics), Figure 12 (extraction mechanisms) and the runtime
+// summary.
+//
+// Usage:
+//
+//	paper-tables [-only table1|table2|table3|fig11|fig12|timings]
+//	             [-miners sfx,dgspan,edgar] [-maxfrag n] [-noverify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"graphpa/internal/bench"
+	"graphpa/internal/pa"
+)
+
+func main() {
+	only := flag.String("only", "", "render a single artifact")
+	miners := flag.String("miners", "sfx,dgspan,edgar", "comma-separated miner list")
+	programs := flag.String("programs", "", "comma-separated program subset (default: all)")
+	maxFrag := flag.Int("maxfrag", 0, "maximum fragment size (default 8)")
+	maxPatterns := flag.Int("maxpatterns", 0, "per-round mining budget (default 100000)")
+	noverify := flag.Bool("noverify", false, "skip differential behaviour checks")
+	verbose := flag.Bool("v", false, "log per-program progress to stderr")
+	flag.Parse()
+
+	names := bench.Names
+	if *programs != "" {
+		names = strings.Split(*programs, ",")
+	}
+	var ws []*bench.Workload
+	for _, n := range names {
+		w, err := bench.Build(n, bench.DefaultCodegen())
+		if err != nil {
+			fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	if *verbose {
+		bench.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	// Tables 2 and 3 need no optimization runs.
+	switch *only {
+	case "table2":
+		fmt.Print(bench.Table2(ws))
+		return
+	case "table3":
+		fmt.Print(bench.Table3(ws))
+		return
+	}
+
+	list := strings.Split(*miners, ",")
+	ev, err := bench.Evaluate(ws, list, pa.Options{MaxNodes: *maxFrag, MaxPatterns: *maxPatterns}, !*noverify)
+	if err != nil {
+		fatal(err)
+	}
+	switch *only {
+	case "table1":
+		fmt.Print(bench.Table1(ev))
+	case "fig11":
+		fmt.Print(bench.Figure11(ev))
+	case "fig12":
+		fmt.Print(bench.Figure12(ev))
+	case "timings":
+		fmt.Print(bench.Timings(ev))
+	case "":
+		fmt.Print(bench.Table1(ev))
+		fmt.Println()
+		fmt.Print(bench.Figure11(ev))
+		fmt.Println()
+		fmt.Print(bench.Table2(ws))
+		fmt.Println()
+		fmt.Print(bench.Table3(ws))
+		fmt.Println()
+		fmt.Print(bench.Figure12(ev))
+		fmt.Println()
+		fmt.Print(bench.Timings(ev))
+	default:
+		fatal(fmt.Errorf("unknown artifact %q", *only))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paper-tables:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Crossjump: demonstrates the second extraction mechanism (paper Fig. 12)
+// — tail merging. Three routines end in the same epilogue computation;
+// instead of outlining it behind a call, PA keeps one copy and branches
+// the other tails to it, saving a call AND a return.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"graphpa"
+)
+
+const asmSrc = `
+_start:
+	bl fmt_a
+	mov r4, r0
+	bl fmt_b
+	add r4, r4, r0
+	bl fmt_c
+	add r0, r4, r0
+	swi 0
+fmt_a:
+	push {r4, lr}
+	mov r0, #17
+	add r0, r0, #5
+	eor r0, r0, #3
+	mov r0, r0, lsl #2
+	sub r0, r0, #1
+	pop {r4, pc}
+fmt_b:
+	push {r4, lr}
+	mov r0, #29
+	add r0, r0, #5
+	eor r0, r0, #3
+	mov r0, r0, lsl #2
+	sub r0, r0, #1
+	pop {r4, pc}
+fmt_c:
+	push {r4, lr}
+	mov r0, #43
+	add r0, r0, #5
+	eor r0, r0, #3
+	mov r0, r0, lsl #2
+	sub r0, r0, #1
+	pop {r4, pc}
+`
+
+func main() {
+	bin, err := graphpa.Assemble(asmSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before: %d instructions\n", bin.Instructions())
+
+	opt, rep, err := bin.Optimize(graphpa.OptimizeOptions{Miner: "edgar"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range rep.Extractions {
+		fmt.Printf("extraction %s: method=%s size=%d occurrences=%d benefit=%d\n",
+			e.Name, e.Method, e.Size, e.Occurrences, e.Benefit)
+	}
+	fmt.Printf("after: %d instructions (saved %d)\n", rep.After, rep.Saved())
+
+	if err := graphpa.Verify(bin, opt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified: identical behaviour")
+
+	dis, err := opt.Disassemble()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noptimized code (note the merged tail and the b instructions):")
+	for _, line := range strings.Split(dis, "\n") {
+		fmt.Println("  " + line)
+	}
+}

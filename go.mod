@@ -1,0 +1,3 @@
+module graphpa
+
+go 1.22

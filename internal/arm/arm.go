@@ -1,0 +1,357 @@
+// Package arm models a small ARM-style 32-bit RISC instruction set.
+//
+// The model follows the classic ARM programmer's view used by the paper
+// "Graph-Based Procedural Abstraction" (CGO 2007): fifteen general-purpose
+// registers plus pc, a current-program-status register (cpsr) holding the
+// N/Z/C/V condition flags, fully predicated instructions, and fixed-width
+// 32-bit encodings that force large constants into pc-relative literal
+// pools interwoven with the code.
+//
+// The binary encoding itself is synthetic (our own bit layout, see
+// encoding.go); procedural abstraction only depends on instruction
+// identity, operand data flow and label-relative addressing, all of which
+// are modelled faithfully.
+package arm
+
+import "fmt"
+
+// Reg is a machine register. r0..r12 are general purpose, sp/lr/pc have
+// their usual ARM roles. CPSR is a pseudo-register used by data-flow
+// analysis to track condition-flag dependencies; it is not encodable as an
+// operand.
+type Reg uint8
+
+// Machine registers.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	SP // r13
+	LR // r14
+	PC // r15
+	CPSR
+	RegNone Reg = 0xFF
+)
+
+// NumRegs is the number of encodable machine registers (r0..pc).
+const NumRegs = 16
+
+var regNames = [...]string{
+	"r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7",
+	"r8", "r9", "r10", "r11", "r12", "sp", "lr", "pc", "cpsr",
+}
+
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r?%d", uint8(r))
+}
+
+// ParseReg converts a register name ("r0".."r15", "sp", "lr", "pc", and the
+// aliases r13/r14/r15, ip for r12, fp for r11) to a Reg.
+func ParseReg(s string) (Reg, bool) {
+	switch s {
+	case "sp", "r13":
+		return SP, true
+	case "lr", "r14":
+		return LR, true
+	case "pc", "r15":
+		return PC, true
+	case "ip":
+		return R12, true
+	case "fp":
+		return R11, true
+	}
+	for i := 0; i <= 12; i++ {
+		if s == regNames[i] {
+			return Reg(i), true
+		}
+	}
+	return RegNone, false
+}
+
+// Cond is an ARM condition code. Every instruction is predicated; Always
+// is the default and is omitted from the assembly syntax.
+type Cond uint8
+
+// Condition codes.
+const (
+	Always Cond = iota // AL
+	EQ                 // Z set
+	NE                 // Z clear
+	CS                 // C set (HS)
+	CC                 // C clear (LO)
+	MI                 // N set
+	PL                 // N clear
+	VS                 // V set
+	VC                 // V clear
+	HI                 // C set and Z clear
+	LS                 // C clear or Z set
+	GE                 // N == V
+	LT                 // N != V
+	GT                 // Z clear and N == V
+	LE                 // Z set or N != V
+	numConds
+)
+
+var condNames = [...]string{
+	"", "eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc", "hi", "ls", "ge", "lt", "gt", "le",
+}
+
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond?%d", uint8(c))
+}
+
+// ParseCond recognises a condition suffix. The empty string and "al" map to
+// Always; "hs" and "lo" are the usual aliases for cs/cc.
+func ParseCond(s string) (Cond, bool) {
+	switch s {
+	case "", "al":
+		return Always, true
+	case "hs":
+		return CS, true
+	case "lo":
+		return CC, true
+	}
+	for i := 1; i < int(numConds); i++ {
+		if s == condNames[i] {
+			return Cond(i), true
+		}
+	}
+	return Always, false
+}
+
+// ShiftKind is the barrel-shifter operation applied to the Rm operand of a
+// data-processing instruction.
+type ShiftKind uint8
+
+// Barrel shifter operations.
+const (
+	NoShift ShiftKind = iota
+	LSL
+	LSR
+	ASR
+	ROR
+)
+
+var shiftNames = [...]string{"", "lsl", "lsr", "asr", "ror"}
+
+func (s ShiftKind) String() string {
+	if int(s) < len(shiftNames) {
+		return shiftNames[s]
+	}
+	return fmt.Sprintf("shift?%d", uint8(s))
+}
+
+// ParseShift recognises a shift mnemonic.
+func ParseShift(s string) (ShiftKind, bool) {
+	for i := 1; i < len(shiftNames); i++ {
+		if s == shiftNames[i] {
+			return ShiftKind(i), true
+		}
+	}
+	return NoShift, false
+}
+
+// Op is an operation mnemonic.
+type Op uint8
+
+// Operations. The LDR/STR writeback variants bake the addressing mode into
+// the opcode so that one 32-bit word always suffices (see encoding.go).
+const (
+	BAD Op = iota
+
+	// Data processing: rd, rn, op2.
+	AND
+	EOR
+	SUB
+	RSB
+	ADD
+	ADC
+	SBC
+	ORR
+	BIC
+
+	// Moves: rd, op2.
+	MOV
+	MVN
+
+	// Compares: rn, op2. Always set flags.
+	CMP
+	CMN
+	TST
+	TEQ
+
+	// Multiplies.
+	MUL // rd, rn, rm
+	MLA // rd, rn, rm, ra
+
+	// Memory. Base register rn, data register rd.
+	LDR      // ldr rd, [rn, off]
+	LDRB     // byte load
+	STR      // str rd, [rn, off]
+	STRB     // byte store
+	LDRPREW  // ldr rd, [rn, off]!   (pre-index, writeback)
+	LDRPOSTW // ldr rd, [rn], off    (post-index, writeback)
+	STRPREW  // str rd, [rn, off]!
+	STRPOSTW // str rd, [rn], off
+	LDRBPREW
+	LDRBPOSTW
+	STRBPREW
+	STRBPOSTW
+
+	// Multiple transfer (full-descending stack only).
+	PUSH // push {reglist}
+	POP  // pop {reglist}
+
+	// Control flow.
+	B   // branch to label
+	BL  // branch and link
+	BX  // branch to register (bx lr returns)
+	SWI // software interrupt (syscall)
+
+	// Pseudo-instructions that exist in the instruction stream.
+	LABEL // jump/call target marker inserted by the loader (paper phase 3/4)
+	WORD  // interwoven data word (literal pools, jump tables)
+	NOP
+
+	NumOps
+)
+
+var opNames = [...]string{
+	BAD:       "bad",
+	AND:       "and",
+	EOR:       "eor",
+	SUB:       "sub",
+	RSB:       "rsb",
+	ADD:       "add",
+	ADC:       "adc",
+	SBC:       "sbc",
+	ORR:       "orr",
+	BIC:       "bic",
+	MOV:       "mov",
+	MVN:       "mvn",
+	CMP:       "cmp",
+	CMN:       "cmn",
+	TST:       "tst",
+	TEQ:       "teq",
+	MUL:       "mul",
+	MLA:       "mla",
+	LDR:       "ldr",
+	LDRB:      "ldrb",
+	STR:       "str",
+	STRB:      "strb",
+	LDRPREW:   "ldr",
+	LDRPOSTW:  "ldr",
+	STRPREW:   "str",
+	STRPOSTW:  "str",
+	LDRBPREW:  "ldrb",
+	LDRBPOSTW: "ldrb",
+	STRBPREW:  "strb",
+	STRBPOSTW: "strb",
+	PUSH:      "push",
+	POP:       "pop",
+	B:         "b",
+	BL:        "bl",
+	BX:        "bx",
+	SWI:       "swi",
+	LABEL:     ".label",
+	WORD:      ".word",
+	NOP:       "nop",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op?%d", uint8(o))
+}
+
+// IsDataProcessing reports whether o is a three-operand ALU operation.
+func (o Op) IsDataProcessing() bool {
+	switch o {
+	case AND, EOR, SUB, RSB, ADD, ADC, SBC, ORR, BIC:
+		return true
+	}
+	return false
+}
+
+// IsMove reports whether o is mov or mvn.
+func (o Op) IsMove() bool { return o == MOV || o == MVN }
+
+// IsCompare reports whether o is a flag-setting comparison.
+func (o Op) IsCompare() bool {
+	switch o {
+	case CMP, CMN, TST, TEQ:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether o loads from memory (any addressing mode).
+func (o Op) IsLoad() bool {
+	switch o {
+	case LDR, LDRB, LDRPREW, LDRPOSTW, LDRBPREW, LDRBPOSTW, POP:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether o stores to memory (any addressing mode).
+func (o Op) IsStore() bool {
+	switch o {
+	case STR, STRB, STRPREW, STRPOSTW, STRBPREW, STRBPOSTW, PUSH:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether o accesses memory.
+func (o Op) IsMem() bool { return o.IsLoad() || o.IsStore() }
+
+// IsByteMem reports whether o is a byte-sized memory access.
+func (o Op) IsByteMem() bool {
+	switch o {
+	case LDRB, STRB, LDRBPREW, LDRBPOSTW, STRBPREW, STRBPOSTW:
+		return true
+	}
+	return false
+}
+
+// Writeback reports whether o updates its base register.
+func (o Op) Writeback() bool {
+	switch o {
+	case LDRPREW, LDRPOSTW, STRPREW, STRPOSTW, LDRBPREW, LDRBPOSTW, STRBPREW, STRBPOSTW:
+		return true
+	}
+	return false
+}
+
+// PostIndexed reports whether o applies its offset after the access.
+func (o Op) PostIndexed() bool {
+	switch o {
+	case LDRPOSTW, STRPOSTW, LDRBPOSTW, STRBPOSTW:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether o transfers control (b, bl, bx).
+func (o Op) IsBranch() bool { return o == B || o == BL || o == BX }
+
+// IsCall reports whether o is a procedure call.
+func (o Op) IsCall() bool { return o == BL }

@@ -1,0 +1,277 @@
+package arm
+
+import (
+	"testing"
+)
+
+func TestParseReg(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Reg
+		ok   bool
+	}{
+		{"r0", R0, true},
+		{"r12", R12, true},
+		{"sp", SP, true},
+		{"r13", SP, true},
+		{"lr", LR, true},
+		{"r14", LR, true},
+		{"pc", PC, true},
+		{"r15", PC, true},
+		{"ip", R12, true},
+		{"fp", R11, true},
+		{"r16", RegNone, false},
+		{"", RegNone, false},
+		{"x0", RegNone, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseReg(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("ParseReg(%q) = %v, %v; want %v, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestRegStringRoundTrip(t *testing.T) {
+	for r := R0; r <= PC; r++ {
+		got, ok := ParseReg(r.String())
+		if !ok || got != r {
+			t.Errorf("ParseReg(%q) = %v, %v; want %v", r.String(), got, ok, r)
+		}
+	}
+}
+
+func TestParseCond(t *testing.T) {
+	for c := Always; c < numConds; c++ {
+		got, ok := ParseCond(c.String())
+		if !ok || got != c {
+			t.Errorf("ParseCond(%q) = %v, %v; want %v", c.String(), got, ok, c)
+		}
+	}
+	if c, ok := ParseCond("hs"); !ok || c != CS {
+		t.Errorf("hs alias: got %v, %v", c, ok)
+	}
+	if c, ok := ParseCond("lo"); !ok || c != CC {
+		t.Errorf("lo alias: got %v, %v", c, ok)
+	}
+	if _, ok := ParseCond("zz"); ok {
+		t.Error("ParseCond(zz) should fail")
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	if !ADD.IsDataProcessing() || MOV.IsDataProcessing() {
+		t.Error("IsDataProcessing misclassifies")
+	}
+	if !CMP.IsCompare() || ADD.IsCompare() {
+		t.Error("IsCompare misclassifies")
+	}
+	if !LDR.IsLoad() || !POP.IsLoad() || STR.IsLoad() {
+		t.Error("IsLoad misclassifies")
+	}
+	if !STR.IsStore() || !PUSH.IsStore() || LDR.IsStore() {
+		t.Error("IsStore misclassifies")
+	}
+	if !LDRPOSTW.Writeback() || LDR.Writeback() {
+		t.Error("Writeback misclassifies")
+	}
+	if !LDRPOSTW.PostIndexed() || LDRPREW.PostIndexed() {
+		t.Error("PostIndexed misclassifies")
+	}
+	if !B.IsBranch() || !BL.IsCall() || ADD.IsBranch() {
+		t.Error("branch classification wrong")
+	}
+	if !LDRB.IsByteMem() || LDR.IsByteMem() {
+		t.Error("IsByteMem misclassifies")
+	}
+}
+
+// mk builds instructions tersely for tests.
+func mk(op Op, f func(*Instr)) Instr {
+	in := NewInstr(op)
+	if f != nil {
+		f(&in)
+	}
+	return in
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{mk(ADD, func(i *Instr) { i.Rd, i.Rn, i.Imm, i.HasImm = R4, R2, 4, true }), "add r4, r2, #4"},
+		{mk(SUB, func(i *Instr) { i.Rd, i.Rn, i.Rm = R2, R2, R3 }), "sub r2, r2, r3"},
+		{mk(ADD, func(i *Instr) { i.Rd, i.Rn, i.Rm, i.Shift, i.ShAmt = R0, R1, R2, LSL, 2 }), "add r0, r1, r2, lsl #2"},
+		{mk(MOV, func(i *Instr) { i.Rd, i.Imm, i.HasImm = R0, 0, true }), "mov r0, #0"},
+		{mk(MVN, func(i *Instr) { i.Rd, i.Rm = R0, R1 }), "mvn r0, r1"},
+		{mk(MOV, func(i *Instr) { i.Rd, i.Rm, i.SetS = R0, R1, true }), "movs r0, r1"},
+		{mk(CMP, func(i *Instr) { i.Rn, i.Imm, i.HasImm = R0, 10, true }), "cmp r0, #10"},
+		{mk(MUL, func(i *Instr) { i.Rd, i.Rn, i.Rm = R0, R1, R2 }), "mul r0, r1, r2"},
+		{mk(MLA, func(i *Instr) { i.Rd, i.Rn, i.Rm, i.Ra = R0, R1, R2, R3 }), "mla r0, r1, r2, r3"},
+		{mk(LDR, func(i *Instr) { i.Rd, i.Rn, i.HasImm = R3, R1, true }), "ldr r3, [r1]"},
+		{mk(LDR, func(i *Instr) { i.Rd, i.Rn, i.Imm, i.HasImm = R3, R1, 4, true }), "ldr r3, [r1, #4]"},
+		{mk(LDRPREW, func(i *Instr) { i.Rd, i.Rn, i.HasImm = R3, R1, true }), "ldr r3, [r1]!"},
+		{mk(LDRPOSTW, func(i *Instr) { i.Rd, i.Rn, i.Imm, i.HasImm = R3, R1, 4, true }), "ldr r3, [r1], #4"},
+		{mk(STRB, func(i *Instr) { i.Rd, i.Rn, i.Rm = R0, R1, R2 }), "strb r0, [r1, r2]"},
+		{mk(LDR, func(i *Instr) { i.Rd, i.Rn, i.Rm, i.Shift, i.ShAmt = R0, R1, R2, LSL, 2 }), "ldr r0, [r1, r2, lsl #2]"},
+		{mk(LDR, func(i *Instr) { i.Rd, i.Target = R5, "table" }), "ldr r5, =table"},
+		{mk(PUSH, func(i *Instr) { i.Reglist = 1<<R4 | 1<<LR }), "push {r4, lr}"},
+		{mk(POP, func(i *Instr) { i.Reglist = 1<<R4 | 1<<PC }), "pop {r4, pc}"},
+		{mk(B, func(i *Instr) { i.Target = "loop" }), "b loop"},
+		{mk(B, func(i *Instr) { i.Cond, i.Target = NE, "loop" }), "bne loop"},
+		{mk(BL, func(i *Instr) { i.Target = "memcpy" }), "bl memcpy"},
+		{mk(BX, func(i *Instr) { i.Rm = LR }), "bx lr"},
+		{mk(SWI, func(i *Instr) { i.Imm, i.HasImm = 1, true }), "swi 1"},
+		{mk(LABEL, func(i *Instr) { i.Target = "main" }), "main:"},
+		{mk(WORD, func(i *Instr) { i.Imm = 42 }), ".word 42"},
+		{mk(WORD, func(i *Instr) { i.Target = "buf" }), ".word buf"},
+		{mk(NOP, nil), "nop"},
+		{mk(ADD, func(i *Instr) { i.Cond, i.Rd, i.Rn, i.Imm, i.HasImm = EQ, R0, R0, 1, true }), "addeq r0, r0, #1"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q; want %q", got, c.want)
+		}
+	}
+}
+
+func TestEffectsDataProcessing(t *testing.T) {
+	in := mk(ADD, func(i *Instr) { i.Rd, i.Rn, i.Rm = R4, R2, R3 })
+	e := EffectsOf(&in)
+	if !e.Reads.Has(R2) || !e.Reads.Has(R3) || e.Reads.Has(R4) {
+		t.Errorf("add reads wrong: %v", e.Reads.Regs())
+	}
+	if !e.Writes.Has(R4) || e.Writes.Has(CPSR) {
+		t.Errorf("add writes wrong: %v", e.Writes.Regs())
+	}
+	if e.LoadsMem || e.StoresMem || e.Barrier {
+		t.Error("add should not touch memory")
+	}
+}
+
+func TestEffectsFlags(t *testing.T) {
+	subs := mk(SUB, func(i *Instr) { i.Rd, i.Rn, i.Rm, i.SetS = R0, R0, R1, true })
+	if e := EffectsOf(&subs); !e.Writes.Has(CPSR) {
+		t.Error("subs must write cpsr")
+	}
+	cmp := mk(CMP, func(i *Instr) { i.Rn, i.Imm, i.HasImm = R0, 1, true })
+	if e := EffectsOf(&cmp); !e.Writes.Has(CPSR) || e.Writes.Has(R0) {
+		t.Error("cmp writes only cpsr")
+	}
+	addeq := mk(ADD, func(i *Instr) { i.Cond, i.Rd, i.Rn, i.Imm, i.HasImm = EQ, R0, R0, 1, true })
+	if e := EffectsOf(&addeq); !e.Reads.Has(CPSR) {
+		t.Error("predicated instruction must read cpsr")
+	}
+	adc := mk(ADC, func(i *Instr) { i.Rd, i.Rn, i.Rm = R0, R1, R2 })
+	if e := EffectsOf(&adc); !e.Reads.Has(CPSR) {
+		t.Error("adc must read carry")
+	}
+}
+
+func TestEffectsMemory(t *testing.T) {
+	ldr := mk(LDRPREW, func(i *Instr) { i.Rd, i.Rn, i.HasImm = R3, R1, true })
+	e := EffectsOf(&ldr)
+	if !e.LoadsMem || e.StoresMem {
+		t.Error("ldr! memory effects wrong")
+	}
+	if !e.Writes.Has(R3) || !e.Writes.Has(R1) || !e.Reads.Has(R1) {
+		t.Errorf("ldr! writeback effects wrong: reads=%v writes=%v", e.Reads.Regs(), e.Writes.Regs())
+	}
+	str := mk(STR, func(i *Instr) { i.Rd, i.Rn, i.Imm, i.HasImm = R0, SP, 8, true })
+	e = EffectsOf(&str)
+	if !e.StoresMem || e.LoadsMem || !e.Reads.Has(R0) || !e.Reads.Has(SP) || e.Writes.Has(R0) {
+		t.Error("str effects wrong")
+	}
+	lit := mk(LDR, func(i *Instr) { i.Rd, i.Target = R5, "tbl" })
+	e = EffectsOf(&lit)
+	if e.LoadsMem || !e.Writes.Has(R5) || e.Reads != 0 {
+		t.Error("literal load should be a pure constant producer")
+	}
+}
+
+func TestEffectsPushPop(t *testing.T) {
+	push := mk(PUSH, func(i *Instr) { i.Reglist = 1<<R4 | 1<<LR })
+	e := EffectsOf(&push)
+	if !e.Reads.Has(R4) || !e.Reads.Has(LR) || !e.Reads.Has(SP) || !e.Writes.Has(SP) || !e.StoresMem {
+		t.Error("push effects wrong")
+	}
+	pop := mk(POP, func(i *Instr) { i.Reglist = 1<<R4 | 1<<PC })
+	e = EffectsOf(&pop)
+	if !e.Writes.Has(R4) || !e.Writes.Has(PC) || !e.LoadsMem {
+		t.Error("pop effects wrong")
+	}
+}
+
+func TestEffectsControl(t *testing.T) {
+	bl := mk(BL, func(i *Instr) { i.Target = "f" })
+	e := EffectsOf(&bl)
+	if !e.Barrier || !e.Writes.Has(LR) || !e.Writes.Has(R0) {
+		t.Error("bl must be a clobbering barrier")
+	}
+	swi := mk(SWI, func(i *Instr) { i.Imm, i.HasImm = SysPutc, true })
+	if e := EffectsOf(&swi); !e.Barrier {
+		t.Error("swi must be a barrier")
+	}
+}
+
+func TestAbstractable(t *testing.T) {
+	yes := []Instr{
+		mk(ADD, func(i *Instr) { i.Rd, i.Rn, i.Imm, i.HasImm = R0, R1, 1, true }),
+		mk(LDR, func(i *Instr) { i.Rd, i.Rn, i.HasImm = R3, R1, true }),
+		mk(LDR, func(i *Instr) { i.Rd, i.Target = R5, "tbl" }),
+		mk(CMP, func(i *Instr) { i.Rn, i.Imm, i.HasImm = R0, 0, true }),
+	}
+	no := []Instr{
+		mk(BL, func(i *Instr) { i.Target = "f" }),
+		mk(B, func(i *Instr) { i.Target = "l" }),
+		mk(BX, func(i *Instr) { i.Rm = LR }),
+		mk(SWI, func(i *Instr) { i.Imm, i.HasImm = 1, true }),
+		mk(POP, func(i *Instr) { i.Reglist = 1 << PC }),
+		mk(PUSH, func(i *Instr) { i.Reglist = 1 << LR }),
+		mk(MOV, func(i *Instr) { i.Rd, i.Rm = R0, LR }),
+		mk(LABEL, func(i *Instr) { i.Target = "x" }),
+		mk(WORD, func(i *Instr) { i.Imm = 7 }),
+	}
+	for _, in := range yes {
+		if !Abstractable(&in) {
+			t.Errorf("%s should be abstractable", in.String())
+		}
+	}
+	for _, in := range no {
+		if Abstractable(&in) {
+			t.Errorf("%s should NOT be abstractable", in.String())
+		}
+	}
+}
+
+func TestIsTerminator(t *testing.T) {
+	b := mk(B, func(i *Instr) { i.Target = "l" })
+	bne := mk(B, func(i *Instr) { i.Cond, i.Target = NE, "l" })
+	bx := mk(BX, func(i *Instr) { i.Rm = LR })
+	popPC := mk(POP, func(i *Instr) { i.Reglist = 1 << PC })
+	popR4 := mk(POP, func(i *Instr) { i.Reglist = 1 << R4 })
+	exit := mk(SWI, func(i *Instr) { i.Imm, i.HasImm = SysExit, true })
+	putc := mk(SWI, func(i *Instr) { i.Imm, i.HasImm = SysPutc, true })
+	if !b.IsTerminator() || bne.IsTerminator() {
+		t.Error("b/bne terminator wrong")
+	}
+	if !bx.IsTerminator() || !popPC.IsTerminator() || popR4.IsTerminator() {
+		t.Error("bx/pop terminator wrong")
+	}
+	if !exit.IsTerminator() || putc.IsTerminator() {
+		t.Error("swi terminator wrong")
+	}
+}
+
+func TestCanonicalKey(t *testing.T) {
+	a := mk(ADD, func(i *Instr) { i.Rd, i.Rn, i.Rm = R0, R1, R2 })
+	b := mk(ADD, func(i *Instr) { i.Rd, i.Rn, i.Rm = R4, R5, R6 })
+	c := mk(ADD, func(i *Instr) { i.Rd, i.Rn, i.Imm, i.HasImm = R0, R1, 3, true })
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Errorf("register renaming should not change canonical key: %q vs %q", a.CanonicalKey(), b.CanonicalKey())
+	}
+	if a.CanonicalKey() == c.CanonicalKey() {
+		t.Error("imm vs reg operand must change canonical key")
+	}
+}

@@ -1,0 +1,188 @@
+package arm
+
+// Syscall numbers understood by the emulator (internal/emu). They are the
+// tiny OS interface our static runtime is written against, standing in for
+// the Linux EABI syscalls a dietlibc binary would use.
+const (
+	SysExit  = 0 // r0 = exit code
+	SysPutc  = 1 // r0 = byte to write to stdout
+	SysGetc  = 2 // returns byte (or -1) in r0
+	SysClock = 3 // returns a deterministic tick counter in r0
+)
+
+// RegSet is a bitmask over Reg (including CPSR).
+type RegSet uint32
+
+// Add returns the set with r added.
+func (s RegSet) Add(r Reg) RegSet {
+	if r == RegNone {
+		return s
+	}
+	return s | 1<<r
+}
+
+// Has reports whether r is in the set.
+func (s RegSet) Has(r Reg) bool {
+	if r == RegNone {
+		return false
+	}
+	return s&(1<<r) != 0
+}
+
+// Regs returns the members in ascending order.
+func (s RegSet) Regs() []Reg {
+	var out []Reg
+	for r := R0; r <= CPSR; r++ {
+		if s.Has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Effects describes the data-flow footprint of one instruction, the raw
+// material for building per-block data-flow graphs (paper §2.1 phase 6).
+type Effects struct {
+	Reads     RegSet // registers read (incl. CPSR when predicated or carry-in)
+	Writes    RegSet // registers written (incl. CPSR when flag-setting)
+	LoadsMem  bool
+	StoresMem bool
+	// Barrier instructions (calls, syscalls, unresolved indirect control
+	// flow) order against every other memory operation and are never part
+	// of a mined fragment.
+	Barrier bool
+}
+
+// EffectsOf computes the data-flow footprint of in.
+func EffectsOf(in *Instr) Effects {
+	var e Effects
+	if in.Cond != Always {
+		e.Reads = e.Reads.Add(CPSR)
+	}
+	readOp2 := func() {
+		if !in.HasImm {
+			e.Reads = e.Reads.Add(in.Rm)
+		}
+	}
+	switch {
+	case in.Op.IsDataProcessing():
+		e.Reads = e.Reads.Add(in.Rn)
+		readOp2()
+		if in.Op == ADC || in.Op == SBC {
+			e.Reads = e.Reads.Add(CPSR)
+		}
+		e.Writes = e.Writes.Add(in.Rd)
+		if in.SetS {
+			e.Writes = e.Writes.Add(CPSR)
+		}
+	case in.Op.IsMove():
+		readOp2()
+		e.Writes = e.Writes.Add(in.Rd)
+		if in.SetS {
+			e.Writes = e.Writes.Add(CPSR)
+		}
+	case in.Op.IsCompare():
+		e.Reads = e.Reads.Add(in.Rn)
+		readOp2()
+		e.Writes = e.Writes.Add(CPSR)
+	case in.Op == MUL:
+		e.Reads = e.Reads.Add(in.Rn).Add(in.Rm)
+		e.Writes = e.Writes.Add(in.Rd)
+		if in.SetS {
+			e.Writes = e.Writes.Add(CPSR)
+		}
+	case in.Op == MLA:
+		e.Reads = e.Reads.Add(in.Rn).Add(in.Rm).Add(in.Ra)
+		e.Writes = e.Writes.Add(in.Rd)
+		if in.SetS {
+			e.Writes = e.Writes.Add(CPSR)
+		}
+	case in.Op.IsMem() && in.Op != PUSH && in.Op != POP:
+		if in.IsLiteralLoad() {
+			// Loads a constant from the immutable literal pool: no
+			// register inputs and no ordering against data memory.
+			e.Writes = e.Writes.Add(in.Rd)
+			break
+		}
+		e.Reads = e.Reads.Add(in.Rn)
+		if !in.HasImm {
+			e.Reads = e.Reads.Add(in.Rm)
+		}
+		if in.Op.IsLoad() {
+			e.LoadsMem = true
+			e.Writes = e.Writes.Add(in.Rd)
+		} else {
+			e.StoresMem = true
+			e.Reads = e.Reads.Add(in.Rd)
+		}
+		if in.Op.Writeback() {
+			e.Writes = e.Writes.Add(in.Rn)
+		}
+	case in.Op == PUSH:
+		e.Reads = e.Reads.Add(SP)
+		e.Writes = e.Writes.Add(SP)
+		e.StoresMem = true
+		for r := R0; r < Reg(NumRegs); r++ {
+			if in.Reglist&(1<<r) != 0 {
+				e.Reads = e.Reads.Add(r)
+			}
+		}
+	case in.Op == POP:
+		e.Reads = e.Reads.Add(SP)
+		e.Writes = e.Writes.Add(SP)
+		e.LoadsMem = true
+		for r := R0; r < Reg(NumRegs); r++ {
+			if in.Reglist&(1<<r) != 0 {
+				e.Writes = e.Writes.Add(r)
+			}
+		}
+	case in.Op == B:
+		e.Writes = e.Writes.Add(PC)
+	case in.Op == BL:
+		// A call clobbers the caller-saved registers of our ABI
+		// (r0-r3, r12, lr) and may touch any memory.
+		e.Reads = e.Reads.Add(R0).Add(R1).Add(R2).Add(R3).Add(SP)
+		e.Writes = e.Writes.Add(R0).Add(R1).Add(R2).Add(R3).Add(R12).Add(LR).Add(PC).Add(CPSR)
+		e.LoadsMem = true
+		e.StoresMem = true
+		e.Barrier = true
+	case in.Op == BX:
+		e.Reads = e.Reads.Add(in.Rm)
+		e.Writes = e.Writes.Add(PC)
+	case in.Op == SWI:
+		e.Reads = e.Reads.Add(R0).Add(R1)
+		e.Writes = e.Writes.Add(R0)
+		e.LoadsMem = true
+		e.StoresMem = true
+		e.Barrier = true
+	}
+	if in.Cond != Always {
+		// A predicated instruction that skips execution leaves its
+		// destinations unchanged, so the old values flow through:
+		// destinations are read-modify-write.
+		e.Reads |= e.Writes &^ (1 << PC)
+	}
+	return e
+}
+
+// Abstractable reports whether the instruction may appear inside a mined
+// fragment that is outlined into a procedure. Control transfers, stack
+// adjustments through pc, pseudo-instructions and barriers must stay put:
+// moving them would change the meaning of the surrounding code.
+func Abstractable(in *Instr) bool {
+	if in.IsPseudo() || in.Op == NOP {
+		return false
+	}
+	e := EffectsOf(in)
+	if e.Barrier {
+		return false
+	}
+	if e.Writes.Has(PC) || e.Reads.Has(PC) {
+		return false
+	}
+	// lr is the linkage register of the outlining transformation itself.
+	if e.Writes.Has(LR) || e.Reads.Has(LR) {
+		return false
+	}
+	return true
+}

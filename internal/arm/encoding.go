@@ -1,0 +1,234 @@
+package arm
+
+import "fmt"
+
+// Synthetic fixed-width 32-bit encoding.
+//
+//	bits 31..28  condition code
+//	bits 27..22  opcode
+//	bit  21      S (flag setting)
+//	bits 20..17  Rd
+//	bits 16..13  Rn
+//	bit  12      I (1: signed 12-bit immediate in 11..0)
+//	bits 11..8   Rm          (I = 0)
+//	bits  7..5   shift kind  (I = 0)   — or Ra in 7..4 for mla
+//	bits  4..0   shift amount
+//
+// Exceptions: b/bl carry a signed 22-bit word offset in bits 21..0;
+// push/pop carry their 16-bit register list in bits 20..5; swi carries its
+// number as the immediate. The layout is our own design (the paper's PA
+// never depends on real ARM encodings, only on fixed width and the
+// resulting literal-pool idiom), but it shares real ARM's essential
+// constraint: a 32-bit constant does not fit in an instruction, so large
+// immediates and addresses live in pc-relative literal pools interwoven
+// with the code (paper §4.1, Fig. 10).
+
+// Encoding limits.
+const (
+	ImmMin = -2048 // signed 12-bit immediate range
+	ImmMax = 2047
+	// BranchMin/Max bound the signed 22-bit word offset of b/bl.
+	BranchMin = -(1 << 21)
+	BranchMax = 1<<21 - 1
+)
+
+// FitsImm reports whether v fits the signed 12-bit immediate field.
+func FitsImm(v int32) bool { return v >= ImmMin && v <= ImmMax }
+
+// EncodeErr describes an instruction that cannot be encoded.
+type EncodeErr struct {
+	In  string
+	Why string
+}
+
+func (e *EncodeErr) Error() string {
+	return fmt.Sprintf("arm: cannot encode %q: %s", e.In, e.Why)
+}
+
+// Encode encodes a resolved instruction into one 32-bit word. Branch
+// targets must already be resolved: branchOff is the signed word offset
+// from the branch's own address to the target (only consulted for b/bl).
+// LABEL pseudo-instructions occupy no space and cannot be encoded; WORD
+// encodes as its raw value.
+func Encode(in *Instr, branchOff int32) (uint32, error) {
+	bad := func(why string) (uint32, error) {
+		return 0, &EncodeErr{In: in.String(), Why: why}
+	}
+	if in.Op == LABEL {
+		return bad("labels occupy no space")
+	}
+	if in.Op == WORD {
+		return uint32(in.Imm), nil
+	}
+	if in.IsLiteralLoad() {
+		return bad("unresolved literal load")
+	}
+	if in.Op >= NumOps || in.Op == BAD {
+		return bad("bad opcode")
+	}
+	w := uint32(in.Cond)<<28 | uint32(in.Op)<<22
+
+	reg := func(r Reg) (uint32, bool) {
+		if r == RegNone {
+			return 0, true
+		}
+		if r >= Reg(NumRegs) {
+			return 0, false
+		}
+		return uint32(r), true
+	}
+
+	switch in.Op {
+	case B, BL:
+		if branchOff < BranchMin || branchOff > BranchMax {
+			return bad("branch offset out of range")
+		}
+		return w | uint32(branchOff)&0x3FFFFF, nil
+	case PUSH, POP:
+		return w | uint32(in.Reglist)<<5, nil
+	case SWI:
+		if !FitsImm(in.Imm) {
+			return bad("swi number out of range")
+		}
+		return w | 1<<12 | uint32(in.Imm)&0xFFF, nil
+	case NOP:
+		return w, nil
+	}
+
+	if in.SetS {
+		w |= 1 << 21
+	}
+	rd, ok := reg(in.Rd)
+	if !ok {
+		return bad("bad rd")
+	}
+	rn, ok2 := reg(in.Rn)
+	if !ok2 {
+		return bad("bad rn")
+	}
+	w |= rd<<17 | rn<<13
+
+	if in.Op == MLA {
+		rm, ok3 := reg(in.Rm)
+		ra, ok4 := reg(in.Ra)
+		if !ok3 || !ok4 {
+			return bad("bad mla operand")
+		}
+		return w | rm<<8 | ra<<4, nil
+	}
+
+	if in.HasImm {
+		if !FitsImm(in.Imm) {
+			return bad("immediate out of range")
+		}
+		return w | 1<<12 | uint32(in.Imm)&0xFFF, nil
+	}
+	rm, ok3 := reg(in.Rm)
+	if !ok3 {
+		return bad("bad rm")
+	}
+	if in.ShAmt < 0 || in.ShAmt > 31 {
+		return bad("shift amount out of range")
+	}
+	return w | rm<<8 | uint32(in.Shift)<<5 | uint32(in.ShAmt), nil
+}
+
+// Decode decodes one 32-bit word. For b/bl the returned branchOff is the
+// signed word offset; the caller (the loader) turns it back into a label.
+// Decode never fails outright — an unrecognisable word decodes as a WORD
+// pseudo-instruction carrying the raw value, exactly the ambiguity that
+// makes interwoven-data detection necessary (paper §2.1 phase 5).
+func Decode(word uint32) (in Instr, branchOff int32) {
+	op := Op(word >> 22 & 0x3F)
+	cond := Cond(word >> 28)
+	if op == BAD || op >= NumOps || op == LABEL || op == WORD || cond >= numConds {
+		w := NewInstr(WORD)
+		w.Imm = int32(word)
+		return w, 0
+	}
+	in = NewInstr(op)
+	in.Cond = cond
+
+	signext := func(v uint32, bits uint) int32 {
+		shift := 32 - bits
+		return int32(v<<shift) >> shift
+	}
+
+	switch op {
+	case B, BL:
+		return in, signext(word&0x3FFFFF, 22)
+	case PUSH, POP:
+		in.Reglist = uint16(word >> 5)
+		return in, 0
+	case SWI:
+		in.Imm = signext(word&0xFFF, 12)
+		in.HasImm = true
+		return in, 0
+	case NOP:
+		return in, 0
+	}
+
+	in.SetS = word&(1<<21) != 0
+	in.Rd = Reg(word >> 17 & 0xF)
+	in.Rn = Reg(word >> 13 & 0xF)
+
+	if op == MLA {
+		in.Rm = Reg(word >> 8 & 0xF)
+		in.Ra = Reg(word >> 4 & 0xF)
+		return in, 0
+	}
+	if word&(1<<12) != 0 {
+		in.HasImm = true
+		in.Imm = signext(word&0xFFF, 12)
+	} else {
+		in.Rm = Reg(word >> 8 & 0xF)
+		in.Shift = ShiftKind(word >> 5 & 0x7)
+		in.ShAmt = int32(word & 0x1F)
+	}
+	// Normalise unused register fields so decode(encode(x)) == x.
+	normalizeDecoded(&in)
+	return in, 0
+}
+
+// normalizeDecoded clears register fields that the instruction class does
+// not use, restoring the RegNone convention of hand-built instructions.
+func normalizeDecoded(in *Instr) {
+	clearRm := func() {
+		if in.HasImm {
+			in.Rm = RegNone
+			in.Shift = NoShift
+			in.ShAmt = 0
+		}
+	}
+	switch {
+	case in.Op.IsDataProcessing():
+		in.Ra = RegNone
+		clearRm()
+	case in.Op.IsMove():
+		in.Rn = RegNone
+		in.Ra = RegNone
+		clearRm()
+	case in.Op.IsCompare():
+		in.Rd = RegNone
+		in.Ra = RegNone
+		in.SetS = false
+		clearRm()
+	case in.Op == MUL:
+		in.Ra = RegNone
+		in.HasImm = false
+		in.Imm = 0
+	case in.Op.IsMem():
+		in.Ra = RegNone
+		in.SetS = false
+		clearRm()
+	case in.Op == BX:
+		in.Rd = RegNone
+		in.Rn = RegNone
+		in.Ra = RegNone
+		in.SetS = false
+		in.HasImm = false
+		in.Imm = 0
+		in.Shift = NoShift
+		in.ShAmt = 0
+	}
+}

@@ -1,0 +1,259 @@
+package arm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// roundTrip encodes then decodes and compares.
+func roundTrip(t *testing.T, in Instr, off int32) {
+	t.Helper()
+	w, err := Encode(&in, off)
+	if err != nil {
+		t.Fatalf("Encode(%s): %v", in.String(), err)
+	}
+	got, gotOff := Decode(w)
+	if got.String() != in.String() {
+		t.Errorf("round trip %q -> %#x -> %q", in.String(), w, got.String())
+	}
+	if (in.Op == B || in.Op == BL) && gotOff != off {
+		t.Errorf("branch offset round trip: %d -> %d", off, gotOff)
+	}
+}
+
+func TestEncodeRoundTripBasic(t *testing.T) {
+	cases := []struct {
+		in  Instr
+		off int32
+	}{
+		{mk(ADD, func(i *Instr) { i.Rd, i.Rn, i.Imm, i.HasImm = R4, R2, 4, true }), 0},
+		{mk(SUB, func(i *Instr) { i.Rd, i.Rn, i.Rm = R2, R2, R3 }), 0},
+		{mk(ADD, func(i *Instr) { i.Rd, i.Rn, i.Rm, i.Shift, i.ShAmt = R0, R1, R2, LSL, 2 }), 0},
+		{mk(MOV, func(i *Instr) { i.Rd, i.Imm, i.HasImm = R0, -7, true }), 0},
+		{mk(MVN, func(i *Instr) { i.Rd, i.Rm = R9, R10 }), 0},
+		{mk(CMP, func(i *Instr) { i.Rn, i.Imm, i.HasImm = R0, 10, true }), 0},
+		{mk(TEQ, func(i *Instr) { i.Rn, i.Rm = R3, R4 }), 0},
+		{mk(MUL, func(i *Instr) { i.Rd, i.Rn, i.Rm = R0, R1, R2 }), 0},
+		{mk(MLA, func(i *Instr) { i.Rd, i.Rn, i.Rm, i.Ra = R0, R1, R2, R3 }), 0},
+		{mk(LDR, func(i *Instr) { i.Rd, i.Rn, i.Imm, i.HasImm = R3, R1, 4, true }), 0},
+		{mk(LDRPREW, func(i *Instr) { i.Rd, i.Rn, i.HasImm = R3, R1, true }), 0},
+		{mk(LDRPOSTW, func(i *Instr) { i.Rd, i.Rn, i.Imm, i.HasImm = R3, R1, 4, true }), 0},
+		{mk(STRB, func(i *Instr) { i.Rd, i.Rn, i.Rm = R0, R1, R2 }), 0},
+		{mk(PUSH, func(i *Instr) { i.Reglist = 1<<R4 | 1<<LR }), 0},
+		{mk(POP, func(i *Instr) { i.Reglist = 1<<R4 | 1<<PC }), 0},
+		{mk(B, func(i *Instr) { i.Target = "x" }), 100},
+		{mk(B, func(i *Instr) { i.Cond, i.Target = NE, "x" }), -3},
+		{mk(BL, func(i *Instr) { i.Target = "x" }), BranchMax},
+		{mk(BL, func(i *Instr) { i.Target = "x" }), BranchMin},
+		{mk(BX, func(i *Instr) { i.Rm = LR }), 0},
+		{mk(SWI, func(i *Instr) { i.Imm, i.HasImm = 1, true }), 0},
+		{mk(NOP, nil), 0},
+		{mk(ADD, func(i *Instr) { i.Cond, i.SetS, i.Rd, i.Rn, i.Imm, i.HasImm = LE, true, R0, R0, 1, true }), 0},
+	}
+	for _, c := range cases {
+		in := c.in
+		if in.Op == B || in.Op == BL {
+			// decoded branches carry no symbolic target
+			in.Target = ""
+			w, err := Encode(&c.in, c.off)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			got, gotOff := Decode(w)
+			if got.Op != c.in.Op || got.Cond != c.in.Cond || gotOff != c.off {
+				t.Errorf("branch round trip failed: %s off=%d -> %s off=%d", c.in.String(), c.off, got.Op, gotOff)
+			}
+			continue
+		}
+		roundTrip(t, c.in, c.off)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	lbl := mk(LABEL, func(i *Instr) { i.Target = "x" })
+	if _, err := Encode(&lbl, 0); err == nil {
+		t.Error("encoding a label should fail")
+	}
+	big := mk(MOV, func(i *Instr) { i.Rd, i.Imm, i.HasImm = R0, 4096, true })
+	if _, err := Encode(&big, 0); err == nil {
+		t.Error("oversized immediate should fail")
+	}
+	lit := mk(LDR, func(i *Instr) { i.Rd, i.Target = R0, "sym" })
+	if _, err := Encode(&lit, 0); err == nil {
+		t.Error("unresolved literal load should fail")
+	}
+	far := mk(B, func(i *Instr) { i.Target = "x" })
+	if _, err := Encode(&far, BranchMax+1); err == nil {
+		t.Error("out-of-range branch should fail")
+	}
+	if _, err := Encode(&far, BranchMin-1); err == nil {
+		t.Error("out-of-range negative branch should fail")
+	}
+}
+
+func TestDecodeGarbageIsWord(t *testing.T) {
+	// An all-ones word has an out-of-range opcode and must decode as data.
+	in, _ := Decode(0xFFFFFFFF)
+	if in.Op != WORD || uint32(in.Imm) != 0xFFFFFFFF {
+		t.Errorf("garbage decoded as %s", in.String())
+	}
+	// Opcode 0 (BAD) likewise.
+	in, _ = Decode(0)
+	if in.Op != WORD {
+		t.Errorf("zero word decoded as %s", in.String())
+	}
+}
+
+func TestWordEncodesRaw(t *testing.T) {
+	w := mk(WORD, func(i *Instr) { i.Imm = int32(-559038737) }) // 0xDEADBEEF
+	enc, err := Encode(&w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc != 0xDEADBEEF {
+		t.Errorf("word encoded as %#x", enc)
+	}
+}
+
+// randInstr generates a random valid, encodable instruction.
+func randInstr(r *rand.Rand) Instr {
+	reg := func() Reg { return Reg(r.Intn(NumRegs)) }
+	imm := func() int32 { return int32(r.Intn(ImmMax-ImmMin+1) + ImmMin) }
+	cond := Cond(r.Intn(int(numConds)))
+	classes := []func() Instr{
+		func() Instr { // data processing, immediate
+			ops := []Op{AND, EOR, SUB, RSB, ADD, ADC, SBC, ORR, BIC}
+			in := NewInstr(ops[r.Intn(len(ops))])
+			in.Rd, in.Rn, in.Imm, in.HasImm = reg(), reg(), imm(), true
+			in.SetS = r.Intn(2) == 0
+			return in
+		},
+		func() Instr { // data processing, register with shift
+			ops := []Op{AND, EOR, SUB, RSB, ADD, ORR, BIC}
+			in := NewInstr(ops[r.Intn(len(ops))])
+			in.Rd, in.Rn, in.Rm = reg(), reg(), reg()
+			if r.Intn(2) == 0 {
+				in.Shift = ShiftKind(1 + r.Intn(4))
+				in.ShAmt = int32(r.Intn(32))
+			}
+			return in
+		},
+		func() Instr { // mov / mvn
+			in := NewInstr([]Op{MOV, MVN}[r.Intn(2)])
+			in.Rd = reg()
+			if r.Intn(2) == 0 {
+				in.Imm, in.HasImm = imm(), true
+			} else {
+				in.Rm = reg()
+			}
+			return in
+		},
+		func() Instr { // compare
+			in := NewInstr([]Op{CMP, CMN, TST, TEQ}[r.Intn(4)])
+			in.Rn = reg()
+			if r.Intn(2) == 0 {
+				in.Imm, in.HasImm = imm(), true
+			} else {
+				in.Rm = reg()
+			}
+			return in
+		},
+		func() Instr { // memory
+			ops := []Op{LDR, LDRB, STR, STRB, LDRPREW, LDRPOSTW, STRPREW, STRPOSTW, LDRBPREW, LDRBPOSTW, STRBPREW, STRBPOSTW}
+			in := NewInstr(ops[r.Intn(len(ops))])
+			in.Rd, in.Rn = reg(), reg()
+			if r.Intn(2) == 0 {
+				in.Imm, in.HasImm = imm(), true
+			} else {
+				in.Rm = reg()
+				if r.Intn(2) == 0 {
+					in.Shift = ShiftKind(1 + r.Intn(4))
+					in.ShAmt = int32(r.Intn(32))
+				}
+			}
+			return in
+		},
+		func() Instr { // push/pop
+			in := NewInstr([]Op{PUSH, POP}[r.Intn(2)])
+			in.Reglist = uint16(r.Intn(1 << 16))
+			if in.Reglist == 0 {
+				in.Reglist = 1 << R0
+			}
+			return in
+		},
+		func() Instr { // mul / mla
+			if r.Intn(2) == 0 {
+				in := NewInstr(MUL)
+				in.Rd, in.Rn, in.Rm = reg(), reg(), reg()
+				return in
+			}
+			in := NewInstr(MLA)
+			in.Rd, in.Rn, in.Rm, in.Ra = reg(), reg(), reg(), reg()
+			return in
+		},
+		func() Instr { // bx
+			in := NewInstr(BX)
+			in.Rm = reg()
+			return in
+		},
+	}
+	in := classes[r.Intn(len(classes))]()
+	in.Cond = cond
+	return in
+}
+
+// TestQuickEncodeDecodeRoundTrip is the property test: for every randomly
+// generated encodable instruction, Decode(Encode(x)) must render to the
+// same canonical text (instruction identity is text identity for the
+// miner, so this is the invariant PA correctness rests on).
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		in := randInstr(r)
+		w, err := Encode(&in, 0)
+		if err != nil {
+			t.Logf("Encode(%s): %v", in.String(), err)
+			return false
+		}
+		got, _ := Decode(w)
+		if got.String() != in.String() {
+			t.Logf("round trip %q -> %q", in.String(), got.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEffectsConsistency checks structural invariants of EffectsOf on
+// random instructions: stores read their data register, loads write it,
+// writeback updates the base, predication reads cpsr.
+func TestQuickEffectsConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		in := randInstr(r)
+		e := EffectsOf(&in)
+		if in.Cond != Always && !e.Reads.Has(CPSR) {
+			return false
+		}
+		if in.Op.Writeback() && !e.Writes.Has(in.Rn) {
+			return false
+		}
+		if in.Op.IsLoad() && in.Op != POP && !e.Writes.Has(in.Rd) {
+			return false
+		}
+		if in.Op.IsStore() && in.Op != PUSH && !e.Reads.Has(in.Rd) {
+			return false
+		}
+		if in.SetS && !e.Writes.Has(CPSR) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

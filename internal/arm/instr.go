@@ -1,0 +1,228 @@
+package arm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instr is a single machine instruction (or stream pseudo-instruction).
+//
+// Operand usage by class:
+//
+//	data processing  Rd, Rn, op2 (Imm if HasImm, else Rm with optional shift)
+//	mov/mvn          Rd, op2
+//	cmp/cmn/tst/teq  Rn, op2
+//	mul              Rd, Rn, Rm
+//	mla              Rd, Rn, Rm, Ra
+//	ldr/str family   Rd (data), Rn (base), offset = Imm or Rm(shift)
+//	push/pop         Reglist bitmask
+//	b/bl             Target label
+//	bx               Rm
+//	swi              Imm (syscall number)
+//	.label           Target (the label name)
+//	.word            Imm (literal value) or Target (address-of-label)
+//
+// Branch and literal targets are symbolic labels throughout the optimizer;
+// the assembler resolves them to offsets at encode time and the loader
+// re-creates them when decompiling a binary (paper §2.1 phases 3–4).
+type Instr struct {
+	Op      Op
+	Cond    Cond
+	SetS    bool // flag-setting "s" suffix
+	Rd      Reg
+	Rn      Reg
+	Rm      Reg
+	Ra      Reg // mla accumulator
+	Shift   ShiftKind
+	ShAmt   int32
+	Imm     int32
+	HasImm  bool   // operand2 / offset is Imm rather than Rm
+	Reglist uint16 // push/pop
+	Target  string // branch target, label name, or .word symbol
+}
+
+// NewInstr returns an instruction with all register fields cleared to
+// RegNone and the given opcode.
+func NewInstr(op Op) Instr {
+	return Instr{Op: op, Rd: RegNone, Rn: RegNone, Rm: RegNone, Ra: RegNone}
+}
+
+// IsPseudo reports whether the instruction is a stream marker rather than
+// an executable machine instruction.
+func (in *Instr) IsPseudo() bool {
+	return in.Op == LABEL || in.Op == WORD
+}
+
+// ConstPrefix marks a literal-load target that is a plain constant rather
+// than a symbol address: "ldr r0, =1000" is represented with Target
+// "const:1000" so that equal constants share one pool slot at link time.
+const ConstPrefix = "const:"
+
+// IsLiteralLoad reports whether the instruction is the symbolic
+// literal-pool load "ldr rd, =sym". The assembler materialises it as a
+// pc-relative load from an interwoven pool word; the loader converts it
+// back to this position-independent form (paper §2.1 phase 4), which makes
+// it movable by procedural abstraction.
+func (in *Instr) IsLiteralLoad() bool {
+	return in.Op == LDR && in.Target != "" && in.Rn == RegNone
+}
+
+// IsTerminator reports whether the instruction unconditionally leaves the
+// current block: an unpredicated b/bx, a pop that loads pc, or swi 0 (exit).
+func (in *Instr) IsTerminator() bool {
+	if in.Cond != Always {
+		return false
+	}
+	switch in.Op {
+	case B, BX:
+		return true
+	case POP:
+		return in.Reglist&(1<<PC) != 0
+	case SWI:
+		return in.Imm == SysExit
+	}
+	return false
+}
+
+// op2 formats the flexible second operand.
+func (in *Instr) op2() string {
+	if in.HasImm {
+		return fmt.Sprintf("#%d", in.Imm)
+	}
+	if in.Shift != NoShift {
+		return fmt.Sprintf("%s, %s #%d", in.Rm, in.Shift, in.ShAmt)
+	}
+	return in.Rm.String()
+}
+
+// memOperand formats the address operand of a load/store.
+func (in *Instr) memOperand() string {
+	off := ""
+	if in.HasImm {
+		if in.Imm != 0 {
+			off = fmt.Sprintf(", #%d", in.Imm)
+		}
+	} else if in.Rm != RegNone {
+		off = ", " + in.Rm.String()
+		if in.Shift != NoShift {
+			off += fmt.Sprintf(", %s #%d", in.Shift, in.ShAmt)
+		}
+	}
+	switch {
+	case in.Op.Writeback():
+		if off == "" && in.HasImm {
+			return fmt.Sprintf("[%s]!", in.Rn)
+		}
+		return fmt.Sprintf("[%s%s]!", in.Rn, off)
+	default:
+		return fmt.Sprintf("[%s%s]", in.Rn, off)
+	}
+}
+
+// reglistString formats a push/pop register list.
+func reglistString(mask uint16) string {
+	var parts []string
+	for r := R0; r < Reg(NumRegs); r++ {
+		if mask&(1<<r) != 0 {
+			parts = append(parts, r.String())
+		}
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// String renders the canonical assembly text of the instruction. The text
+// is canonical in the strict sense required by the miner: two instructions
+// are semantically interchangeable for procedural abstraction iff their
+// String() values are equal (paper §3: "the instructions of a frequent
+// fragment's embeddings must be completely identical").
+func (in *Instr) String() string {
+	mn := in.Op.String() + in.Cond.String()
+	if in.SetS {
+		mn += "s"
+	}
+	switch {
+	case in.Op == LABEL:
+		return in.Target + ":"
+	case in.Op == WORD:
+		if in.Target != "" {
+			return ".word " + in.Target
+		}
+		return fmt.Sprintf(".word %d", in.Imm)
+	case in.Op == NOP:
+		return mn
+	case in.Op.IsDataProcessing():
+		return fmt.Sprintf("%s %s, %s, %s", mn, in.Rd, in.Rn, in.op2())
+	case in.Op.IsMove():
+		return fmt.Sprintf("%s %s, %s", mn, in.Rd, in.op2())
+	case in.Op.IsCompare():
+		return fmt.Sprintf("%s %s, %s", in.Op.String()+in.Cond.String(), in.Rn, in.op2())
+	case in.Op == MUL:
+		return fmt.Sprintf("%s %s, %s, %s", mn, in.Rd, in.Rn, in.Rm)
+	case in.Op == MLA:
+		return fmt.Sprintf("%s %s, %s, %s, %s", mn, in.Rd, in.Rn, in.Rm, in.Ra)
+	case in.Op == PUSH || in.Op == POP:
+		return fmt.Sprintf("%s %s", mn, reglistString(in.Reglist))
+	case in.Op.IsMem():
+		if in.IsLiteralLoad() {
+			return fmt.Sprintf("%s %s, =%s", mn, in.Rd, strings.TrimPrefix(in.Target, ConstPrefix))
+		}
+		if in.Op.PostIndexed() {
+			// "[rn], #4" form
+			off := "#0"
+			if in.HasImm {
+				off = fmt.Sprintf("#%d", in.Imm)
+			} else if in.Rm != RegNone {
+				off = in.Rm.String()
+				if in.Shift != NoShift {
+					off += fmt.Sprintf(", %s #%d", in.Shift, in.ShAmt)
+				}
+			}
+			return fmt.Sprintf("%s %s, [%s], %s", mn, in.Rd, in.Rn, off)
+		}
+		return fmt.Sprintf("%s %s, %s", mn, in.Rd, in.memOperand())
+	case in.Op == B || in.Op == BL:
+		return fmt.Sprintf("%s %s", mn, in.Target)
+	case in.Op == BX:
+		return fmt.Sprintf("%s %s", mn, in.Rm)
+	case in.Op == SWI:
+		return fmt.Sprintf("%s %d", mn, in.Imm)
+	}
+	return mn + " ???"
+}
+
+// CanonicalKey returns the fuzzy-matching key of the paper's future-work
+// §5 "canonical representation": the mnemonic plus the number and kinds of
+// operands, with concrete registers replaced by R and immediates by I
+// (Fig. 13). Used by the optional canonical-matching mining mode.
+func (in *Instr) CanonicalKey() string {
+	mn := in.Op.String() + in.Cond.String()
+	if in.SetS {
+		mn += "s"
+	}
+	var ops []string
+	add := func(r Reg) {
+		if r != RegNone {
+			ops = append(ops, "R")
+		}
+	}
+	add(in.Rd)
+	add(in.Rn)
+	add(in.Rm)
+	add(in.Ra)
+	if in.HasImm {
+		ops = append(ops, "I")
+	}
+	if in.Shift != NoShift {
+		ops = append(ops, "S"+in.Shift.String())
+	}
+	if in.Op == PUSH || in.Op == POP {
+		ops = append(ops, fmt.Sprintf("L%d", in.Reglist))
+	}
+	if in.Target != "" {
+		ops = append(ops, "T")
+	}
+	return mn + " " + strings.Join(ops, ",")
+}
+
+// Clone returns a copy of the instruction.
+func (in Instr) Clone() Instr { return in }

@@ -1,0 +1,237 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"graphpa/internal/arm"
+)
+
+func parseOne(t *testing.T, line string) arm.Instr {
+	t.Helper()
+	u, err := Parse(line)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", line, err)
+	}
+	if len(u.Text) != 1 {
+		t.Fatalf("Parse(%q): got %d instructions", line, len(u.Text))
+	}
+	return u.Text[0]
+}
+
+// TestParsePrintRoundTrip checks that every canonical instruction form
+// survives a print -> parse -> print cycle unchanged. This is the
+// foundation the whole pipeline rests on: instruction identity is textual
+// identity.
+func TestParsePrintRoundTrip(t *testing.T) {
+	lines := []string{
+		"add r4, r2, #4",
+		"sub r2, r2, r3",
+		"add r0, r1, r2, lsl #2",
+		"rsb r0, r1, #0",
+		"adcs r0, r1, r2",
+		"mov r0, #0",
+		"movs r0, r1",
+		"mvn r3, r4",
+		"cmp r0, #10",
+		"cmpne r0, r1",
+		"tst r0, #1",
+		"teq r5, r6",
+		"mul r0, r1, r2",
+		"mla r0, r1, r2, r3",
+		"ldr r3, [r1]",
+		"ldr r3, [r1, #4]",
+		"ldr r3, [r1, #-4]",
+		"ldr r3, [r1]!",
+		"ldr r3, [r1, #4]!",
+		"ldr r3, [r1], #4",
+		"ldr r3, [r1], #-4",
+		"str r0, [sp, #8]",
+		"strb r0, [r1, r2]",
+		"ldrb r7, [r2], #1",
+		"ldr r0, [r1, r2, lsl #2]",
+		"ldr r5, =table",
+		"ldr r5, =1000",
+		"push {r4, r5, lr}",
+		"pop {r4, r5, pc}",
+		"b loop",
+		"bne loop",
+		"bls done",
+		"bl memcpy",
+		"bx lr",
+		"swi 1",
+		"nop",
+		"addeq r0, r0, #1",
+		"subles r0, r0, #1",
+	}
+	for _, line := range lines {
+		in := parseOne(t, line)
+		got := in.String()
+		if got != line {
+			// allow canonicalisation differences only if reparse agrees
+			again := parseOne(t, got)
+			if again.String() != got {
+				t.Errorf("round trip %q -> %q -> %q", line, got, again.String())
+			}
+			if got != line {
+				t.Errorf("not canonical: %q printed as %q", line, got)
+			}
+		}
+	}
+}
+
+func TestParseLabelsAndSections(t *testing.T) {
+	src := `
+.text
+_start:
+	mov r0, #0
+	swi 0
+.data
+msg:
+	.asciz "hi"
+val:
+	.word 42
+ptr:
+	.word msg
+buf:
+	.space 64
+`
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Text) != 3 { // label + 2 instructions
+		t.Fatalf("text = %d entries", len(u.Text))
+	}
+	if u.Text[0].Op != arm.LABEL || u.Text[0].Target != "_start" {
+		t.Errorf("first entry should be _start label, got %s", u.Text[0].String())
+	}
+	kinds := []DataKind{DataLabel, DataBytes, DataLabel, DataWord, DataLabel, DataWord, DataLabel, DataSpace}
+	if len(u.Data) != len(kinds) {
+		t.Fatalf("data = %d entries, want %d", len(u.Data), len(kinds))
+	}
+	for i, k := range kinds {
+		if u.Data[i].Kind != k {
+			t.Errorf("data[%d].Kind = %v, want %v", i, u.Data[i].Kind, k)
+		}
+	}
+	if string(u.Data[1].Bytes) != "hi\x00" {
+		t.Errorf("asciz bytes = %q", u.Data[1].Bytes)
+	}
+	if u.Data[3].Value != 42 || u.Data[5].Sym != "msg" || u.Data[7].Space != 64 {
+		t.Error("data payloads wrong")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	u, err := Parse("mov r0, #1 @ set up\n// whole line\nmov r1, #2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Text) != 2 {
+		t.Fatalf("got %d instructions", len(u.Text))
+	}
+}
+
+func TestParsePoolBarrier(t *testing.T) {
+	u, err := Parse("bx lr\n.pool\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Text) != 2 || !IsPoolBarrier(&u.Text[1]) {
+		t.Fatal("missing pool barrier")
+	}
+	if !strings.Contains(Print(u), ".pool") {
+		t.Error("Print should render .pool")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"frob r0, r1",
+		"add r0, r1",
+		"mov r0, #99999999999999999999",
+		"ldr r3, [r1, #4]!, #2",
+		"ldr r3, [zz]",
+		"push {}",
+		"b 123",
+		"mov r16, #0",
+		".data\nmov r0, #1",
+		".bogus 12",
+		"ldrb r0, =sym",
+		"9lbl:",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestSplitMnemonicAmbiguity(t *testing.T) {
+	// "bls" must parse as b+ls, not bl+s.
+	in := parseOne(t, "bls out")
+	if in.Op != arm.B || in.Cond != arm.LS {
+		t.Errorf("bls parsed as op=%v cond=%v", in.Op, in.Cond)
+	}
+	// "movs" is mov + S.
+	in = parseOne(t, "movs r0, r1")
+	if in.Op != arm.MOV || !in.SetS {
+		t.Errorf("movs parsed as op=%v setS=%v", in.Op, in.SetS)
+	}
+	// "addcs" is add + CS cond, not add + C + s.
+	in = parseOne(t, "addcs r0, r0, #1")
+	if in.Op != arm.ADD || in.Cond != arm.CS || in.SetS {
+		t.Errorf("addcs parsed as op=%v cond=%v setS=%v", in.Op, in.Cond, in.SetS)
+	}
+	// "addcss" wants cond CS and S.
+	in = parseOne(t, "addcss r0, r0, #1")
+	if in.Op != arm.ADD || in.Cond != arm.CS || !in.SetS {
+		t.Errorf("addcss parsed as op=%v cond=%v setS=%v", in.Op, in.Cond, in.SetS)
+	}
+}
+
+func TestReglistRange(t *testing.T) {
+	in := parseOne(t, "push {r0-r3, lr}")
+	want := uint16(1<<arm.R0 | 1<<arm.R1 | 1<<arm.R2 | 1<<arm.R3 | 1<<arm.LR)
+	if in.Reglist != want {
+		t.Errorf("reglist = %#x, want %#x", in.Reglist, want)
+	}
+}
+
+func TestConstLiteralUnifies(t *testing.T) {
+	a := parseOne(t, "ldr r0, =1000")
+	b := parseOne(t, "ldr r1, =1000")
+	if a.Target != b.Target || !strings.HasPrefix(a.Target, arm.ConstPrefix) {
+		t.Errorf("const literals should share a target: %q vs %q", a.Target, b.Target)
+	}
+	if a.String() != "ldr r0, =1000" {
+		t.Errorf("const literal prints as %q", a.String())
+	}
+}
+
+func TestPrintParseUnitRoundTrip(t *testing.T) {
+	src := `.text
+f:
+	push {r4, lr}
+	ldr r4, =tbl
+	ldr r0, [r4]
+	pop {r4, pc}
+	.pool
+.data
+tbl:
+	.word 7
+`
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(u)
+	u2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	if Print(u2) != printed {
+		t.Errorf("unit round trip unstable:\n%s\nvs\n%s", printed, Print(u2))
+	}
+}

@@ -1,0 +1,197 @@
+// Package bench holds the evaluation workloads and the harness that
+// regenerates every table and figure of the paper's §4: eight
+// MiBench-style programs written in mini-C, compiled by our size-tuned
+// template code generator with load scheduling, statically linked against
+// the runtime, and optimized post link-time by SFX, DgSpan and Edgar.
+package bench
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"time"
+
+	"graphpa/internal/cfg"
+	"graphpa/internal/codegen"
+	"graphpa/internal/core"
+	"graphpa/internal/dfg"
+	"graphpa/internal/link"
+	"graphpa/internal/loader"
+	"graphpa/internal/pa"
+)
+
+//go:embed programs/*.mc
+var programFS embed.FS
+
+// Names lists the benchmark programs in the paper's Table 1 order.
+var Names = []string{
+	"bitcnts", "crc", "dijkstra", "patricia", "qsort", "rijndael", "search", "sha",
+}
+
+// Source returns a program's mini-C source.
+func Source(name string) (string, error) {
+	b, err := programFS.ReadFile("programs/" + name + ".mc")
+	if err != nil {
+		return "", fmt.Errorf("bench: unknown program %q", name)
+	}
+	return string(b), nil
+}
+
+// Workload is one compiled benchmark.
+type Workload struct {
+	Name   string
+	Image  *link.Image
+	Prog   *loader.Program
+	Instrs int
+}
+
+// DefaultCodegen mirrors the paper's setup: size-oriented templates plus
+// the list scheduler (gcc reorders loads even at -Os; §4.2 attributes
+// rijndael's headline win to exactly that).
+func DefaultCodegen() codegen.Options { return codegen.Options{Optimize: true, Schedule: true} }
+
+// Build compiles and links one benchmark.
+func Build(name string, opts codegen.Options) (*Workload, error) {
+	src, err := Source(name)
+	if err != nil {
+		return nil, err
+	}
+	img, err := core.Build(src, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", name, err)
+	}
+	prog, err := loader.Load(img)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", name, err)
+	}
+	return &Workload{Name: name, Image: img, Prog: prog, Instrs: prog.CountInstrs()}, nil
+}
+
+// BuildAll compiles every benchmark.
+func BuildAll(opts codegen.Options) ([]*Workload, error) {
+	out := make([]*Workload, 0, len(Names))
+	for _, n := range Names {
+		w, err := Build(n, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// Evaluation holds the full result matrix the tables and figures are
+// derived from.
+type Evaluation struct {
+	Workloads []*Workload
+	Miners    []string
+	// Results[program][miner]
+	Results map[string]map[string]*pa.Result
+}
+
+// Progress, when non-nil, receives one line per finished program/miner
+// combination (the harness takes a while on big workloads).
+var Progress func(format string, args ...any)
+
+func progressf(format string, args ...any) {
+	if Progress != nil {
+		Progress(format, args...)
+	}
+}
+
+// Evaluate optimizes every workload with every miner. When verify is set,
+// each optimized binary is executed and its behaviour compared against
+// the original (differential check).
+func Evaluate(ws []*Workload, miners []string, opts pa.Options, verify bool) (*Evaluation, error) {
+	ev := &Evaluation{Workloads: ws, Miners: miners, Results: map[string]map[string]*pa.Result{}}
+	for _, w := range ws {
+		ev.Results[w.Name] = map[string]*pa.Result{}
+		for _, mn := range miners {
+			m, err := core.MinerByName(mn)
+			if err != nil {
+				return nil, err
+			}
+			res, img, err := core.Optimize(w.Image, m, opts)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s/%s: %w", w.Name, mn, err)
+			}
+			if verify {
+				if err := core.VerifyEquivalent(w.Image, img, nil); err != nil {
+					return nil, fmt.Errorf("bench: %s/%s: %w", w.Name, mn, err)
+				}
+			}
+			ev.Results[w.Name][mn] = res
+			progressf("%s/%s: saved %d in %v", w.Name, mn, res.Saved(), res.Duration)
+		}
+	}
+	return ev, nil
+}
+
+// Saved returns instructions saved for one cell of the matrix (0 when the
+// miner was not run).
+func (ev *Evaluation) Saved(program, miner string) int {
+	if r, ok := ev.Results[program][miner]; ok {
+		return r.Saved()
+	}
+	return 0
+}
+
+// TotalSaved sums savings across programs for one miner.
+func (ev *Evaluation) TotalSaved(miner string) int {
+	t := 0
+	for _, w := range ev.Workloads {
+		t += ev.Saved(w.Name, miner)
+	}
+	return t
+}
+
+// Mechanisms aggregates extraction-method counts per miner (Fig. 12).
+func (ev *Evaluation) Mechanisms(miner string) (calls, crossJumps int) {
+	for _, w := range ev.Workloads {
+		if r, ok := ev.Results[w.Name][miner]; ok {
+			calls += r.Calls()
+			crossJumps += r.CrossJumps()
+		}
+	}
+	return calls, crossJumps
+}
+
+// Timing returns optimization wall-clock per program for one miner,
+// program order preserved.
+func (ev *Evaluation) Timing(miner string) []time.Duration {
+	out := make([]time.Duration, len(ev.Workloads))
+	for i, w := range ev.Workloads {
+		if r, ok := ev.Results[w.Name][miner]; ok {
+			out[i] = r.Duration
+		}
+	}
+	return out
+}
+
+// Graphs builds the per-block dependence graphs of a workload (the mining
+// input, used by the Table 2/3 statistics).
+func (w *Workload) Graphs() []*dfg.Graph {
+	view := cfg.Build(w.Prog)
+	summaries := pa.CallSummaries(view)
+	gs := make([]*dfg.Graph, len(view.Blocks))
+	for i, b := range view.Blocks {
+		gs[i] = dfg.Build(b, summaries)
+	}
+	return gs
+}
+
+// Stats computes the paper's Table 2/3 degree statistics for a workload.
+func (w *Workload) Stats() dfg.DegreeStats {
+	return dfg.Stats(w.Graphs())
+}
+
+// SortedMiners returns the evaluation's miners in canonical order.
+func (ev *Evaluation) SortedMiners() []string {
+	out := append([]string(nil), ev.Miners...)
+	sort.Strings(out)
+	return out
+}
+
+// noSchedule returns the ablation codegen configuration (optimized but
+// template order, no load hoisting).
+func noSchedule() codegen.Options { return codegen.Options{Optimize: true} }

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"graphpa/internal/asm"
+	"graphpa/internal/core"
+	"graphpa/internal/loader"
+)
+
+// goldenExit pins each program's semantic result (checksum & 127). The
+// values depend only on program meaning and the fixed PRNG seeds — not on
+// code generation — so any change here is a real miscompilation. Exit
+// codes 1..9 are reserved by every program for internal self-check
+// failures; the seeds were chosen so no checksum collides with them.
+var goldenExit = map[string]int32{
+	"bitcnts":  117,
+	"crc":      18,
+	"dijkstra": 59,
+	"patricia": 116,
+	"qsort":    46,
+	"rijndael": 105,
+	"search":   75,
+	"sha":      112,
+}
+
+// TestAllProgramsRun compiles and executes every benchmark against its
+// golden result. This is the substrate sanity check everything else
+// builds on.
+func TestAllProgramsRun(t *testing.T) {
+	ws, err := BuildAll(DefaultCodegen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		code, out, err := core.Run(w.Image, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if !strings.HasPrefix(out, w.Name+":") {
+			t.Errorf("%s: banner missing in output %q", w.Name, out)
+		}
+		if code != goldenExit[w.Name] {
+			t.Errorf("%s: exit = %d, want %d (out %q)", w.Name, code, goldenExit[w.Name], out)
+		}
+		t.Logf("%s: %d instructions, exit %d, %q", w.Name, w.Instrs, code, strings.TrimSpace(out))
+	}
+}
+
+// TestProgramsGoldenWithoutScheduler re-runs the golden check with the
+// scheduler disabled: scheduling must never change semantics.
+func TestProgramsGoldenWithoutScheduler(t *testing.T) {
+	for _, name := range Names {
+		w, err := Build(name, noSchedule())
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, _, err := core.Run(w.Image, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if code != goldenExit[name] {
+			t.Errorf("%s: exit = %d, want %d", name, code, goldenExit[name])
+		}
+	}
+}
+
+// TestSchedulerChangesOrderNotBehaviour compiles with and without the
+// scheduler; outputs must match while code differs.
+func TestSchedulerChangesOrderNotBehaviour(t *testing.T) {
+	for _, name := range []string{"crc", "rijndael"} {
+		src, err := Source(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img1, err := core.Build(src, DefaultCodegen())
+		if err != nil {
+			t.Fatal(err)
+		}
+		img2, err := core.Build(src, noSchedule())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.VerifyEquivalent(img1, img2, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestLoaderRoundTripSuite: decompile -> relink on every benchmark must
+// preserve behaviour and instruction counts (the loader is lossless on
+// real workloads, not just unit fixtures).
+func TestLoaderRoundTripSuite(t *testing.T) {
+	for _, name := range Names {
+		w, err := Build(name, DefaultCodegen())
+		if err != nil {
+			t.Fatal(err)
+		}
+		img2, err := w.Prog.Relink()
+		if err != nil {
+			t.Fatalf("%s: relink: %v", name, err)
+		}
+		if err := core.VerifyEquivalent(w.Image, img2, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		prog2, err := loader.Load(img2)
+		if err != nil {
+			t.Fatalf("%s: reload: %v", name, err)
+		}
+		if prog2.CountInstrs() != w.Instrs {
+			t.Errorf("%s: instruction count drifted %d -> %d", name, w.Instrs, prog2.CountInstrs())
+		}
+	}
+}
+
+// TestAsmRoundTripSuite: print -> parse -> print stability of every
+// compiled benchmark (the canonical-text invariant on real code).
+func TestAsmRoundTripSuite(t *testing.T) {
+	for _, name := range Names {
+		w, err := Build(name, DefaultCodegen())
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := w.Prog.ToUnit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := asm.Print(u)
+		u2, err := asm.Parse(text)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", name, err)
+		}
+		if asm.Print(u2) != text {
+			t.Errorf("%s: print/parse round trip unstable", name)
+		}
+	}
+}

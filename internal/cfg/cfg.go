@@ -1,0 +1,153 @@
+// Package cfg splits reconstructed functions into basic blocks (paper
+// §2.1 phase 5). Blocks are the unit over which data-flow graphs are
+// built and mined; the extraction engine rewrites block instruction lists
+// and the program is reassembled from them.
+package cfg
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/loader"
+)
+
+// Block is one basic block.
+type Block struct {
+	// ID is unique across the whole program; the miner uses it as the
+	// graph identifier.
+	ID     int
+	Fn     *Func
+	Labels []string    // labels attached to the block start, in order
+	Instrs []arm.Instr // executable instructions only
+}
+
+// Func groups the blocks of one procedure.
+type Func struct {
+	Name    string
+	LRSaved bool
+	Blocks  []*Block
+}
+
+// Program is the block-structured view of a loaded program.
+type Program struct {
+	Funcs  []*Func
+	Blocks []*Block // all blocks in layout order (shared with Funcs)
+	Data   *loader.Program
+}
+
+// endsBlock reports whether in terminates a basic block: any control
+// transfer except calls (calls return to the next instruction and the
+// surrounding dependence graph treats them as barrier nodes, which lets
+// fragments span them safely).
+func endsBlock(in *arm.Instr) bool {
+	switch in.Op {
+	case arm.B, arm.BX:
+		return true
+	case arm.POP:
+		return in.Reglist&(1<<arm.PC) != 0
+	case arm.SWI:
+		return in.Cond == arm.Always && in.Imm == arm.SysExit
+	}
+	return false
+}
+
+// Build splits a loaded program into basic blocks.
+func Build(prog *loader.Program) *Program {
+	out := &Program{Data: prog}
+	id := 0
+	for _, lf := range prog.Funcs {
+		fn := &Func{Name: lf.Name, LRSaved: lf.LRSaved}
+		cur := &Block{ID: id, Fn: fn}
+		flush := func() {
+			if len(cur.Labels) == 0 && len(cur.Instrs) == 0 {
+				return
+			}
+			fn.Blocks = append(fn.Blocks, cur)
+			out.Blocks = append(out.Blocks, cur)
+			id++
+			cur = &Block{ID: id, Fn: fn}
+		}
+		for i := range lf.Code {
+			in := lf.Code[i]
+			if in.Op == arm.LABEL {
+				if len(cur.Instrs) > 0 {
+					flush()
+				}
+				cur.Labels = append(cur.Labels, in.Target)
+				continue
+			}
+			cur.Instrs = append(cur.Instrs, in)
+			if endsBlock(&in) {
+				flush()
+			}
+		}
+		flush()
+		out.Funcs = append(out.Funcs, fn)
+	}
+	return out
+}
+
+// Reassemble converts the (possibly rewritten) blocks back into a loader
+// program that can be relinked.
+func Reassemble(p *Program) *loader.Program {
+	out := &loader.Program{Data: p.Data.Data}
+	for _, fn := range p.Funcs {
+		lf := &loader.Function{Name: fn.Name, LRSaved: fn.LRSaved}
+		for _, b := range fn.Blocks {
+			for _, l := range b.Labels {
+				lbl := arm.NewInstr(arm.LABEL)
+				lbl.Target = l
+				lf.Code = append(lf.Code, lbl)
+			}
+			lf.Code = append(lf.Code, b.Instrs...)
+		}
+		out.Funcs = append(out.Funcs, lf)
+	}
+	return out
+}
+
+// Terminator returns the block's final instruction if it is a control
+// transfer (conditional or not), else nil (fall-through blocks).
+func (b *Block) Terminator() *arm.Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := &b.Instrs[len(b.Instrs)-1]
+	switch last.Op {
+	case arm.B, arm.BX:
+		return last
+	case arm.POP:
+		if last.Reglist&(1<<arm.PC) != 0 {
+			return last
+		}
+	case arm.SWI:
+		if last.Imm == arm.SysExit {
+			return last
+		}
+	}
+	return nil
+}
+
+// Fingerprint computes the Debray-style block fingerprint the paper's SFX
+// baseline uses for quick duplicate filtering: a hash over the opcode and
+// operand-shape sequence (register names excluded, so blocks that differ
+// only in register naming collide, as intended).
+func (b *Block) Fingerprint() uint64 {
+	h := fnv.New64a()
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		fmt.Fprintf(h, "%s~%d~%s|", in.CanonicalKey(), in.Imm, in.Target)
+	}
+	return h.Sum64()
+}
+
+// CountInstrs returns the number of executable instructions in the
+// program view.
+func (p *Program) CountInstrs() int {
+	n := 0
+	for _, b := range p.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}

@@ -1,0 +1,146 @@
+package cfg
+
+import (
+	"testing"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/asm"
+	"graphpa/internal/link"
+	"graphpa/internal/loader"
+)
+
+// loadProgram builds a loader.Program straight from assembly source.
+func loadProgram(t *testing.T, src string) *loader.Program {
+	t.Helper()
+	u, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := link.Link(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := loader.Load(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+const blockSrc = `
+_start:
+	bl main
+	mov r0, #0
+	swi 0
+	.pool
+main:
+	push {r4, lr}
+	mov r0, #0
+	mov r1, #5
+loop:
+	add r0, r0, r1
+	subs r1, r1, #1
+	bne loop
+	pop {r4, pc}
+	.pool
+`
+
+func TestBuildBlocks(t *testing.T) {
+	p := Build(loadProgram(t, blockSrc))
+	if len(p.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(p.Funcs))
+	}
+	start, main := p.Funcs[0], p.Funcs[1]
+	// _start: "bl main; mov; swi 0" is one block (calls do not end
+	// blocks, exit does).
+	if len(start.Blocks) != 1 {
+		t.Errorf("_start blocks = %d, want 1", len(start.Blocks))
+	}
+	if got := len(start.Blocks[0].Instrs); got != 3 {
+		t.Errorf("_start block size = %d, want 3", got)
+	}
+	// main: [push,mov,mov] [add,subs,bne] [pop]
+	if len(main.Blocks) != 3 {
+		t.Fatalf("main blocks = %d, want 3", len(main.Blocks))
+	}
+	sizes := []int{3, 3, 1}
+	for i, b := range main.Blocks {
+		if len(b.Instrs) != sizes[i] {
+			t.Errorf("main block %d size = %d, want %d", i, len(b.Instrs), sizes[i])
+		}
+	}
+	if main.Blocks[1].Labels[0] != "loop" {
+		t.Errorf("loop label on wrong block: %v", main.Blocks[1].Labels)
+	}
+	if !main.LRSaved || start.LRSaved {
+		t.Error("LRSaved flags wrong")
+	}
+	// IDs are unique and dense.
+	for i, b := range p.Blocks {
+		if b.ID != i {
+			t.Errorf("block %d has ID %d", i, b.ID)
+		}
+	}
+}
+
+func TestTerminator(t *testing.T) {
+	p := Build(loadProgram(t, blockSrc))
+	main := p.Funcs[1]
+	if main.Blocks[0].Terminator() != nil {
+		t.Error("fall-through block should have no terminator")
+	}
+	if tm := main.Blocks[1].Terminator(); tm == nil || tm.Op != arm.B || tm.Cond != arm.NE {
+		t.Error("bne should be a terminator")
+	}
+	if tm := main.Blocks[2].Terminator(); tm == nil || tm.Op != arm.POP {
+		t.Error("pop {pc} should be a terminator")
+	}
+}
+
+func TestReassembleRoundTrip(t *testing.T) {
+	prog := loadProgram(t, blockSrc)
+	before := prog.CountInstrs()
+	p := Build(prog)
+	back := Reassemble(p)
+	if back.CountInstrs() != before {
+		t.Errorf("instruction count changed: %d -> %d", before, back.CountInstrs())
+	}
+	if _, err := back.Relink(); err != nil {
+		t.Fatalf("relink after reassemble: %v", err)
+	}
+	if p.CountInstrs() != before {
+		t.Errorf("CountInstrs = %d, want %d", p.CountInstrs(), before)
+	}
+}
+
+func TestFingerprintRegisterInsensitive(t *testing.T) {
+	a := &Block{Instrs: []arm.Instr{
+		ins("add r0, r1, r2"), ins("sub r3, r0, #4"),
+	}}
+	b := &Block{Instrs: []arm.Instr{
+		ins("add r5, r6, r7"), ins("sub r8, r5, #4"),
+	}}
+	c := &Block{Instrs: []arm.Instr{
+		ins("add r5, r6, r7"), ins("sub r8, r5, r9"),
+	}}
+	d := &Block{Instrs: []arm.Instr{
+		ins("add r5, r6, r7"), ins("sub r8, r5, #9"),
+	}}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("register renaming must not change the fingerprint")
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("operand shape change must change the fingerprint")
+	}
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("immediate value change must change the fingerprint")
+	}
+}
+
+func ins(s string) arm.Instr {
+	u, err := asm.Parse(s)
+	if err != nil || len(u.Text) != 1 {
+		panic("bad test instruction: " + s)
+	}
+	return u.Text[0]
+}

@@ -1,0 +1,131 @@
+package codegen
+
+import (
+	"sort"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/minic"
+)
+
+// Register pools. r11 and r12 are reserved as spill scratches, sp/lr/pc
+// have fixed roles; everything else is allocatable. Caller-saved
+// registers are preferred for ranges that do not cross calls, mirroring
+// the ARM AAPCS split the paper's binaries use.
+var (
+	callerSaved = []arm.Reg{arm.R0, arm.R1, arm.R2, arm.R3}
+	calleeSaved = []arm.Reg{arm.R4, arm.R5, arm.R6, arm.R7, arm.R8, arm.R9, arm.R10}
+	scratchA    = arm.R12
+	scratchB    = arm.R11
+)
+
+// allocation is the result of register allocation for one function.
+type allocation struct {
+	regOf      map[minic.Val]arm.Reg
+	slotOf     map[minic.Val]int // spill slot index
+	nSpills    int
+	usedCallee []arm.Reg // callee-saved registers the function must save
+}
+
+// allocate runs linear scan over the intervals.
+func allocate(f *minic.IRFunc) *allocation {
+	intervals, _ := liveness(f)
+	sort.Slice(intervals, func(i, j int) bool {
+		if intervals[i].start != intervals[j].start {
+			return intervals[i].start < intervals[j].start
+		}
+		return intervals[i].v < intervals[j].v
+	})
+
+	a := &allocation{regOf: map[minic.Val]arm.Reg{}, slotOf: map[minic.Val]int{}}
+	inUse := map[arm.Reg]*interval{}
+	var active []*interval
+
+	expire := func(pos int) {
+		keep := active[:0]
+		for _, t := range active {
+			if t.end < pos {
+				delete(inUse, a.regOf[t.v])
+				continue
+			}
+			keep = append(keep, t)
+		}
+		active = keep
+	}
+	pools := func(t *interval) []arm.Reg {
+		if t.crossesCall {
+			return calleeSaved
+		}
+		out := append([]arm.Reg(nil), callerSaved...)
+		return append(out, calleeSaved...)
+	}
+	spill := func(t *interval) {
+		t.spilled = true
+		t.spillSlot = a.nSpills
+		a.slotOf[t.v] = a.nSpills
+		a.nSpills++
+	}
+
+	for _, t := range intervals {
+		expire(t.start)
+		var got arm.Reg = arm.RegNone
+		for _, r := range pools(t) {
+			if inUse[r] == nil {
+				got = r
+				break
+			}
+		}
+		if got == arm.RegNone {
+			// Steal from the active interval with the furthest end whose
+			// register t may use; otherwise spill t itself.
+			var donor *interval
+			allowed := map[arm.Reg]bool{}
+			for _, r := range pools(t) {
+				allowed[r] = true
+			}
+			for _, act := range active {
+				r := a.regOf[act.v]
+				if !allowed[r] {
+					continue
+				}
+				if donor == nil || act.end > donor.end {
+					donor = act
+				}
+			}
+			if donor != nil && donor.end > t.end {
+				r := a.regOf[donor.v]
+				delete(a.regOf, donor.v)
+				spill(donor)
+				// remove donor from active
+				keep := active[:0]
+				for _, act := range active {
+					if act != donor {
+						keep = append(keep, act)
+					}
+				}
+				active = keep
+				got = r
+			} else {
+				spill(t)
+				continue
+			}
+		}
+		a.regOf[t.v] = got
+		inUse[got] = t
+		active = append(active, t)
+	}
+
+	seen := map[arm.Reg]bool{}
+	for _, r := range a.regOf {
+		seen[r] = true
+	}
+	for _, r := range calleeSaved {
+		if seen[r] {
+			a.usedCallee = append(a.usedCallee, r)
+		}
+	}
+	if a.nSpills > 0 {
+		a.usedCallee = append(a.usedCallee, scratchB)
+	}
+	sort.Slice(a.usedCallee, func(i, j int) bool { return a.usedCallee[i] < a.usedCallee[j] })
+	return a
+}

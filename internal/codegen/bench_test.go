@@ -1,0 +1,29 @@
+package codegen
+
+import "testing"
+
+const benchSrc = `
+int tab[64];
+int f(int x, int k) {
+	int t = x * 31 + k;
+	t = t ^ (t << 3);
+	return t + (t >> 5);
+}
+int main() {
+	int acc = 1;
+	for (int i = 0; i < 64; i += 1) {
+		tab[i] = f(acc, i);
+		acc += tab[i];
+	}
+	return acc & 127;
+}
+`
+
+// BenchmarkCompile measures the full front end + back end.
+func BenchmarkCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(benchSrc, Options{Schedule: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package codegen
+
+import (
+	"fmt"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/asm"
+	"graphpa/internal/minic"
+)
+
+// Options tunes code generation.
+type Options struct {
+	// Optimize enables the -Os-style IR optimizer: inlining of small
+	// functions, constant folding, branch simplification, dead-code and
+	// unused-function elimination (minic.OptimizeIR). Besides shrinking
+	// code it creates the big straight-line blocks whose duplicated,
+	// reschedulable regions graph-based PA feeds on.
+	Optimize bool
+	// Schedule enables the list scheduler, which hoists loads and
+	// rebalances ALU code inside basic blocks. It is the source of the
+	// instruction reordering that defeats sequence-based PA (paper §4.2,
+	// rijndael discussion). Off = template order.
+	Schedule bool
+	// NoPeephole disables the cleanup pass (testing/ablation only).
+	NoPeephole bool
+}
+
+// Compile translates minic source into an assembled unit containing every
+// function plus a _start stub that calls main and exits with its result.
+// The unit still needs the runtime library (link.RuntimeUnit) at link
+// time.
+func Compile(src string, opts Options) (*asm.Unit, error) {
+	prog, err := minic.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := minic.Check(prog); err != nil {
+		return nil, err
+	}
+	return CompileChecked(prog, opts)
+}
+
+// CompileChecked compiles an already-checked AST.
+func CompileChecked(prog *minic.Program, opts Options) (*asm.Unit, error) {
+	irs, err := minic.Lower(prog)
+	if err != nil {
+		return nil, err
+	}
+	hasMain := false
+	for _, f := range irs {
+		if f.Name == "main" {
+			hasMain = true
+			if f.NParams != 0 {
+				return nil, errf("main must take no parameters")
+			}
+		}
+	}
+	if !hasMain {
+		return nil, errf("no main function")
+	}
+	if opts.Optimize {
+		irs = minic.OptimizeIR(irs)
+	}
+
+	unit := &asm.Unit{}
+	// _start: call main, exit with its return value.
+	start := arm.NewInstr(arm.LABEL)
+	start.Target = "_start"
+	bl := arm.NewInstr(arm.BL)
+	bl.Target = "main"
+	exit := arm.NewInstr(arm.SWI)
+	exit.Imm, exit.HasImm = arm.SysExit, true
+	unit.Text = append(unit.Text, start, bl, exit, asm.NewPoolBarrier())
+
+	for _, f := range irs {
+		body, err := emitFunc(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f.Name, err)
+		}
+		if !opts.NoPeephole {
+			body = Peephole(body)
+		}
+		if opts.Schedule {
+			body = Schedule(body)
+		}
+		lbl := arm.NewInstr(arm.LABEL)
+		lbl.Target = f.Name
+		unit.Text = append(unit.Text, lbl)
+		unit.Text = append(unit.Text, body...)
+		unit.Text = append(unit.Text, asm.NewPoolBarrier())
+	}
+
+	for _, g := range prog.Globals {
+		items, err := globalData(g)
+		if err != nil {
+			return nil, err
+		}
+		unit.Data = append(unit.Data, items...)
+	}
+	return unit, nil
+}
+
+// globalData lays out one global.
+func globalData(g *minic.GlobalVar) ([]asm.DataItem, error) {
+	items := []asm.DataItem{{Kind: asm.DataLabel, Label: g.Name}}
+	t := g.Type
+	switch {
+	case t.Kind == minic.TArray && t.Elem.Kind == minic.TChar:
+		switch {
+		case g.Str != "" || (g.HasIni && g.Init == nil):
+			b := append([]byte(g.Str), 0)
+			if int32(len(b)) > t.Len {
+				return nil, errf("initialiser for %s too long", g.Name)
+			}
+			items = append(items, asm.DataItem{Kind: asm.DataBytes, Bytes: b})
+			if pad := t.Len - int32(len(b)); pad > 0 {
+				items = append(items, asm.DataItem{Kind: asm.DataSpace, Space: pad})
+			}
+		case g.HasIni:
+			b := make([]byte, t.Len)
+			for i, v := range g.Init {
+				b[i] = byte(v)
+			}
+			items = append(items, asm.DataItem{Kind: asm.DataBytes, Bytes: b})
+		default:
+			items = append(items, asm.DataItem{Kind: asm.DataSpace, Space: t.Size()})
+		}
+	case t.Kind == minic.TArray:
+		if !g.HasIni {
+			items = append(items, asm.DataItem{Kind: asm.DataSpace, Space: t.Size()})
+			break
+		}
+		for _, v := range g.Init {
+			items = append(items, asm.DataItem{Kind: asm.DataWord, Value: v})
+		}
+		if rest := t.Len - int32(len(g.Init)); rest > 0 {
+			items = append(items, asm.DataItem{Kind: asm.DataSpace, Space: rest * 4})
+		}
+	default: // scalar
+		v := int32(0)
+		if g.HasIni && len(g.Init) > 0 {
+			v = g.Init[0]
+		}
+		items = append(items, asm.DataItem{Kind: asm.DataWord, Value: v})
+	}
+	return items, nil
+}

@@ -1,0 +1,383 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/asm"
+	"graphpa/internal/emu"
+	"graphpa/internal/link"
+)
+
+// compileRun compiles, links with the runtime and executes.
+func compileRun(t *testing.T, src string, opts Options, stdin []byte) (int32, string) {
+	t.Helper()
+	unit, err := Compile(src, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rt, err := link.RuntimeUnit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := link.Link(unit, rt)
+	if err != nil {
+		t.Fatalf("link: %v\n%s", err, asm.Print(unit))
+	}
+	m := emu.New(img, stdin)
+	code, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, asm.Print(unit))
+	}
+	return code, m.Stdout.String()
+}
+
+func TestCompileReturnValue(t *testing.T) {
+	code, _ := compileRun(t, "int main() { return 42; }", Options{}, nil)
+	if code != 42 {
+		t.Errorf("exit = %d", code)
+	}
+}
+
+func TestCompileArithmetic(t *testing.T) {
+	src := `
+int main() {
+	int a = 10;
+	int b = 3;
+	return a * b + a / b - a % b + (a << 2) + (b >> 1);
+	// 30 + 3 - 1 + 40 + 1 = 73
+}
+`
+	code, _ := compileRun(t, src, Options{}, nil)
+	if code != 73 {
+		t.Errorf("exit = %d, want 73", code)
+	}
+}
+
+func TestCompileNegativeDivision(t *testing.T) {
+	src := `
+int main() {
+	int a = 0 - 17;
+	int b = 5;
+	// C semantics: -17/5 = -3, -17%5 = -2
+	return (a / b) * 100 + (a % b) * 10 + (0 - a) % b;
+	// -300 + -20 + 2 = -318
+}
+`
+	code, _ := compileRun(t, src, Options{}, nil)
+	if code != -318 {
+		t.Errorf("exit = %d, want -318", code)
+	}
+}
+
+func TestCompileControlFlow(t *testing.T) {
+	src := `
+int main() {
+	int s = 0;
+	for (int i = 1; i <= 10; i += 1) {
+		if (i % 2 == 0) { s += i; } else { s -= 1; }
+	}
+	int j = 0;
+	while (j < 5) { s += 1; j += 1; }
+	do { s += 100; } while (s < 0);
+	return s;
+	// evens 2+4+6+8+10=30, odds -5 -> 25, +5 -> 30, +100 -> 130
+}
+`
+	code, _ := compileRun(t, src, Options{}, nil)
+	if code != 130 {
+		t.Errorf("exit = %d, want 130", code)
+	}
+}
+
+func TestCompileShortCircuit(t *testing.T) {
+	src := `
+int g;
+int touch(int v) { g += 1; return v; }
+int main() {
+	g = 0;
+	int a = touch(0) && touch(1);  // touch(1) skipped
+	int b = touch(1) || touch(1);  // second skipped
+	return g * 10 + a + b;         // g=2 -> 21
+}
+`
+	code, _ := compileRun(t, src, Options{}, nil)
+	if code != 21 {
+		t.Errorf("exit = %d, want 21", code)
+	}
+}
+
+func TestCompileArraysAndPointers(t *testing.T) {
+	src := `
+int arr[8];
+int sum(int* p, int n) {
+	int s = 0;
+	for (int i = 0; i < n; i += 1) s += p[i];
+	return s;
+}
+int main() {
+	for (int i = 0; i < 8; i += 1) arr[i] = i * i;
+	int local[4];
+	local[0] = 1; local[1] = 2; local[2] = 3; local[3] = 4;
+	int* p = &arr[2];
+	return sum(arr, 8) + sum(local, 4) + *p + p[1];
+	// 140 + 10 + 4 + 9 = 163
+}
+`
+	code, _ := compileRun(t, src, Options{}, nil)
+	if code != 163 {
+		t.Errorf("exit = %d, want 163", code)
+	}
+}
+
+func TestCompileCharsAndStrings(t *testing.T) {
+	src := `
+char msg[] = "hey";
+int main() {
+	puts(msg);
+	puts("you");
+	putc('!');
+	putc(10);
+	if (strcmp(msg, "hey") != 0) return 1;
+	if (strlen("abcd") != 4) return 2;
+	char buf[8];
+	strcpy(buf, msg);
+	buf[0] = 'H';
+	puts(buf);
+	return 0;
+}
+`
+	code, out := compileRun(t, src, Options{}, nil)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if out != "heyyou!\nHey" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestCompilePrinti(t *testing.T) {
+	src := `
+int main() {
+	printi(0); putc(32);
+	printi(12345); putc(32);
+	printi(0 - 987);
+	return 0;
+}
+`
+	_, out := compileRun(t, src, Options{}, nil)
+	if out != "0 12345 -987" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestCompileRecursion(t *testing.T) {
+	src := `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(12); }
+`
+	code, _ := compileRun(t, src, Options{}, nil)
+	if code != 144 {
+		t.Errorf("fib(12) = %d, want 144", code)
+	}
+}
+
+func TestCompileGlobalInitialisers(t *testing.T) {
+	src := `
+int table[5] = {10, 20, 30};
+int scalar = -7;
+char bytes[4] = {1, 2, 3, 4};
+int main() {
+	return table[0] + table[1] + table[2] + table[3] + table[4]
+		+ scalar + bytes[0] + bytes[3];
+	// 60 + 0 + 0 - 7 + 1 + 4 = 58
+}
+`
+	code, _ := compileRun(t, src, Options{}, nil)
+	if code != 58 {
+		t.Errorf("exit = %d, want 58", code)
+	}
+}
+
+func TestCompileAddressOfLocal(t *testing.T) {
+	src := `
+void bump(int* p, int d) { *p = *p + d; }
+int main() {
+	int x = 5;
+	bump(&x, 37);
+	return x;
+}
+`
+	code, _ := compileRun(t, src, Options{}, nil)
+	if code != 42 {
+		t.Errorf("exit = %d, want 42", code)
+	}
+}
+
+func TestCompileVariableShifts(t *testing.T) {
+	src := `
+int main() {
+	int n = 3;
+	int a = 1 << n;        // 8
+	int b = 256 >> n;      // 32
+	int c = (0 - 64) >> n; // -8 arithmetic
+	int big = 40;
+	int d = 1 << big;      // 0 (shift >= 32)
+	return a + b + c + d;  // 32
+}
+`
+	code, _ := compileRun(t, src, Options{}, nil)
+	if code != 32 {
+		t.Errorf("exit = %d, want 32", code)
+	}
+}
+
+func TestCompileRand(t *testing.T) {
+	src := `
+int main() {
+	srand(99);
+	int a = rand();
+	int b = rand();
+	if (a < 0) return 1;
+	if (a > 32767) return 2;
+	if (a == b) return 3;
+	srand(99);
+	if (rand() != a) return 4;
+	return 0;
+}
+`
+	code, _ := compileRun(t, src, Options{}, nil)
+	if code != 0 {
+		t.Errorf("exit = %d, want 0", code)
+	}
+}
+
+func TestCompileGetc(t *testing.T) {
+	src := `
+int main() {
+	int c = getc();
+	int n = 0;
+	while (c >= 0) { n += 1; putc(c); c = getc(); }
+	return n;
+}
+`
+	code, out := compileRun(t, src, Options{}, []byte("abc"))
+	if code != 3 || out != "abc" {
+		t.Errorf("exit=%d out=%q", code, out)
+	}
+}
+
+// TestScheduleEquivalence: the list scheduler must preserve behaviour
+// while actually changing instruction order somewhere.
+func TestScheduleEquivalence(t *testing.T) {
+	src := `
+int a[16]; int b[16];
+int main() {
+	for (int i = 0; i < 16; i += 1) { a[i] = i * 3; b[i] = i ^ 5; }
+	int s = 0;
+	for (int i = 0; i < 16; i += 1) {
+		int x = a[i];
+		int y = b[i];
+		s += x * y + (x - y);
+	}
+	printi(s);
+	return s & 127;
+}
+`
+	c1, o1 := compileRun(t, src, Options{}, nil)
+	c2, o2 := compileRun(t, src, Options{Schedule: true}, nil)
+	if c1 != c2 || o1 != o2 {
+		t.Errorf("scheduling changed behaviour: %d/%q vs %d/%q", c1, o1, c2, o2)
+	}
+
+	u1, err := Compile(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := Compile(src, Options{Schedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asm.Print(u1) == asm.Print(u2) {
+		t.Error("scheduler produced identical code; it should reorder something")
+	}
+	if len(u1.Text) != len(u2.Text) {
+		t.Error("scheduling must not change instruction count")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"int f() { return 0; }",            // no main
+		"int main(int argc) { return 0; }", // main with params
+	}
+	for _, src := range bad {
+		if _, err := Compile(src, Options{}); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestUniformPrologue(t *testing.T) {
+	// Every compiled function saves lr, even leaves: that is what makes
+	// call-style outlining legal everywhere (internal/pa.CallSafe).
+	unit, err := Compile("int leaf(int x) { return x + 1; }\nint main() { return leaf(1); }", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prologues int
+	for i := range unit.Text {
+		in := &unit.Text[i]
+		if in.Op == arm.PUSH && in.Reglist&(1<<arm.LR) != 0 {
+			prologues++
+		}
+	}
+	if prologues != 2 {
+		t.Errorf("prologues saving lr = %d, want 2\n%s", prologues, asm.Print(unit))
+	}
+}
+
+func TestRegisterPressureSpilling(t *testing.T) {
+	// Force more live values than registers; correctness must survive
+	// spilling.
+	var b strings.Builder
+	b.WriteString("int main() {\n")
+	for i := 0; i < 16; i++ {
+		b.WriteString("\tint v")
+		b.WriteByte(byte('a' + i))
+		b.WriteString(" = ")
+		b.WriteString(itoa(i*7 + 1))
+		b.WriteString(";\n")
+	}
+	b.WriteString("\tint s = 0;\n")
+	// use all of them after a call so they must live across it
+	b.WriteString("\tputc(65);\n")
+	want := 0
+	for i := 0; i < 16; i++ {
+		b.WriteString("\ts += v")
+		b.WriteByte(byte('a' + i))
+		b.WriteString(";\n")
+		want += i*7 + 1
+	}
+	b.WriteString("\treturn s;\n}\n")
+	code, out := compileRun(t, b.String(), Options{}, nil)
+	if int(code) != want || out != "A" {
+		t.Errorf("exit = %d want %d, out %q", code, want, out)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

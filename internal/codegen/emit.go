@@ -1,0 +1,426 @@
+package codegen
+
+import (
+	"fmt"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/minic"
+)
+
+// EmitError reports a lowering failure (offset overflow etc.).
+type EmitError struct{ Msg string }
+
+func (e *EmitError) Error() string { return "codegen: " + e.Msg }
+
+func errf(format string, args ...any) error {
+	return &EmitError{Msg: fmt.Sprintf(format, args...)}
+}
+
+type emitter struct {
+	f     *minic.IRFunc
+	alloc *allocation
+	out   []arm.Instr
+
+	frameSize int32
+	localOff  []int32 // per IRLocal frame offset
+	spillBase int32
+}
+
+// emitFunc lowers one IR function to arm instructions (label excluded;
+// the caller emits it).
+func emitFunc(f *minic.IRFunc) ([]arm.Instr, error) {
+	e := &emitter{f: f, alloc: allocate(f)}
+
+	// Frame: spill slots first, then locals.
+	e.spillBase = 0
+	off := int32(e.alloc.nSpills) * 4
+	for _, l := range f.Locals {
+		e.localOff = append(e.localOff, off)
+		off += (l.Size + 3) &^ 3
+	}
+	e.frameSize = off
+
+	e.prologue()
+	if err := e.params(); err != nil {
+		return nil, err
+	}
+	for i := range f.Ins {
+		if err := e.ins(&f.Ins[i]); err != nil {
+			return nil, err
+		}
+	}
+	return e.out, nil
+}
+
+func (e *emitter) emit(in arm.Instr) { e.out = append(e.out, in) }
+
+func (e *emitter) pushList() uint16 {
+	var mask uint16
+	for _, r := range e.alloc.usedCallee {
+		mask |= 1 << r
+	}
+	mask |= 1 << arm.LR
+	return mask
+}
+
+// prologue saves callee-saved registers and lr (uniformly, including in
+// leaves: the uniform prologue keeps lr dead in every body so procedural
+// abstraction may outline anywhere; see internal/pa.CallSafe).
+func (e *emitter) prologue() {
+	push := arm.NewInstr(arm.PUSH)
+	push.Reglist = e.pushList()
+	e.emit(push)
+	if e.frameSize > 0 {
+		e.emitAddSub(arm.SUB, arm.SP, arm.SP, e.frameSize)
+	}
+}
+
+func (e *emitter) epilogue() {
+	if e.frameSize > 0 {
+		e.emitAddSub(arm.ADD, arm.SP, arm.SP, e.frameSize)
+	}
+	pop := arm.NewInstr(arm.POP)
+	pop.Reglist = e.pushList()&^(1<<arm.LR) | 1<<arm.PC
+	e.emit(pop)
+}
+
+// emitAddSub emits op rd, rn, #imm, splitting immediates that do not fit.
+func (e *emitter) emitAddSub(op arm.Op, rd, rn arm.Reg, imm int32) {
+	for imm > arm.ImmMax {
+		in := arm.NewInstr(op)
+		in.Rd, in.Rn, in.Imm, in.HasImm = rd, rn, arm.ImmMax, true
+		e.emit(in)
+		rn = rd
+		imm -= arm.ImmMax
+	}
+	in := arm.NewInstr(op)
+	in.Rd, in.Rn, in.Imm, in.HasImm = rd, rn, imm, true
+	e.emit(in)
+}
+
+// params moves incoming arguments (r0..r3) to their allocated homes.
+func (e *emitter) params() error {
+	var moves []move
+	for p := 0; p < e.f.NParams; p++ {
+		v := minic.Val(p)
+		src := arm.Reg(p) // r0..r3
+		if r, ok := e.alloc.regOf[v]; ok {
+			moves = append(moves, move{src: src, dst: r})
+			continue
+		}
+		if slot, ok := e.alloc.slotOf[v]; ok {
+			e.storeSlot(src, slot)
+		}
+		// unused parameter: nothing to do
+	}
+	e.parallelMoves(moves)
+	return nil
+}
+
+type move struct{ src, dst arm.Reg }
+
+// parallelMoves emits register moves that may permute registers, using
+// scratchA to break cycles.
+func (e *emitter) parallelMoves(moves []move) {
+	pending := make([]move, 0, len(moves))
+	for _, m := range moves {
+		if m.src != m.dst {
+			pending = append(pending, m)
+		}
+	}
+	for len(pending) > 0 {
+		progressed := false
+		for i, m := range pending {
+			// m.dst must not be the source of another pending move.
+			blocked := false
+			for j, o := range pending {
+				if i != j && o.src == m.dst {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			e.mov(m.dst, m.src)
+			pending = append(pending[:i], pending[i+1:]...)
+			progressed = true
+			break
+		}
+		if !progressed {
+			// Cycle: rotate through the scratch register.
+			m := pending[0]
+			e.mov(scratchA, m.src)
+			for i := range pending {
+				if pending[i].src == m.src {
+					pending[i].src = scratchA
+				}
+			}
+			// retry; the cycle is now broken
+		}
+	}
+}
+
+func (e *emitter) mov(dst, src arm.Reg) {
+	if dst == src {
+		return
+	}
+	in := arm.NewInstr(arm.MOV)
+	in.Rd, in.Rm = dst, src
+	e.emit(in)
+}
+
+func (e *emitter) movImm(dst arm.Reg, v int32) {
+	if arm.FitsImm(v) {
+		in := arm.NewInstr(arm.MOV)
+		in.Rd, in.Imm, in.HasImm = dst, v, true
+		e.emit(in)
+		return
+	}
+	in := arm.NewInstr(arm.LDR)
+	in.Rd = dst
+	in.Target = fmt.Sprintf("%s%d", arm.ConstPrefix, v)
+	e.emit(in)
+}
+
+func (e *emitter) loadSlot(dst arm.Reg, slot int) {
+	in := arm.NewInstr(arm.LDR)
+	in.Rd, in.Rn, in.Imm, in.HasImm = dst, arm.SP, e.spillBase+int32(slot)*4, true
+	e.emit(in)
+}
+
+func (e *emitter) storeSlot(src arm.Reg, slot int) {
+	in := arm.NewInstr(arm.STR)
+	in.Rd, in.Rn, in.Imm, in.HasImm = src, arm.SP, e.spillBase+int32(slot)*4, true
+	e.emit(in)
+}
+
+// src materialises a vreg into a register, using the given scratch if it
+// was spilled.
+func (e *emitter) src(v minic.Val, scratch arm.Reg) arm.Reg {
+	if r, ok := e.alloc.regOf[v]; ok {
+		return r
+	}
+	slot := e.alloc.slotOf[v]
+	e.loadSlot(scratch, slot)
+	return scratch
+}
+
+// dst returns the register to compute a result into and a flush function
+// that stores it back if the vreg was spilled.
+func (e *emitter) dst(v minic.Val) (arm.Reg, func()) {
+	if r, ok := e.alloc.regOf[v]; ok {
+		return r, func() {}
+	}
+	slot := e.alloc.slotOf[v]
+	return scratchA, func() { e.storeSlot(scratchA, slot) }
+}
+
+var binOp = map[minic.BinKind]arm.Op{
+	minic.BAdd: arm.ADD, minic.BSub: arm.SUB, minic.BRsb: arm.RSB,
+	minic.BMul: arm.MUL, minic.BAnd: arm.AND, minic.BOr: arm.ORR,
+	minic.BXor: arm.EOR,
+}
+
+var condOf = map[minic.CondKind]arm.Cond{
+	minic.CEq: arm.EQ, minic.CNe: arm.NE, minic.CLt: arm.LT,
+	minic.CLe: arm.LE, minic.CGt: arm.GT, minic.CGe: arm.GE,
+}
+
+func (e *emitter) ins(in *minic.IRIns) error {
+	switch in.Op {
+	case minic.IRLabel:
+		lbl := arm.NewInstr(arm.LABEL)
+		lbl.Target = in.Label
+		e.emit(lbl)
+	case minic.IRConst:
+		rd, flush := e.dst(in.Dst)
+		e.movImm(rd, in.Imm)
+		flush()
+	case minic.IRMov:
+		ra := e.src(in.A, scratchA)
+		rd, flush := e.dst(in.Dst)
+		e.mov(rd, ra)
+		flush()
+	case minic.IRNeg:
+		ra := e.src(in.A, scratchA)
+		rd, flush := e.dst(in.Dst)
+		n := arm.NewInstr(arm.RSB)
+		n.Rd, n.Rn, n.Imm, n.HasImm = rd, ra, 0, true
+		e.emit(n)
+		flush()
+	case minic.IRNot:
+		ra := e.src(in.A, scratchA)
+		rd, flush := e.dst(in.Dst)
+		n := arm.NewInstr(arm.MVN)
+		n.Rd, n.Rm = rd, ra
+		e.emit(n)
+		flush()
+	case minic.IRBin:
+		return e.bin(in)
+	case minic.IRCmp:
+		ra := e.src(in.A, scratchA)
+		cmp := arm.NewInstr(arm.CMP)
+		cmp.Rn = ra
+		if in.HasImm {
+			cmp.Imm, cmp.HasImm = in.Imm, true
+		} else {
+			cmp.Rm = e.src(in.B, scratchB)
+		}
+		e.emit(cmp)
+		rd, flush := e.dst(in.Dst)
+		z := arm.NewInstr(arm.MOV)
+		z.Rd, z.Imm, z.HasImm = rd, 0, true
+		e.emit(z)
+		o := arm.NewInstr(arm.MOV)
+		o.Cond = condOf[in.Cond]
+		o.Rd, o.Imm, o.HasImm = rd, 1, true
+		e.emit(o)
+		flush()
+	case minic.IRLoad, minic.IRLoadB:
+		ra := e.src(in.A, scratchA)
+		rd, flush := e.dst(in.Dst)
+		op := arm.LDR
+		if in.Op == minic.IRLoadB {
+			op = arm.LDRB
+		}
+		if !arm.FitsImm(in.Imm) {
+			return errf("load offset %d out of range", in.Imm)
+		}
+		l := arm.NewInstr(op)
+		l.Rd, l.Rn, l.Imm, l.HasImm = rd, ra, in.Imm, true
+		e.emit(l)
+		flush()
+	case minic.IRStore, minic.IRStoreB:
+		ra := e.src(in.A, scratchA)
+		rb := e.src(in.B, scratchB)
+		op := arm.STR
+		if in.Op == minic.IRStoreB {
+			op = arm.STRB
+		}
+		if !arm.FitsImm(in.Imm) {
+			return errf("store offset %d out of range", in.Imm)
+		}
+		s := arm.NewInstr(op)
+		s.Rd, s.Rn, s.Imm, s.HasImm = rb, ra, in.Imm, true
+		e.emit(s)
+	case minic.IRAddrG:
+		rd, flush := e.dst(in.Dst)
+		l := arm.NewInstr(arm.LDR)
+		l.Rd, l.Target = rd, in.Sym
+		e.emit(l)
+		flush()
+	case minic.IRAddrL:
+		rd, flush := e.dst(in.Dst)
+		off := e.localOff[in.LocalIdx]
+		e.emitAddSub(arm.ADD, rd, arm.SP, off)
+		flush()
+	case minic.IRCall:
+		return e.call(in)
+	case minic.IRRet:
+		if in.A != minic.NoVal {
+			ra := e.src(in.A, scratchA)
+			e.mov(arm.R0, ra)
+		}
+		e.epilogue()
+	case minic.IRBr:
+		b := arm.NewInstr(arm.B)
+		b.Target = in.Label
+		e.emit(b)
+	case minic.IRBrCond:
+		ra := e.src(in.A, scratchA)
+		cmp := arm.NewInstr(arm.CMP)
+		cmp.Rn = ra
+		if in.HasImm {
+			cmp.Imm, cmp.HasImm = in.Imm, true
+		} else {
+			cmp.Rm = e.src(in.B, scratchB)
+		}
+		e.emit(cmp)
+		b := arm.NewInstr(arm.B)
+		b.Cond = condOf[in.Cond]
+		b.Target = in.Label
+		e.emit(b)
+	}
+	return nil
+}
+
+func (e *emitter) bin(in *minic.IRIns) error {
+	ra := e.src(in.A, scratchA)
+	// Shifts map to mov with a shifted operand.
+	if in.Bin == minic.BShl || in.Bin == minic.BShr || in.Bin == minic.BLsr {
+		if !in.HasImm {
+			return errf("variable shift reached emission")
+		}
+		rd, flush := e.dst(in.Dst)
+		m := arm.NewInstr(arm.MOV)
+		m.Rd, m.Rm = rd, ra
+		m.Shift = arm.LSL
+		switch in.Bin {
+		case minic.BShr:
+			m.Shift = arm.ASR
+		case minic.BLsr:
+			m.Shift = arm.LSR
+		}
+		m.ShAmt = in.Imm
+		if in.Imm == 0 {
+			m.Shift = arm.NoShift
+		}
+		e.emit(m)
+		flush()
+		return nil
+	}
+	op := binOp[in.Bin]
+	rd, flush := e.dst(in.Dst)
+	n := arm.NewInstr(op)
+	n.Rd, n.Rn = rd, ra
+	if in.HasImm {
+		if !arm.FitsImm(in.Imm) {
+			return errf("ALU immediate %d out of range", in.Imm)
+		}
+		n.Imm, n.HasImm = in.Imm, true
+	} else {
+		n.Rm = e.src(in.B, scratchB)
+	}
+	e.emit(n)
+	flush()
+	return nil
+}
+
+func (e *emitter) call(in *minic.IRIns) error {
+	if len(in.Args) > 4 {
+		return errf("call %s: more than 4 arguments", in.Sym)
+	}
+	// Register-allocated argument sources move in parallel; spilled
+	// sources load directly into their argument register afterwards
+	// (argument registers are only targets by then).
+	var moves []move
+	type slotLoad struct {
+		dst  arm.Reg
+		slot int
+	}
+	var loads []slotLoad
+	for i, a := range in.Args {
+		dst := arm.Reg(i)
+		if r, ok := e.alloc.regOf[a]; ok {
+			moves = append(moves, move{src: r, dst: dst})
+		} else {
+			loads = append(loads, slotLoad{dst: dst, slot: e.alloc.slotOf[a]})
+		}
+	}
+	e.parallelMoves(moves)
+	for _, l := range loads {
+		e.loadSlot(l.dst, l.slot)
+	}
+	bl := arm.NewInstr(arm.BL)
+	bl.Target = in.Sym
+	e.emit(bl)
+	if in.Dst != minic.NoVal {
+		if r, ok := e.alloc.regOf[in.Dst]; ok {
+			e.mov(r, arm.R0)
+		} else {
+			e.storeSlot(arm.R0, e.alloc.slotOf[in.Dst])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+// Package codegen lowers minic IR to arm instructions: liveness analysis,
+// linear-scan register allocation with spilling, template-based
+// instruction emission, an optional list scheduler that hoists loads (the
+// reordering source the paper credits for rijndael's 3.7× win), and a
+// small peephole pass.
+package codegen
+
+import (
+	"graphpa/internal/minic"
+)
+
+// irBlock is a basic block over the linear IR.
+type irBlock struct {
+	start, end int // instruction index range [start, end)
+	succs      []int
+	liveIn     map[minic.Val]bool
+	liveOut    map[minic.Val]bool
+}
+
+// buildIRBlocks splits the instruction list into blocks and wires
+// successors.
+func buildIRBlocks(f *minic.IRFunc) []*irBlock {
+	n := len(f.Ins)
+	leader := make([]bool, n+1)
+	leader[0] = true
+	labelAt := map[string]int{}
+	for i, in := range f.Ins {
+		switch in.Op {
+		case minic.IRLabel:
+			leader[i] = true
+			labelAt[in.Label] = i
+		case minic.IRBr, minic.IRBrCond, minic.IRRet:
+			if i+1 <= n {
+				leader[i+1] = true
+			}
+		}
+	}
+	var blocks []*irBlock
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && !leader[j] {
+			j++
+		}
+		blocks = append(blocks, &irBlock{
+			start: i, end: j,
+			liveIn:  map[minic.Val]bool{},
+			liveOut: map[minic.Val]bool{},
+		})
+		i = j
+	}
+	blockOf := make([]int, n)
+	for bi, b := range blocks {
+		for i := b.start; i < b.end; i++ {
+			blockOf[i] = bi
+		}
+	}
+	for bi, b := range blocks {
+		last := &f.Ins[b.end-1]
+		switch last.Op {
+		case minic.IRBr:
+			b.succs = append(b.succs, blockOf[labelAt[last.Label]])
+		case minic.IRBrCond:
+			b.succs = append(b.succs, blockOf[labelAt[last.Label]])
+			if bi+1 < len(blocks) {
+				b.succs = append(b.succs, bi+1)
+			}
+		case minic.IRRet:
+		default:
+			if bi+1 < len(blocks) {
+				b.succs = append(b.succs, bi+1)
+			}
+		}
+	}
+	return blocks
+}
+
+// interval is a vreg live range over instruction positions.
+type interval struct {
+	v           minic.Val
+	start, end  int
+	crossesCall bool
+	spilled     bool
+	reg         int // allocated machine register (index into pool), -1 if spilled
+	spillSlot   int // frame slot index when spilled
+}
+
+// liveness computes per-block live-in/out sets and returns per-vreg
+// intervals plus the set of call positions.
+func liveness(f *minic.IRFunc) ([]*interval, []int) {
+	blocks := buildIRBlocks(f)
+
+	// Iterate to fixpoint.
+	changed := true
+	for changed {
+		changed = false
+		for bi := len(blocks) - 1; bi >= 0; bi-- {
+			b := blocks[bi]
+			out := map[minic.Val]bool{}
+			for _, s := range b.succs {
+				for v := range blocks[s].liveIn {
+					out[v] = true
+				}
+			}
+			in := map[minic.Val]bool{}
+			for v := range out {
+				in[v] = true
+			}
+			for i := b.end - 1; i >= b.start; i-- {
+				uses, def := f.Ins[i].UseDef()
+				if def != minic.NoVal {
+					delete(in, def)
+				}
+				for _, u := range uses {
+					in[u] = true
+				}
+			}
+			if len(out) != len(b.liveOut) || len(in) != len(b.liveIn) {
+				changed = true
+			} else {
+				for v := range in {
+					if !b.liveIn[v] {
+						changed = true
+						break
+					}
+				}
+			}
+			b.liveIn, b.liveOut = in, out
+		}
+	}
+
+	iv := map[minic.Val]*interval{}
+	touch := func(v minic.Val, pos int) {
+		t, ok := iv[v]
+		if !ok {
+			t = &interval{v: v, start: pos, end: pos, reg: -1}
+			iv[v] = t
+			return
+		}
+		if pos < t.start {
+			t.start = pos
+		}
+		if pos > t.end {
+			t.end = pos
+		}
+	}
+	// Parameters are live from position -1 (they arrive in r0..r3).
+	for p := 0; p < f.NParams; p++ {
+		touch(minic.Val(p), -1)
+	}
+	var calls []int
+	for bi, b := range blocks {
+		_ = bi
+		for v := range b.liveIn {
+			touch(v, b.start)
+		}
+		for v := range b.liveOut {
+			touch(v, b.end-1)
+		}
+		for i := b.start; i < b.end; i++ {
+			in := &f.Ins[i]
+			if in.Op == minic.IRCall {
+				calls = append(calls, i)
+			}
+			uses, def := in.UseDef()
+			for _, u := range uses {
+				touch(u, i)
+			}
+			if def != minic.NoVal {
+				touch(def, i)
+			}
+		}
+	}
+	var out []*interval
+	for _, t := range iv {
+		for _, c := range calls {
+			if t.start < c && t.end > c {
+				t.crossesCall = true
+				break
+			}
+		}
+		out = append(out, t)
+	}
+	return out, calls
+}

@@ -1,0 +1,124 @@
+package codegen
+
+import (
+	"testing"
+
+	"graphpa/internal/emu"
+	"graphpa/internal/link"
+)
+
+// TestOptimizerDifferential runs a corpus of programs with and without
+// the IR optimizer; outputs and exit codes must match exactly. This is
+// the optimizer's main safety net besides the benchmark golden exits.
+func TestOptimizerDifferential(t *testing.T) {
+	corpus := []string{
+		// shift helpers with constant and variable amounts
+		`
+int shru(int x, int n) {
+	if (n <= 0) return x;
+	if (n > 31) return 0;
+	return (x >> n) & (0x7fffffff >> (n - 1));
+}
+int main() {
+	int acc = 0;
+	for (int i = 0; i < 40; i += 1) {
+		acc = acc * 3 + shru(acc ^ 0x1234567, 8) + shru(acc, i % 36);
+	}
+	printi(acc);
+	return acc & 127;
+}
+`,
+		// inlined helpers with pointers and side effects
+		`
+int g;
+void bump(int* p, int d) { *p = *p + d; g += 1; }
+int sq(int x) { return x * x; }
+int main() {
+	int v = 3;
+	for (int i = 0; i < 10; i += 1) {
+		bump(&v, sq(i));
+	}
+	printi(v); putc(10); printi(g);
+	return (v + g) & 127;
+}
+`,
+		// division/modulo helper folding with mixed signs
+		`
+int main() {
+	int s = 0;
+	s += 100 / 7;
+	s += 100 % 7;
+	s += (0 - 100) / 7;
+	s += (0 - 100) % 7;
+	s += 100 / (0 - 7);
+	int d = 13;
+	for (int i = 1; i < 20; i += 1) s += (i * i) / d + (i * i) % d;
+	printi(s);
+	return s & 127;
+}
+`,
+		// constant branches guarding real work
+		`
+int work(int x) {
+	if (1 > 2) return 999;
+	while (0) x += 1;
+	if (3 <= 3) x += 5;
+	return x;
+}
+int main() { return work(10); }
+`,
+		// recursion mixed with inlinable leaves
+		`
+int leaf(int x) { return (x << 1) ^ (x >> 2); }
+int rec(int n) {
+	if (n <= 0) return 1;
+	return leaf(n) + rec(n - 1);
+}
+int main() { printi(rec(12)); return rec(12) & 127; }
+`,
+		// char arrays and byte ops through inlined accessors
+		`
+char buf[32];
+int get(int i) { return buf[i]; }
+void set(int i, int v) { buf[i] = v; }
+int main() {
+	for (int i = 0; i < 32; i += 1) set(i, i * 7);
+	int s = 0;
+	for (int i = 0; i < 32; i += 1) s += get(i);
+	printi(s);
+	return s & 127;
+}
+`,
+	}
+	for ci, src := range corpus {
+		run := func(opts Options) (int32, string) {
+			unit, err := Compile(src, opts)
+			if err != nil {
+				t.Fatalf("case %d: %v", ci, err)
+			}
+			rt, err := link.RuntimeUnit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			img, err := link.Link(unit, rt)
+			if err != nil {
+				t.Fatalf("case %d: %v", ci, err)
+			}
+			m := emu.New(img, nil)
+			code, err := m.Run()
+			if err != nil {
+				t.Fatalf("case %d: %v", ci, err)
+			}
+			return code, m.Stdout.String()
+		}
+		c0, o0 := run(Options{})
+		c1, o1 := run(Options{Optimize: true})
+		c2, o2 := run(Options{Optimize: true, Schedule: true})
+		if c0 != c1 || o0 != o1 {
+			t.Errorf("case %d: optimizer changed behaviour: %d/%q vs %d/%q", ci, c0, o0, c1, o1)
+		}
+		if c0 != c2 || o0 != o2 {
+			t.Errorf("case %d: optimizer+scheduler changed behaviour", ci)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package codegen
+
+import "graphpa/internal/arm"
+
+// Peephole performs the local cleanups a size-optimising compiler would:
+// self-moves vanish and unconditional branches to the immediately
+// following label fall through.
+func Peephole(body []arm.Instr) []arm.Instr {
+	out := make([]arm.Instr, 0, len(body))
+	for i := range body {
+		in := body[i]
+		// mov rX, rX
+		if in.Op == arm.MOV && !in.HasImm && in.Shift == arm.NoShift &&
+			in.Cond == arm.Always && !in.SetS && in.Rd == in.Rm {
+			continue
+		}
+		// b .L; .L:
+		if in.Op == arm.B && in.Cond == arm.Always {
+			if next := nextLabel(body, i+1); next == in.Target {
+				continue
+			}
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// nextLabel returns the label name if body[i:] starts with (only) labels
+// and one of them matches — it returns the first label found.
+func nextLabel(body []arm.Instr, i int) string {
+	for ; i < len(body); i++ {
+		if body[i].Op != arm.LABEL {
+			return ""
+		}
+		return body[i].Target
+	}
+	return ""
+}

@@ -1,0 +1,119 @@
+package codegen
+
+import (
+	"container/heap"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/cfg"
+	"graphpa/internal/dfg"
+)
+
+// Schedule list-schedules every straight-line run of a function body:
+// within each run it picks, among dependence-ready instructions, the one
+// with the longest latency-weighted path to the end of the run (loads
+// count twice to model load-use delay), breaking ties by original order.
+// The output is semantically equivalent — it respects every dependence
+// edge — but its instruction ORDER differs from template order, which is
+// exactly the compiler behaviour that blinds sequence-based PA while
+// leaving graph-based PA unaffected (paper §4.2: rijndael's loads are
+// "reordered and rescheduled to overlap load operations with
+// computation").
+func Schedule(body []arm.Instr) []arm.Instr {
+	var out []arm.Instr
+	run := make([]arm.Instr, 0, 16)
+	flush := func() {
+		if len(run) > 0 {
+			out = append(out, scheduleRun(run)...)
+			run = run[:0]
+		}
+	}
+	for _, in := range body {
+		if in.Op == arm.LABEL || in.Op == arm.WORD {
+			flush()
+			out = append(out, in)
+			continue
+		}
+		run = append(run, in)
+		if in.Op.IsBranch() || in.IsTerminator() {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// priQueue pops the node with the highest priority (ties: lowest index).
+type priQueue struct {
+	items []int
+	pri   []int
+}
+
+func (q priQueue) Len() int { return len(q.items) }
+func (q priQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if q.pri[a] != q.pri[b] {
+		return q.pri[a] > q.pri[b]
+	}
+	return a < b
+}
+func (q priQueue) Swap(i, j int)       { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *priQueue) Push(x interface{}) { q.items = append(q.items, x.(int)) }
+func (q *priQueue) Pop() interface{} {
+	old := q.items
+	n := len(old)
+	x := old[n-1]
+	q.items = old[:n-1]
+	return x
+}
+
+func latency(in *arm.Instr) int {
+	if in.Op.IsLoad() {
+		return 2
+	}
+	return 1
+}
+
+func scheduleRun(run []arm.Instr) []arm.Instr {
+	if len(run) < 3 {
+		return append([]arm.Instr(nil), run...)
+	}
+	b := &cfg.Block{Instrs: append([]arm.Instr(nil), run...)}
+	g := dfg.Build(b, nil) // compiler-emitted calls are ABI-conforming
+	n := g.N()
+
+	// Critical-path priority.
+	pri := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		pri[i] = latency(&run[i])
+		for _, s := range g.Succs(i) {
+			if p := latency(&run[i]) + pri[s]; p > pri[i] {
+				pri[i] = p
+			}
+		}
+	}
+
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		for _, s := range g.Succs(i) {
+			indeg[s]++
+		}
+	}
+	q := &priQueue{pri: pri}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			heap.Push(q, i)
+		}
+	}
+	out := make([]arm.Instr, 0, n)
+	for q.Len() > 0 {
+		v := heap.Pop(q).(int)
+		out = append(out, run[v])
+		for _, s := range g.Succs(v) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				heap.Push(q, s)
+			}
+		}
+	}
+	return out
+}

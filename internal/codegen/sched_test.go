@@ -1,0 +1,116 @@
+package codegen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/asm"
+	"graphpa/internal/emu"
+	"graphpa/internal/link"
+)
+
+// randStraightLine generates a random straight-line computation over
+// r0..r7 plus loads/stores into a scratch array.
+func randStraightLine(r *rand.Rand, n int) []string {
+	reg := func() string { return fmt.Sprintf("r%d", r.Intn(8)) }
+	var lines []string
+	for i := 0; i < n; i++ {
+		switch r.Intn(8) {
+		case 0:
+			lines = append(lines, fmt.Sprintf("mov %s, #%d", reg(), r.Intn(256)))
+		case 1:
+			lines = append(lines, fmt.Sprintf("add %s, %s, %s", reg(), reg(), reg()))
+		case 2:
+			lines = append(lines, fmt.Sprintf("sub %s, %s, #%d", reg(), reg(), r.Intn(64)))
+		case 3:
+			lines = append(lines, fmt.Sprintf("eor %s, %s, %s", reg(), reg(), reg()))
+		case 4:
+			lines = append(lines, fmt.Sprintf("mov %s, %s, lsl #%d", reg(), reg(), 1+r.Intn(4)))
+		case 5:
+			lines = append(lines, fmt.Sprintf("ldr %s, [r8, #%d]", reg(), 4*r.Intn(8)))
+		case 6:
+			lines = append(lines, fmt.Sprintf("str %s, [r8, #%d]", reg(), 4*r.Intn(8)))
+		case 7:
+			lines = append(lines, fmt.Sprintf("cmp %s, #%d", reg(), r.Intn(64)))
+			lines = append(lines, fmt.Sprintf("movge %s, #%d", reg(), r.Intn(64)))
+		}
+	}
+	return lines
+}
+
+// TestQuickSchedulePreservesSemantics is the scheduler's soundness
+// property: for random straight-line blocks, executing the scheduled
+// order leaves the machine in exactly the same state as the original.
+func TestQuickSchedulePreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		body := randStraightLine(r, 4+r.Intn(20))
+		src := "_start:\n\tldr r8, =buf\n"
+		for i := 0; i < 8; i++ {
+			src += fmt.Sprintf("\tmov r%d, #%d\n", i, r.Intn(100))
+		}
+		src += "\t" + strings.Join(body, "\n\t") + "\n"
+		// fold state into r0 for comparison
+		for i := 1; i < 8; i++ {
+			src += fmt.Sprintf("\teor r0, r0, r%d\n", i)
+		}
+		src += "\tswi 0\n\t.pool\n.data\nbuf:\n\t.space 64\n"
+
+		unit, err := asm.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		scheduled := &asm.Unit{Text: Schedule(unit.Text), Data: unit.Data}
+
+		run := func(u *asm.Unit) (int32, [64]byte) {
+			img, err := link.Link(u)
+			if err != nil {
+				t.Fatalf("trial %d: %v\n%s", trial, err, asm.Print(u))
+			}
+			m := emu.New(img, nil)
+			code, err := m.Run()
+			if err != nil {
+				t.Fatalf("trial %d: %v\n%s", trial, err, asm.Print(u))
+			}
+			var mem [64]byte
+			copy(mem[:], m.Mem[img.Symbols["buf"]:])
+			return code, mem
+		}
+		c1, m1 := run(unit)
+		c2, m2 := run(scheduled)
+		if c1 != c2 || m1 != m2 {
+			t.Fatalf("trial %d: scheduling changed semantics (%d vs %d)\noriginal:\n%s\nscheduled:\n%s",
+				trial, c1, c2, asm.Print(unit), asm.Print(scheduled))
+		}
+	}
+}
+
+// TestScheduleKeepsTerminatorLast ensures branches stay at run ends.
+func TestScheduleKeepsTerminatorLast(t *testing.T) {
+	unit, err := asm.Parse(`
+f:
+	mov r0, #1
+	ldr r1, [r2]
+	add r0, r0, r1
+	bx lr
+g:
+	mov r3, #2
+	b f
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Schedule(unit.Text)
+	for i := range out {
+		in := &out[i]
+		if in.Op == arm.BX || in.Op == arm.B {
+			// must be followed by a label or end
+			if i+1 < len(out) && out[i+1].Op != arm.LABEL {
+				t.Errorf("terminator not at run end: %s followed by %s", in.String(), out[i+1].String())
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package core wires the whole system together: it is the paper's
+// pipeline (§2.1) as one API. Compile mini-C with the template code
+// generator, statically link against the runtime, decompile the binary,
+// mine the basic-block data-flow graphs with SFX / DgSpan / Edgar, extract
+// until fixpoint, and re-link a smaller, behaviourally identical binary.
+package core
+
+import (
+	"fmt"
+
+	"graphpa/internal/asm"
+	"graphpa/internal/codegen"
+	"graphpa/internal/emu"
+	"graphpa/internal/link"
+	"graphpa/internal/loader"
+	"graphpa/internal/pa"
+	"graphpa/internal/sfx"
+)
+
+// Build compiles mini-C source and statically links it with the runtime
+// library into an executable image.
+func Build(src string, opts codegen.Options) (*link.Image, error) {
+	unit, err := codegen.Compile(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := link.RuntimeUnit()
+	if err != nil {
+		return nil, err
+	}
+	return link.Link(unit, rt)
+}
+
+// BuildAsm assembles and links a raw assembly unit (no runtime library;
+// the source must define _start).
+func BuildAsm(src string) (*link.Image, error) {
+	unit, err := asm.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return link.Link(unit)
+}
+
+// MinerNames lists the available procedural-abstraction miners in the
+// paper's order.
+var MinerNames = []string{"sfx", "dgspan", "edgar"}
+
+// MinerByName returns a miner implementation: "sfx" (suffix-sequence
+// baseline), "dgspan" (graph-based support), "edgar" (embedding-based
+// with MIS), or "edgar-canon" (Edgar plus the paper's future-work
+// canonical instruction matching).
+func MinerByName(name string) (pa.Miner, error) {
+	switch name {
+	case "sfx":
+		return &sfx.Miner{}, nil
+	case "dgspan":
+		return &pa.GraphMiner{}, nil
+	case "edgar":
+		return &pa.GraphMiner{Embedding: true}, nil
+	case "edgar-canon":
+		return &pa.GraphMiner{Embedding: true, CanonicalMatch: true}, nil
+	}
+	return nil, fmt.Errorf("core: unknown miner %q (have sfx, dgspan, edgar, edgar-canon)", name)
+}
+
+// Optimize runs post-link-time procedural abstraction on an image and
+// returns the result together with the re-linked optimized image.
+func Optimize(img *link.Image, miner pa.Miner, opts pa.Options) (*pa.Result, *link.Image, error) {
+	prog, err := loader.Load(img)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := pa.Optimize(prog, miner, opts)
+	out, err := res.Program.Relink()
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: relink after PA: %w", err)
+	}
+	return res, out, nil
+}
+
+// Run executes an image to completion and returns its exit code and
+// stdout.
+func Run(img *link.Image, stdin []byte) (int32, string, error) {
+	m := emu.New(img, stdin)
+	code, err := m.Run()
+	if err != nil {
+		return -1, m.Stdout.String(), err
+	}
+	return code, m.Stdout.String(), nil
+}
+
+// VerifyEquivalent runs two images on the same input and reports whether
+// their observable behaviour (exit code and stdout) matches — the
+// differential check applied after every optimization in tests and
+// benchmarks.
+func VerifyEquivalent(a, b *link.Image, stdin []byte) error {
+	ca, oa, err := Run(a, stdin)
+	if err != nil {
+		return fmt.Errorf("core: baseline run failed: %w", err)
+	}
+	cb, ob, err := Run(b, stdin)
+	if err != nil {
+		return fmt.Errorf("core: optimized run failed: %w", err)
+	}
+	if ca != cb {
+		return fmt.Errorf("core: exit codes differ: %d vs %d", ca, cb)
+	}
+	if oa != ob {
+		return fmt.Errorf("core: outputs differ: %q vs %q", oa, ob)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"graphpa/internal/codegen"
+	"graphpa/internal/pa"
+)
+
+const demo = `
+int acc;
+int step(int x, int k) {
+	int t = x * 3 + k;
+	t = t ^ (t << 2);
+	return t;
+}
+int twirl(int x, int k) {
+	int t = x * 3 + k;
+	t = t ^ (t << 2);
+	return t + 1;
+}
+int main() {
+	acc = 0;
+	for (int i = 0; i < 20; i += 1) {
+		acc += step(acc, i);
+		acc += twirl(acc, i);
+		acc = acc ^ (acc >> 3);
+	}
+	printi(acc);
+	putc(10);
+	return acc & 127;
+}
+`
+
+func TestBuildAndRun(t *testing.T) {
+	img, err := Build(demo, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out, err := Run(img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(out, "\n") || code < 0 {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestMinerByName(t *testing.T) {
+	for _, n := range []string{"sfx", "dgspan", "edgar", "edgar-canon"} {
+		m, err := MinerByName(n)
+		if err != nil || m.Name() != n {
+			t.Errorf("MinerByName(%q) = %v, %v", n, m, err)
+		}
+	}
+	if _, err := MinerByName("nope"); err == nil {
+		t.Error("unknown miner must error")
+	}
+}
+
+// TestOptimizeAllMinersPreservesBehaviour is the core end-to-end
+// guarantee: compile -> optimize (each miner) -> relink -> run must match
+// the unoptimized run.
+func TestOptimizeAllMinersPreservesBehaviour(t *testing.T) {
+	img, err := Build(demo, codegen.Options{Schedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"sfx", "dgspan", "edgar", "edgar-canon"} {
+		m, err := MinerByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, out, err := Optimize(img, m, pa.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if err := VerifyEquivalent(img, out, nil); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+		if res.After > res.Before {
+			t.Errorf("%s: grew the binary: %d -> %d", n, res.Before, res.After)
+		}
+		t.Logf("%s: %d -> %d (%d extractions)", n, res.Before, res.After, len(res.Extractions))
+	}
+}
+
+func TestVerifyEquivalentDetectsDifference(t *testing.T) {
+	a, err := Build("int main() { return 1; }", codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build("int main() { return 2; }", codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEquivalent(a, b, nil); err == nil {
+		t.Error("differing exits must be detected")
+	}
+	c, err := Build(`int main() { puts("x"); return 1; }`, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEquivalent(a, c, nil); err == nil {
+		t.Error("differing outputs must be detected")
+	}
+}

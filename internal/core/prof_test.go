@@ -1,0 +1,23 @@
+package core
+
+import (
+	"testing"
+
+	"graphpa/internal/codegen"
+	"graphpa/internal/pa"
+)
+
+func TestProfileOneRound(t *testing.T) {
+	img, err := Build(demo, codegen.Options{Schedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"edgar"} {
+		m, _ := MinerByName(n)
+		res, _, err := Optimize(img, m, pa.Options{MaxRounds: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s round1: before=%d after=%d dur=%v ex=%+v", n, res.Before, res.After, res.Duration, res.Extractions)
+	}
+}

@@ -1,0 +1,39 @@
+package emu
+
+import (
+	"testing"
+
+	"graphpa/internal/asm"
+	"graphpa/internal/link"
+)
+
+// BenchmarkInterpreter measures emulator throughput on a tight loop.
+func BenchmarkInterpreter(b *testing.B) {
+	u, err := asm.Parse(`
+_start:
+	ldr r1, =100000
+loop:
+	add r0, r0, r1
+	eor r0, r0, r1, lsl #3
+	subs r1, r1, #1
+	bne loop
+	mov r0, #0
+	swi 0
+	.pool
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := link.Link(u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(img, nil)
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(m.Steps), "steps")
+	}
+}

@@ -1,0 +1,443 @@
+// Package emu interprets linked images. It exists so that procedural
+// abstraction can be tested end to end: every optimized binary is executed
+// before and after the transformation and must produce identical output
+// and exit code (the paper relies on its toolchain for this guarantee; we
+// make it an executable check).
+package emu
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/link"
+)
+
+// Machine is one execution context over a linked image.
+type Machine struct {
+	Mem        []byte
+	R          [16]uint32 // r0..r12, sp, lr, pc is kept separately
+	N, Z, C, V bool
+	PC         uint32
+	Steps      int64
+	MaxSteps   int64
+
+	Stdout bytes.Buffer
+	stdin  []byte
+	inPos  int
+
+	img    *link.Image
+	halted bool
+	exit   int32
+}
+
+// DefaultMaxSteps bounds runaway executions.
+const DefaultMaxSteps = 200_000_000
+
+// StackSize is the memory reserved above the image for heap and stack.
+const StackSize = 1 << 20
+
+// New builds a machine for the image with optional stdin bytes.
+func New(img *link.Image, stdin []byte) *Machine {
+	m := &Machine{
+		Mem:      make([]byte, len(img.Words)*4+StackSize),
+		MaxSteps: DefaultMaxSteps,
+		stdin:    stdin,
+		img:      img,
+	}
+	copy(m.Mem, img.Bytes())
+	m.R[arm.SP] = uint32(len(m.Mem))
+	m.PC = uint32(img.Entry)
+	return m
+}
+
+// RunError reports an execution fault.
+type RunError struct {
+	PC   uint32
+	Step int64
+	Msg  string
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("emu: pc=%#x step=%d: %s", e.PC, e.Step, e.Msg)
+}
+
+func (m *Machine) fault(format string, args ...any) error {
+	return &RunError{PC: m.PC, Step: m.Steps, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Exited reports whether the program has exited, and its code.
+func (m *Machine) Exited() (bool, int32) { return m.halted, m.exit }
+
+// Run executes until exit, fault, or the step budget is exhausted.
+func (m *Machine) Run() (int32, error) {
+	for !m.halted {
+		if err := m.Step(); err != nil {
+			return -1, err
+		}
+	}
+	return m.exit, nil
+}
+
+func (m *Machine) loadWord(addr uint32) (uint32, error) {
+	if addr%4 != 0 {
+		return 0, m.fault("unaligned word load at %#x", addr)
+	}
+	if int(addr)+4 > len(m.Mem) {
+		return 0, m.fault("word load out of bounds at %#x", addr)
+	}
+	return binary.LittleEndian.Uint32(m.Mem[addr:]), nil
+}
+
+func (m *Machine) storeWord(addr, v uint32) error {
+	if addr%4 != 0 {
+		return m.fault("unaligned word store at %#x", addr)
+	}
+	if int(addr)+4 > len(m.Mem) {
+		return m.fault("word store out of bounds at %#x", addr)
+	}
+	if addr < uint32(m.img.TextWords*4) {
+		return m.fault("store into text section at %#x", addr)
+	}
+	binary.LittleEndian.PutUint32(m.Mem[addr:], v)
+	return nil
+}
+
+func (m *Machine) loadByte(addr uint32) (uint32, error) {
+	if int(addr) >= len(m.Mem) {
+		return 0, m.fault("byte load out of bounds at %#x", addr)
+	}
+	return uint32(m.Mem[addr]), nil
+}
+
+func (m *Machine) storeByte(addr uint32, v byte) error {
+	if int(addr) >= len(m.Mem) {
+		return m.fault("byte store out of bounds at %#x", addr)
+	}
+	if addr < uint32(m.img.TextWords*4) {
+		return m.fault("store into text section at %#x", addr)
+	}
+	m.Mem[addr] = v
+	return nil
+}
+
+// condPasses evaluates an ARM condition against the flags.
+func (m *Machine) condPasses(c arm.Cond) bool {
+	switch c {
+	case arm.Always:
+		return true
+	case arm.EQ:
+		return m.Z
+	case arm.NE:
+		return !m.Z
+	case arm.CS:
+		return m.C
+	case arm.CC:
+		return !m.C
+	case arm.MI:
+		return m.N
+	case arm.PL:
+		return !m.N
+	case arm.VS:
+		return m.V
+	case arm.VC:
+		return !m.V
+	case arm.HI:
+		return m.C && !m.Z
+	case arm.LS:
+		return !m.C || m.Z
+	case arm.GE:
+		return m.N == m.V
+	case arm.LT:
+		return m.N != m.V
+	case arm.GT:
+		return !m.Z && m.N == m.V
+	case arm.LE:
+		return m.Z || m.N != m.V
+	}
+	return false
+}
+
+func shiftVal(v uint32, kind arm.ShiftKind, amt int32) uint32 {
+	a := uint(amt) & 31
+	switch kind {
+	case arm.LSL:
+		return v << a
+	case arm.LSR:
+		if amt == 0 {
+			return v
+		}
+		return v >> a
+	case arm.ASR:
+		if amt == 0 {
+			return v
+		}
+		return uint32(int32(v) >> a)
+	case arm.ROR:
+		if a == 0 {
+			return v
+		}
+		return v>>a | v<<(32-a)
+	}
+	return v
+}
+
+// op2 computes the flexible second operand of in.
+func (m *Machine) op2(in *arm.Instr) uint32 {
+	if in.HasImm {
+		return uint32(in.Imm)
+	}
+	return shiftVal(m.R[in.Rm], in.Shift, in.ShAmt)
+}
+
+func (m *Machine) setNZ(v uint32) {
+	m.N = v>>31 != 0
+	m.Z = v == 0
+}
+
+// addWithFlags computes a+b+carry and the resulting NZCV.
+func (m *Machine) addFlags(a, b uint32, carry uint32, set bool) uint32 {
+	r64 := uint64(a) + uint64(b) + uint64(carry)
+	r := uint32(r64)
+	if set {
+		m.setNZ(r)
+		m.C = r64>>32 != 0
+		m.V = ((a^r)&(b^r))>>31 != 0
+	}
+	return r
+}
+
+// subFlags computes a-b-(1-carryIn) ARM-style (C is NOT borrow).
+func (m *Machine) subFlags(a, b uint32, carryIn uint32, set bool) uint32 {
+	return m.addFlags(a, ^b, carryIn, set)
+}
+
+// Step executes one instruction.
+func (m *Machine) Step() error {
+	if m.halted {
+		return nil
+	}
+	if m.Steps >= m.MaxSteps {
+		return m.fault("step budget exhausted (%d)", m.MaxSteps)
+	}
+	m.Steps++
+	if int(m.PC)+4 > m.img.TextWords*4 {
+		return m.fault("pc outside text section")
+	}
+	word := binary.LittleEndian.Uint32(m.Mem[m.PC:])
+	in, branchOff := arm.Decode(word)
+	if in.Op == arm.WORD {
+		return m.fault("executing data word %#x", word)
+	}
+	next := m.PC + 4
+	if !m.condPasses(in.Cond) {
+		m.PC = next
+		return nil
+	}
+
+	carry := uint32(0)
+	if m.C {
+		carry = 1
+	}
+	switch in.Op {
+	case arm.NOP:
+	case arm.AND, arm.ORR, arm.EOR, arm.BIC:
+		a, b := m.R[in.Rn], m.op2(&in)
+		var r uint32
+		switch in.Op {
+		case arm.AND:
+			r = a & b
+		case arm.ORR:
+			r = a | b
+		case arm.EOR:
+			r = a ^ b
+		case arm.BIC:
+			r = a &^ b
+		}
+		m.R[in.Rd] = r
+		if in.SetS {
+			m.setNZ(r)
+		}
+	case arm.ADD:
+		m.R[in.Rd] = m.addFlags(m.R[in.Rn], m.op2(&in), 0, in.SetS)
+	case arm.ADC:
+		m.R[in.Rd] = m.addFlags(m.R[in.Rn], m.op2(&in), carry, in.SetS)
+	case arm.SUB:
+		m.R[in.Rd] = m.subFlags(m.R[in.Rn], m.op2(&in), 1, in.SetS)
+	case arm.SBC:
+		m.R[in.Rd] = m.subFlags(m.R[in.Rn], m.op2(&in), carry, in.SetS)
+	case arm.RSB:
+		m.R[in.Rd] = m.subFlags(m.op2(&in), m.R[in.Rn], 1, in.SetS)
+	case arm.MOV:
+		r := m.op2(&in)
+		m.R[in.Rd] = r
+		if in.SetS {
+			m.setNZ(r)
+		}
+	case arm.MVN:
+		r := ^m.op2(&in)
+		m.R[in.Rd] = r
+		if in.SetS {
+			m.setNZ(r)
+		}
+	case arm.CMP:
+		m.subFlags(m.R[in.Rn], m.op2(&in), 1, true)
+	case arm.CMN:
+		m.addFlags(m.R[in.Rn], m.op2(&in), 0, true)
+	case arm.TST:
+		m.setNZ(m.R[in.Rn] & m.op2(&in))
+	case arm.TEQ:
+		m.setNZ(m.R[in.Rn] ^ m.op2(&in))
+	case arm.MUL:
+		r := m.R[in.Rn] * m.R[in.Rm]
+		m.R[in.Rd] = r
+		if in.SetS {
+			m.setNZ(r)
+		}
+	case arm.MLA:
+		r := m.R[in.Rn]*m.R[in.Rm] + m.R[in.Ra]
+		m.R[in.Rd] = r
+		if in.SetS {
+			m.setNZ(r)
+		}
+	case arm.B:
+		next = m.PC + uint32(branchOff*4)
+	case arm.BL:
+		m.R[arm.LR] = m.PC + 4
+		next = m.PC + uint32(branchOff*4)
+	case arm.BX:
+		next = m.R[in.Rm]
+	case arm.SWI:
+		if err := m.syscall(in.Imm); err != nil {
+			return err
+		}
+	case arm.PUSH:
+		n := popCount(in.Reglist)
+		sp := m.R[arm.SP] - uint32(4*n)
+		addr := sp
+		for r := arm.R0; r < arm.Reg(arm.NumRegs); r++ {
+			if in.Reglist&(1<<r) == 0 {
+				continue
+			}
+			if err := m.storeWord(addr, m.R[r]); err != nil {
+				return err
+			}
+			addr += 4
+		}
+		m.R[arm.SP] = sp
+	case arm.POP:
+		addr := m.R[arm.SP]
+		for r := arm.R0; r < arm.Reg(arm.NumRegs); r++ {
+			if in.Reglist&(1<<r) == 0 {
+				continue
+			}
+			v, err := m.loadWord(addr)
+			if err != nil {
+				return err
+			}
+			if r == arm.PC {
+				next = v
+			} else {
+				m.R[r] = v
+			}
+			addr += 4
+		}
+		m.R[arm.SP] = addr
+	default:
+		if in.Op.IsMem() {
+			if err := m.memOp(&in, &next); err != nil {
+				return err
+			}
+			break
+		}
+		return m.fault("unimplemented op %s", in.Op)
+	}
+	m.PC = next
+	return nil
+}
+
+func popCount(m uint16) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// memOp executes a single-register load or store in any addressing mode.
+func (m *Machine) memOp(in *arm.Instr, next *uint32) error {
+	var base uint32
+	var off uint32
+	if in.Rn == arm.PC {
+		// pc-relative literal load: word offsets relative to the
+		// instruction's own address (linker convention).
+		base = m.PC
+		off = uint32(in.Imm * 4)
+	} else {
+		base = m.R[in.Rn]
+		if in.HasImm {
+			off = uint32(in.Imm)
+		} else {
+			off = shiftVal(m.R[in.Rm], in.Shift, in.ShAmt)
+		}
+	}
+	addr := base + off
+	ea := addr
+	if in.Op.PostIndexed() {
+		ea = base
+	}
+	if in.Op.IsLoad() {
+		var v uint32
+		var err error
+		if in.Op.IsByteMem() {
+			v, err = m.loadByte(ea)
+		} else {
+			v, err = m.loadWord(ea)
+		}
+		if err != nil {
+			return err
+		}
+		if in.Rd == arm.PC {
+			*next = v
+		} else {
+			m.R[in.Rd] = v
+		}
+	} else {
+		var err error
+		if in.Op.IsByteMem() {
+			err = m.storeByte(ea, byte(m.R[in.Rd]))
+		} else {
+			err = m.storeWord(ea, m.R[in.Rd])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if in.Op.Writeback() && in.Rn != arm.PC {
+		m.R[in.Rn] = addr
+	}
+	return nil
+}
+
+func (m *Machine) syscall(num int32) error {
+	switch num {
+	case arm.SysExit:
+		m.halted = true
+		m.exit = int32(m.R[arm.R0])
+	case arm.SysPutc:
+		m.Stdout.WriteByte(byte(m.R[arm.R0]))
+	case arm.SysGetc:
+		if m.inPos < len(m.stdin) {
+			m.R[arm.R0] = uint32(m.stdin[m.inPos])
+			m.inPos++
+		} else {
+			m.R[arm.R0] = ^uint32(0) // -1
+		}
+	case arm.SysClock:
+		m.R[arm.R0] = uint32(m.Steps)
+	default:
+		return m.fault("unknown syscall %d", num)
+	}
+	return nil
+}

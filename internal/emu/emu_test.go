@@ -1,0 +1,309 @@
+package emu
+
+import (
+	"strings"
+	"testing"
+
+	"graphpa/internal/asm"
+	"graphpa/internal/link"
+)
+
+// run assembles, links and executes src, returning the machine.
+func run(t *testing.T, src string, stdin []byte) *Machine {
+	t.Helper()
+	u, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := link.Link(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(img, stdin)
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+func TestExitCode(t *testing.T) {
+	m := run(t, "_start:\n\tmov r0, #42\n\tswi 0\n", nil)
+	if ok, code := m.Exited(); !ok || code != 42 {
+		t.Errorf("exit = %v %d", ok, code)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	m := run(t, `
+_start:
+	mov r1, #10
+	mov r2, #3
+	sub r3, r1, r2     @ 7
+	add r3, r3, r3     @ 14
+	mul r4, r3, r2     @ 42
+	rsb r5, r2, #5     @ 2
+	mla r6, r4, r5, r1 @ 94
+	mov r0, r6
+	swi 0
+`, nil)
+	if _, code := m.Exited(); code != 94 {
+		t.Errorf("exit = %d, want 94", code)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	m := run(t, `
+_start:
+	mov r1, #1
+	mov r2, r1, lsl #4   @ 16
+	mov r3, r2, lsr #2   @ 4
+	mvn r4, #0           @ -1
+	mov r5, r4, asr #16  @ still -1
+	add r0, r2, r3       @ 20
+	add r0, r0, r5       @ 19
+	swi 0
+`, nil)
+	if _, code := m.Exited(); code != 19 {
+		t.Errorf("exit = %d, want 19", code)
+	}
+}
+
+func TestConditionsAndFlags(t *testing.T) {
+	m := run(t, `
+_start:
+	mov r0, #0
+	mov r1, #5
+	cmp r1, #5
+	addeq r0, r0, #1   @ taken
+	addne r0, r0, #64  @ skipped
+	cmp r1, #6
+	addlt r0, r0, #2   @ taken (5 < 6)
+	addge r0, r0, #64  @ skipped
+	cmp r1, #3
+	addhi r0, r0, #4   @ taken (unsigned 5 > 3)
+	mvn r2, #0         @ 0xffffffff
+	cmp r2, #1
+	addhi r0, r0, #8   @ taken (unsigned max > 1)
+	addmi r0, r0, #16  @ taken (negative compare result? N set)
+	swi 0
+`, nil)
+	// cmp r2(#-1), #1 -> -2: N set -> MI taken; HI: C set (no borrow), Z clear -> taken.
+	if _, code := m.Exited(); code != 1+2+4+8+16 {
+		t.Errorf("exit = %d, want 31", code)
+	}
+}
+
+func TestCarryChain(t *testing.T) {
+	// 64-bit add: (2^32-1) + 1 = carry into high word.
+	m := run(t, `
+_start:
+	mvn r1, #0       @ lo a
+	mov r2, #0       @ hi a
+	mov r3, #1       @ lo b
+	mov r4, #0       @ hi b
+	adds r5, r1, r3  @ lo sum = 0, carry out
+	adc r6, r2, r4   @ hi sum = 1
+	mov r0, r6
+	swi 0
+`, nil)
+	if _, code := m.Exited(); code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+}
+
+func TestLoop(t *testing.T) {
+	m := run(t, `
+_start:
+	mov r0, #0
+	mov r1, #10
+loop:
+	add r0, r0, r1
+	subs r1, r1, #1
+	bne loop
+	swi 0             @ 10+9+...+1 = 55
+`, nil)
+	if _, code := m.Exited(); code != 55 {
+		t.Errorf("exit = %d, want 55", code)
+	}
+}
+
+func TestMemoryAndPool(t *testing.T) {
+	m := run(t, `
+_start:
+	ldr r1, =arr
+	mov r2, #3
+	str r2, [r1]
+	ldr r3, [r1]
+	ldr r4, =1000000
+	add r0, r3, #1
+	swi 0
+	.pool
+.data
+arr:
+	.space 16
+`, nil)
+	if _, code := m.Exited(); code != 4 {
+		t.Errorf("exit = %d, want 4", code)
+	}
+}
+
+func TestByteAccessAndStrings(t *testing.T) {
+	m := run(t, `
+_start:
+	ldr r1, =msg
+loop:
+	ldrb r0, [r1], #1
+	cmp r0, #0
+	beq done
+	swi 1
+	b loop
+done:
+	mov r0, #0
+	swi 0
+	.pool
+.data
+msg:
+	.asciz "hello"
+`, nil)
+	if m.Stdout.String() != "hello" {
+		t.Errorf("stdout = %q", m.Stdout.String())
+	}
+}
+
+func TestPushPopCall(t *testing.T) {
+	m := run(t, `
+_start:
+	mov r0, #5
+	bl double
+	bl double
+	swi 0
+double:
+	push {r4, lr}
+	mov r4, r0
+	add r0, r4, r4
+	pop {r4, pc}
+`, nil)
+	if _, code := m.Exited(); code != 20 {
+		t.Errorf("exit = %d, want 20", code)
+	}
+}
+
+func TestWritebackAddressing(t *testing.T) {
+	m := run(t, `
+_start:
+	ldr r1, =arr
+	mov r2, #7
+	str r2, [r1], #4    @ arr[0]=7, r1 += 4
+	mov r2, #8
+	str r2, [r1]        @ arr[1]=8
+	ldr r3, =arr
+	ldr r4, [r3], #4    @ 7
+	ldr r5, [r3]        @ 8
+	ldr r6, =arr2
+	mov r7, #9
+	str r7, [r6, #4]!   @ arr2[1]=9, r6=&arr2[1]
+	ldr r8, [r6]
+	add r0, r4, r5
+	add r0, r0, r8      @ 7+8+9=24
+	swi 0
+	.pool
+.data
+arr:
+	.space 8
+arr2:
+	.space 8
+`, nil)
+	if _, code := m.Exited(); code != 24 {
+		t.Errorf("exit = %d, want 24", code)
+	}
+}
+
+func TestStdin(t *testing.T) {
+	m := run(t, `
+_start:
+	swi 2        @ getc -> 'A'
+	add r0, r0, #1
+	swi 1        @ putc 'B'
+	swi 2
+	swi 2        @ EOF -> -1
+	cmn r0, #1
+	moveq r0, #0
+	swi 0
+`, []byte("Ax"))
+	if m.Stdout.String() != "B" {
+		t.Errorf("stdout = %q", m.Stdout.String())
+	}
+	if _, code := m.Exited(); code != 0 {
+		t.Errorf("exit = %d", code)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"_start:\n\tldr r0, =arr\n\tldr r1, [r0, #2]\n\tswi 0\n\t.pool\n.data\narr:\n\t.word 0\n", "unaligned"},
+		{"_start:\n\tmvn r1, #3\n\tldr r0, [r1]\n\tswi 0\n", "out of bounds"},
+		{"_start:\n\tmov r1, #0\n\tstr r1, [r1]\n\tswi 0\n", "text section"},
+		{"_start:\n\tswi 99\n", "unknown syscall"},
+		{"_start:\n\tb _start\n", "step budget"},
+	}
+	for _, c := range cases {
+		u, err := asm.Parse(c.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := link.Link(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := New(img, nil)
+		m.MaxSteps = 10000
+		_, err = m.Run()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("src %q: err = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestExecutingDataFaults(t *testing.T) {
+	// Falling through into a literal pool must fault, not execute garbage.
+	u, err := asm.Parse("_start:\n\tmov r0, #0\n\tswi 0\nafter:\n\t.word 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := link.Link(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(img, nil)
+	m.PC = uint32(img.Symbols["after"])
+	if err := m.Step(); err == nil || !strings.Contains(err.Error(), "data word") {
+		t.Errorf("executing .word: err = %v", err)
+	}
+}
+
+func TestClockSyscall(t *testing.T) {
+	m := run(t, "_start:\n\tswi 3\n\tswi 3\n\tswi 0\n", nil)
+	if _, code := m.Exited(); code != 2 {
+		t.Errorf("clock = %d, want 2", code)
+	}
+}
+
+func TestConditionalBranchBackward(t *testing.T) {
+	// bne with a negative offset round-trips through encoding.
+	m := run(t, `
+_start:
+	mov r0, #0
+	mov r1, #3
+again:
+	add r0, r0, #2
+	subs r1, r1, #1
+	bne again
+	swi 0
+`, nil)
+	if _, code := m.Exited(); code != 6 {
+		t.Errorf("exit = %d, want 6", code)
+	}
+}

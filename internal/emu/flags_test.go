@@ -1,0 +1,93 @@
+package emu
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"graphpa/internal/asm"
+	"graphpa/internal/link"
+)
+
+// TestQuickFlagsOracle cross-checks every condition code against a Go
+// oracle over random operand pairs: for each (a, b) the program computes
+// a bitmask of which conditions pass after "cmp a, b"; the oracle
+// recomputes it from signed/unsigned comparisons.
+func TestQuickFlagsOracle(t *testing.T) {
+	conds := []string{"eq", "ne", "cs", "cc", "mi", "pl", "hi", "ls", "ge", "lt", "gt", "le"}
+	oracle := func(a, b int32) uint32 {
+		ua, ub := uint32(a), uint32(b)
+		var m uint32
+		set := func(i int, v bool) {
+			if v {
+				m |= 1 << i
+			}
+		}
+		set(0, a == b)
+		set(1, a != b)
+		set(2, ua >= ub) // cs: no borrow
+		set(3, ua < ub)  // cc
+		set(4, a-b < 0)  // mi: N of the subtraction result
+		set(5, a-b >= 0) // pl
+		set(6, ua > ub)  // hi
+		set(7, ua <= ub) // ls
+		set(8, a >= b)   // ge (true signed comparison incl. overflow)
+		set(9, a < b)    // lt
+		set(10, a > b)   // gt
+		set(11, a <= b)  // le
+		return m
+	}
+	// N and PL are about the raw subtraction result bit 31, not the
+	// mathematical sign when overflow occurs; fix the oracle for mi/pl.
+	oracleFix := func(a, b int32, m uint32) uint32 {
+		d := int32(uint32(a) - uint32(b))
+		m &^= 1<<4 | 1<<5
+		if d < 0 {
+			m |= 1 << 4
+		} else {
+			m |= 1 << 5
+		}
+		return m
+	}
+
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		var a, b int32
+		switch trial % 4 {
+		case 0:
+			a, b = int32(r.Intn(1000)-500), int32(r.Intn(1000)-500)
+		case 1: // overflow-prone extremes
+			a, b = int32(0x7fffffff-r.Intn(3)), int32(-0x7fffffff+r.Intn(3))
+		case 2:
+			a, b = int32(-0x80000000+r.Intn(3)), int32(r.Intn(5)-2)
+		default:
+			a, b = int32(r.Uint32()), int32(r.Uint32())
+		}
+		src := "_start:\n"
+		src += fmt.Sprintf("\tldr r1, =%d\n\tldr r2, =%d\n\tmov r0, #0\n\tmov r4, #1\n", a, b)
+		for i, c := range conds {
+			_ = i
+			src += "\tcmp r1, r2\n"
+			src += fmt.Sprintf("\torr%s r0, r0, r4\n", c)
+			src += "\tmov r4, r4, lsl #1\n"
+		}
+		src += "\tswi 0\n\t.pool\n"
+		u, err := asm.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := link.Link(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := New(img, nil)
+		code, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := oracleFix(a, b, oracle(a, b))
+		if uint32(code) != want {
+			t.Fatalf("cmp %d,%d: mask %#x, want %#x", a, b, uint32(code), want)
+		}
+	}
+}

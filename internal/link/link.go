@@ -1,0 +1,346 @@
+// Package link is the static linker: it lays out assembled units, places
+// literal pools interwoven with the code (the paper's Fig. 10 idiom),
+// resolves symbols and produces an executable Image of fixed-width 32-bit
+// words. The result deliberately looks like the statically linked,
+// dietlibc-style binaries the paper optimizes: one text section with
+// embedded data pools, followed by a data section.
+package link
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/asm"
+)
+
+// Image is a linked executable.
+//
+// Besides the raw words it records the text/data boundary, the symbol
+// table and relocation entries (the word indices whose values are absolute
+// addresses). Post-link-time rewriters universally require relocation
+// information to distinguish addresses from constants — Debray et al.'s
+// compactor and Diablo both demand relocatable inputs — so our linker
+// keeps it, while everything else (labels, basic blocks, interwoven data)
+// is reconstructed from the bytes by internal/loader.
+type Image struct {
+	Words     []uint32       // text section followed by data section
+	TextWords int            // number of words belonging to the text section
+	Entry     int            // byte address of the entry symbol
+	Symbols   map[string]int // symbol -> byte address (text and data)
+	Relocs    []int          // word indices holding absolute byte addresses
+}
+
+// EntrySymbol is the linker's required entry point.
+const EntrySymbol = "_start"
+
+// LinkError reports a linking failure.
+type LinkError struct{ Msg string }
+
+func (e *LinkError) Error() string { return "link: " + e.Msg }
+
+func errf(format string, args ...any) error {
+	return &LinkError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Layout is the resolved pre-encoding form of an image: the final text
+// stream with literal pools materialised as labelled WORD
+// pseudo-instructions and every literal load annotated with its pool
+// symbol. The loader's output is compared against layouts in tests.
+type Layout struct {
+	Text    []arm.Instr
+	Data    []asm.DataItem
+	PoolSym map[int]string // text index of literal load -> pool symbol
+}
+
+// BuildLayout concatenates the units' text streams and flushes pending
+// literal-pool entries at every .pool barrier (and at end of text).
+// Flushing at a point where execution could fall through would corrupt the
+// program, so a non-empty flush must follow an unconditional terminator.
+func BuildLayout(units ...*asm.Unit) (*Layout, error) {
+	lay := &Layout{PoolSym: map[int]string{}}
+	poolN := 0
+
+	type pending struct {
+		target string
+		loads  []int // indices in lay.Text awaiting this pool symbol
+	}
+	var queue []pending
+	enqueue := func(target string, loadIdx int) {
+		for i := range queue {
+			if queue[i].target == target {
+				queue[i].loads = append(queue[i].loads, loadIdx)
+				return
+			}
+		}
+		queue = append(queue, pending{target: target, loads: []int{loadIdx}})
+	}
+	flush := func(afterIdx int) error {
+		if len(queue) == 0 {
+			return nil
+		}
+		if afterIdx >= 0 {
+			prev := lastRealInstr(lay.Text)
+			if prev == nil || !prev.IsTerminator() {
+				return errf("literal pool flushed at fall-through position (add .pool after a return or branch)")
+			}
+		}
+		for _, p := range queue {
+			sym := fmt.Sprintf(".LP%d", poolN)
+			poolN++
+			lbl := arm.NewInstr(arm.LABEL)
+			lbl.Target = sym
+			w := arm.NewInstr(arm.WORD)
+			if strings.HasPrefix(p.target, arm.ConstPrefix) {
+				v, err := strconv.ParseInt(p.target[len(arm.ConstPrefix):], 10, 64)
+				if err != nil {
+					return errf("bad constant literal %q", p.target)
+				}
+				w.Imm = int32(v)
+			} else {
+				w.Target = p.target
+			}
+			lay.Text = append(lay.Text, lbl, w)
+			for _, li := range p.loads {
+				lay.PoolSym[li] = sym
+			}
+		}
+		queue = nil
+		return nil
+	}
+
+	for _, u := range units {
+		for i := range u.Text {
+			in := u.Text[i]
+			if asm.IsPoolBarrier(&in) {
+				if err := flush(len(lay.Text)); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if in.IsLiteralLoad() {
+				lay.Text = append(lay.Text, in)
+				enqueue(in.Target, len(lay.Text)-1)
+				continue
+			}
+			lay.Text = append(lay.Text, in)
+		}
+		lay.Data = append(lay.Data, u.Data...)
+	}
+	if err := flush(-1); err != nil {
+		return nil, err
+	}
+	return lay, nil
+}
+
+func lastRealInstr(text []arm.Instr) *arm.Instr {
+	for i := len(text) - 1; i >= 0; i-- {
+		if text[i].Op != arm.LABEL && text[i].Op != arm.WORD {
+			return &text[i]
+		}
+	}
+	return nil
+}
+
+// Link assembles units into an executable image. Every unit's labels live
+// in one global namespace; the image entry point is the _start symbol.
+func Link(units ...*asm.Unit) (*Image, error) {
+	lay, err := BuildLayout(units...)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeLayout(lay)
+}
+
+// EncodeLayout assigns addresses, resolves symbols and encodes a layout
+// into an image.
+func EncodeLayout(lay *Layout) (*Image, error) {
+	syms := map[string]int{}
+	define := func(name string, addr int) error {
+		if _, dup := syms[name]; dup {
+			return errf("duplicate symbol %q", name)
+		}
+		syms[name] = addr
+		return nil
+	}
+
+	// Pass 1: addresses. Text: every non-label occupies one word.
+	addrs := make([]int, len(lay.Text)) // byte address per text entry
+	byteAddr := 0
+	for i := range lay.Text {
+		in := &lay.Text[i]
+		addrs[i] = byteAddr
+		if in.Op == arm.LABEL {
+			if err := define(in.Target, byteAddr); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		byteAddr += 4
+	}
+	textBytes := byteAddr
+	if textBytes%4 != 0 {
+		return nil, errf("internal: unaligned text")
+	}
+
+	// Data section layout (word-aligned labels and words, byte-packed
+	// strings).
+	dataStart := textBytes
+	cursor := dataStart
+	align4 := func() { cursor = (cursor + 3) &^ 3 }
+	type dataPatch struct {
+		addr  int
+		value int32
+		sym   string
+		bytes []byte
+	}
+	var patches []dataPatch
+	for _, d := range lay.Data {
+		switch d.Kind {
+		case asm.DataLabel:
+			align4()
+			if err := define(d.Label, cursor); err != nil {
+				return nil, err
+			}
+		case asm.DataWord:
+			align4()
+			patches = append(patches, dataPatch{addr: cursor, value: d.Value, sym: d.Sym})
+			cursor += 4
+		case asm.DataBytes:
+			patches = append(patches, dataPatch{addr: cursor, bytes: d.Bytes})
+			cursor += len(d.Bytes)
+		case asm.DataSpace:
+			cursor += int(d.Space)
+		}
+	}
+	align4()
+	totalBytes := cursor
+
+	lookup := func(name string) (int, error) {
+		a, ok := syms[name]
+		if !ok {
+			return 0, errf("undefined symbol %q", name)
+		}
+		return a, nil
+	}
+
+	// Pass 2: encode.
+	img := &Image{
+		Words:     make([]uint32, totalBytes/4),
+		TextWords: textBytes / 4,
+		Symbols:   syms,
+	}
+	for i := range lay.Text {
+		in := &lay.Text[i]
+		if in.Op == arm.LABEL {
+			continue
+		}
+		widx := addrs[i] / 4
+		switch {
+		case in.Op == arm.B || in.Op == arm.BL:
+			t, err := lookup(in.Target)
+			if err != nil {
+				return nil, err
+			}
+			off := int32((t - addrs[i]) / 4)
+			w, err := arm.Encode(in, off)
+			if err != nil {
+				return nil, err
+			}
+			img.Words[widx] = w
+		case in.IsLiteralLoad():
+			sym, ok := lay.PoolSym[i]
+			if !ok {
+				return nil, errf("literal load without pool slot at %s", in.String())
+			}
+			t, err := lookup(sym)
+			if err != nil {
+				return nil, err
+			}
+			off := (t - addrs[i]) / 4 // pc-relative loads use word offsets
+			if !arm.FitsImm(int32(off)) {
+				return nil, errf("literal pool out of range for %s (insert .pool closer)", in.String())
+			}
+			resolved := *in
+			resolved.Target = ""
+			resolved.Rn = arm.PC
+			resolved.HasImm = true
+			resolved.Imm = int32(off)
+			w, err := arm.Encode(&resolved, 0)
+			if err != nil {
+				return nil, err
+			}
+			img.Words[widx] = w
+		case in.Op == arm.WORD && in.Target != "":
+			t, err := lookup(in.Target)
+			if err != nil {
+				return nil, err
+			}
+			img.Words[widx] = uint32(t)
+			img.Relocs = append(img.Relocs, widx)
+		default:
+			w, err := arm.Encode(in, 0)
+			if err != nil {
+				return nil, err
+			}
+			img.Words[widx] = w
+		}
+	}
+
+	// Data patches.
+	buf := make([]byte, totalBytes-dataStart)
+	for _, p := range patches {
+		off := p.addr - dataStart
+		switch {
+		case p.bytes != nil:
+			copy(buf[off:], p.bytes)
+		case p.sym != "":
+			t, err := lookup(p.sym)
+			if err != nil {
+				return nil, err
+			}
+			binary.LittleEndian.PutUint32(buf[off:], uint32(t))
+			img.Relocs = append(img.Relocs, p.addr/4)
+		default:
+			binary.LittleEndian.PutUint32(buf[off:], uint32(p.value))
+		}
+	}
+	for i := 0; i < len(buf); i += 4 {
+		img.Words[dataStart/4+i/4] = binary.LittleEndian.Uint32(buf[i : i+4])
+	}
+
+	entry, err := lookup(EntrySymbol)
+	if err != nil {
+		return nil, err
+	}
+	img.Entry = entry
+	return img, nil
+}
+
+// Bytes returns the image as a little-endian byte slice (the loaded
+// memory contents starting at address 0).
+func (img *Image) Bytes() []byte {
+	out := make([]byte, len(img.Words)*4)
+	for i, w := range img.Words {
+		binary.LittleEndian.PutUint32(out[i*4:], w)
+	}
+	return out
+}
+
+// SymbolAt returns the name of a symbol defined exactly at byte address
+// a, preferring non-generated names, or "".
+func (img *Image) SymbolAt(a int) string {
+	best := ""
+	for name, addr := range img.Symbols {
+		if addr != a {
+			continue
+		}
+		if best == "" || (strings.HasPrefix(best, ".") && !strings.HasPrefix(name, ".")) ||
+			(strings.HasPrefix(best, ".") == strings.HasPrefix(name, ".") && name < best) {
+			best = name
+		}
+	}
+	return best
+}

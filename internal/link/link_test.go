@@ -1,0 +1,211 @@
+package link
+
+import (
+	"strings"
+	"testing"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/asm"
+)
+
+func mustParse(t *testing.T, src string) *asm.Unit {
+	t.Helper()
+	u, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestLinkMinimal(t *testing.T) {
+	u := mustParse(t, `
+_start:
+	mov r0, #0
+	swi 0
+`)
+	img, err := Link(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.TextWords != 2 || len(img.Words) != 2 {
+		t.Errorf("TextWords=%d len=%d", img.TextWords, len(img.Words))
+	}
+	if img.Entry != 0 {
+		t.Errorf("Entry=%d", img.Entry)
+	}
+	if img.Symbols["_start"] != 0 {
+		t.Error("missing _start symbol")
+	}
+}
+
+func TestLinkBranchResolution(t *testing.T) {
+	u := mustParse(t, `
+_start:
+	b skip
+	mov r0, #1
+skip:
+	swi 0
+`)
+	img, err := Link(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, off := arm.Decode(img.Words[0])
+	if in.Op != arm.B || off != 2 {
+		t.Errorf("decoded %s off=%d, want b off=2", in.Op, off)
+	}
+}
+
+func TestLinkLiteralPool(t *testing.T) {
+	u := mustParse(t, `
+_start:
+	ldr r0, =val
+	ldr r1, =1000
+	ldr r2, =val
+	swi 0
+	.pool
+.data
+val:
+	.word 42
+`)
+	lay, err := BuildLayout(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two pool entries: =val (shared) and =1000.
+	words := 0
+	var loads []int
+	for i := range lay.Text {
+		if lay.Text[i].Op == arm.WORD {
+			words++
+		}
+		if lay.Text[i].IsLiteralLoad() {
+			loads = append(loads, i)
+		}
+	}
+	if words != 2 {
+		t.Errorf("pool entries = %d, want 2", words)
+	}
+	if len(loads) != 3 {
+		t.Fatalf("found %d literal loads", len(loads))
+	}
+	if lay.PoolSym[loads[0]] != lay.PoolSym[loads[2]] {
+		t.Error("equal literals must share a pool slot")
+	}
+	if lay.PoolSym[loads[0]] == lay.PoolSym[loads[1]] {
+		t.Error("different literals must not share a pool slot")
+	}
+
+	img, err := Link(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Word 0 is "ldr r0, [pc, #off]" in word-offset convention.
+	in, _ := arm.Decode(img.Words[0])
+	if in.Op != arm.LDR || in.Rn != arm.PC || !in.HasImm {
+		t.Fatalf("literal load encoded as %s", in.String())
+	}
+	poolAddr := 0 + int(in.Imm)*4
+	got := img.Words[poolAddr/4]
+	if got != uint32(img.Symbols["val"]) {
+		t.Errorf("pool word = %#x, want address of val %#x", got, img.Symbols["val"])
+	}
+	// The =1000 slot holds the constant itself.
+	in1, _ := arm.Decode(img.Words[1])
+	pool1 := 4 + int(in1.Imm)*4
+	if img.Words[pool1/4] != 1000 {
+		t.Errorf("const pool word = %d, want 1000", img.Words[pool1/4])
+	}
+}
+
+func TestLinkPoolAtFallthroughFails(t *testing.T) {
+	u := mustParse(t, `
+_start:
+	ldr r0, =12345
+	.pool
+	swi 0
+`)
+	if _, err := Link(u); err == nil {
+		t.Fatal("pool flush in fall-through position must fail")
+	} else if !strings.Contains(err.Error(), "fall-through") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestLinkDataLayout(t *testing.T) {
+	u := mustParse(t, `
+_start:
+	swi 0
+.data
+a:
+	.word 1
+s:
+	.asciz "abc"
+b:
+	.word 2
+ptr:
+	.word a
+`)
+	img, err := Link(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := img.Symbols["a"], img.Symbols["b"]
+	if sa%4 != 0 || sb%4 != 0 {
+		t.Error("data labels must be word aligned")
+	}
+	bytes := img.Bytes()
+	if string(bytes[img.Symbols["s"]:img.Symbols["s"]+4]) != "abc\x00" {
+		t.Error("string bytes wrong")
+	}
+	if img.Words[sa/4] != 1 || img.Words[sb/4] != 2 {
+		t.Error("data words wrong")
+	}
+	if img.Words[img.Symbols["ptr"]/4] != uint32(sa) {
+		t.Error("data relocation wrong")
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	// Undefined symbol.
+	u := mustParse(t, "_start:\n\tb nowhere\n")
+	if _, err := Link(u); err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Errorf("want undefined symbol error, got %v", err)
+	}
+	// Duplicate symbol.
+	u = mustParse(t, "_start:\n_start:\n\tswi 0\n")
+	if _, err := Link(u); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("want duplicate symbol error, got %v", err)
+	}
+	// Missing entry.
+	u = mustParse(t, "main:\n\tswi 0\n")
+	if _, err := Link(u); err == nil {
+		t.Error("want missing _start error")
+	}
+}
+
+func TestLinkMultipleUnits(t *testing.T) {
+	a := mustParse(t, "_start:\n\tbl helper\n\tswi 0\n")
+	b := mustParse(t, "helper:\n\tbx lr\n")
+	img, err := Link(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := img.Symbols["helper"]; !ok {
+		t.Error("helper symbol missing")
+	}
+}
+
+func TestSymbolAtPrefersNamed(t *testing.T) {
+	u := mustParse(t, "_start:\nmain:\n\tswi 0\n")
+	img, err := Link(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := img.SymbolAt(0); got != "_start" {
+		t.Errorf("SymbolAt(0) = %q", got)
+	}
+	if got := img.SymbolAt(999); got != "" {
+		t.Errorf("SymbolAt(999) = %q", got)
+	}
+}

@@ -1,0 +1,255 @@
+package link
+
+import (
+	"sync"
+
+	"graphpa/internal/asm"
+)
+
+// RuntimeSource is the static runtime library every compiled program
+// links against — the stand-in for dietlibc in the paper's setup: small,
+// hand-written, redundancy-free assembly, statically linked so that the
+// optimizer sees library and application code together. Division, modulo
+// and variable shifts implement the compiler's ABI helpers; the I/O
+// routines bottom out in the emulator's syscalls.
+const RuntimeSource = `
+@ ---- runtime library (dietlibc stand-in) ----
+.text
+
+@ unsigned divide: r0 / r1 -> quotient r0, remainder r1
+__udivsi3:
+	push {r4, r5}
+	mov r2, #0
+	mov r3, #0
+	mov r4, #32
+.Lud_loop:
+	mov r5, r0, lsr #31
+	mov r3, r3, lsl #1
+	orr r3, r3, r5
+	mov r0, r0, lsl #1
+	mov r2, r2, lsl #1
+	cmp r3, r1
+	subcs r3, r3, r1
+	orrcs r2, r2, #1
+	sub r4, r4, #1
+	cmp r4, #0
+	bne .Lud_loop
+	mov r0, r2
+	mov r1, r3
+	pop {r4, r5}
+	bx lr
+
+__umodsi3:
+	push {lr}
+	bl __udivsi3
+	mov r0, r1
+	pop {pc}
+
+@ signed divide
+__divsi3:
+	push {r4, lr}
+	eor r4, r0, r1
+	cmp r0, #0
+	rsblt r0, r0, #0
+	cmp r1, #0
+	rsblt r1, r1, #0
+	bl __udivsi3
+	cmp r4, #0
+	rsblt r0, r0, #0
+	pop {r4, pc}
+
+@ signed modulo (sign follows the dividend)
+__modsi3:
+	push {r4, lr}
+	mov r4, r0
+	cmp r0, #0
+	rsblt r0, r0, #0
+	cmp r1, #0
+	rsblt r1, r1, #0
+	bl __udivsi3
+	mov r0, r1
+	cmp r4, #0
+	rsblt r0, r0, #0
+	pop {r4, pc}
+
+@ variable shifts: r0 shifted by r1
+__lshl:
+	cmp r1, #32
+	movcs r0, #0
+	bxcs lr
+.Lshl_loop:
+	cmp r1, #0
+	bxle lr
+	mov r0, r0, lsl #1
+	sub r1, r1, #1
+	b .Lshl_loop
+
+__lshr:
+	cmp r1, #32
+	movcs r0, #0
+	bxcs lr
+.Lshr_loop:
+	cmp r1, #0
+	bxle lr
+	mov r0, r0, lsr #1
+	sub r1, r1, #1
+	b .Lshr_loop
+
+__ashr:
+	cmp r1, #32
+	movcs r0, r0, asr #31
+	bxcs lr
+.Lasr_loop:
+	cmp r1, #0
+	bxle lr
+	mov r0, r0, asr #1
+	sub r1, r1, #1
+	b .Lasr_loop
+
+@ ---- I/O ----
+putc:
+	swi 1
+	bx lr
+
+getc:
+	swi 2
+	bx lr
+
+exit:
+	swi 0
+
+clock:
+	swi 3
+	bx lr
+
+puts:
+	push {r4, lr}
+	mov r4, r0
+.Lputs_loop:
+	ldrb r0, [r4], #1
+	cmp r0, #0
+	popeq {r4, pc}
+	swi 1
+	b .Lputs_loop
+
+@ print signed decimal
+printi:
+	push {r4, r5, lr}
+	sub sp, sp, #16
+	cmp r0, #0
+	bge .Lpi_pos
+	rsb r4, r0, #0
+	mov r0, #45
+	swi 1
+	mov r0, r4
+.Lpi_pos:
+	mov r4, sp
+	mov r5, #0
+.Lpi_div:
+	mov r1, #10
+	bl __udivsi3
+	add r1, r1, #48
+	strb r1, [r4], #1
+	add r5, r5, #1
+	cmp r0, #0
+	bne .Lpi_div
+.Lpi_out:
+	sub r4, r4, #1
+	ldrb r0, [r4]
+	swi 1
+	subs r5, r5, #1
+	bne .Lpi_out
+	add sp, sp, #16
+	pop {r4, r5, pc}
+
+@ ---- memory and strings ----
+memcpy:
+	cmp r2, #0
+	bxle lr
+.Lmc_loop:
+	ldrb r3, [r1], #1
+	strb r3, [r0], #1
+	subs r2, r2, #1
+	bgt .Lmc_loop
+	bx lr
+
+memset:
+	cmp r2, #0
+	bxle lr
+.Lms_loop:
+	strb r1, [r0], #1
+	subs r2, r2, #1
+	bgt .Lms_loop
+	bx lr
+
+strlen:
+	mov r1, r0
+.Lsl_loop:
+	ldrb r2, [r1], #1
+	cmp r2, #0
+	bne .Lsl_loop
+	sub r0, r1, r0
+	sub r0, r0, #1
+	bx lr
+
+strcmp:
+.Lsc_loop:
+	ldrb r2, [r0], #1
+	ldrb r3, [r1], #1
+	cmp r2, r3
+	bne .Lsc_diff
+	cmp r2, #0
+	bne .Lsc_loop
+	mov r0, #0
+	bx lr
+.Lsc_diff:
+	sub r0, r2, r3
+	bx lr
+
+strcpy:
+.Lscp_loop:
+	ldrb r2, [r1], #1
+	strb r2, [r0], #1
+	cmp r2, #0
+	bne .Lscp_loop
+	bx lr
+
+@ ---- deterministic PRNG (LCG), the benchmark input source ----
+srand:
+	ldr r1, =__rand_state
+	str r0, [r1]
+	bx lr
+
+rand:
+	ldr r1, =__rand_state
+	ldr r0, [r1]
+	ldr r2, =1103515245
+	mul r0, r0, r2
+	ldr r2, =12345
+	add r0, r0, r2
+	str r0, [r1]
+	mov r0, r0, lsr #16
+	ldr r2, =32767
+	and r0, r0, r2
+	bx lr
+	.pool
+
+.data
+__rand_state:
+	.word 12345
+`
+
+var (
+	runtimeOnce sync.Once
+	runtimeUnit *asm.Unit
+	runtimeErr  error
+)
+
+// RuntimeUnit parses the runtime library (cached; the returned unit must
+// not be mutated).
+func RuntimeUnit() (*asm.Unit, error) {
+	runtimeOnce.Do(func() {
+		runtimeUnit, runtimeErr = asm.Parse(RuntimeSource)
+	})
+	return runtimeUnit, runtimeErr
+}

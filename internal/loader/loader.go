@@ -1,0 +1,348 @@
+// Package loader implements the front half of the post-link-time
+// optimizer (paper §2.1 phases 1–5): it decompiles a linked image back
+// into a symbolic instruction stream, reconstructs labels for every jump,
+// call and pc-relative load target so the code becomes independent of
+// concrete addresses, detects interwoven literal-pool data, and splits the
+// stream into functions.
+package loader
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/asm"
+	"graphpa/internal/link"
+)
+
+// Function is one reconstructed procedure: a label-delimited instruction
+// stream with symbolic targets and no literal-pool words.
+type Function struct {
+	Name string
+	// Code holds executable instructions plus LABEL pseudo-instructions
+	// marking local jump targets. Literal loads are in symbolic
+	// "ldr rd, =sym" form.
+	Code []arm.Instr
+	// LRSaved reports whether the prologue saves lr, which makes lr dead
+	// in the body and call-style outlining legal (see internal/pa).
+	LRSaved bool
+}
+
+// Program is the decompiled, relocatable form of an image. Procedural
+// abstraction rewrites Programs; relinking a Program yields a runnable
+// image again.
+type Program struct {
+	Funcs []*Function
+	Data  []asm.DataItem
+}
+
+// LoadError reports a decompilation failure.
+type LoadError struct{ Msg string }
+
+func (e *LoadError) Error() string { return "loader: " + e.Msg }
+
+func errf(format string, args ...any) error {
+	return &LoadError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Load decompiles an image.
+func Load(img *link.Image) (*Program, error) {
+	n := img.TextWords
+	type slot struct {
+		in   arm.Instr
+		boff int32
+		data bool // interwoven pool word
+	}
+	slots := make([]slot, n)
+	for i := 0; i < n; i++ {
+		in, boff := arm.Decode(img.Words[i])
+		slots[i] = slot{in: in, boff: boff}
+	}
+
+	relocSet := map[int]bool{}
+	for _, r := range img.Relocs {
+		relocSet[r] = true
+	}
+
+	// Phase 5: interwoven-data detection. Every word referenced by a
+	// pc-relative load is literal-pool data, whatever it happens to
+	// decode as.
+	poolOf := map[int]int{} // load word index -> pool word index
+	for i := 0; i < n; i++ {
+		in := &slots[i].in
+		if in.Op.IsMem() && !in.Op.IsStore() && in.Rn == arm.PC {
+			if !in.HasImm {
+				return nil, errf("register-indexed pc-relative load at %#x", i*4)
+			}
+			p := i + int(in.Imm)
+			if p < 0 || p >= n {
+				return nil, errf("pc-relative load at %#x targets outside text", i*4)
+			}
+			poolOf[i] = p
+			slots[p].data = true
+		}
+	}
+	// Raw words that decoded as data but are not referenced by any load
+	// would be executed or are dead; treat unreferenced WORD decodes
+	// conservatively as data too (they cannot be reached legally).
+	for i := 0; i < n; i++ {
+		if slots[i].in.Op == arm.WORD {
+			slots[i].data = true
+		}
+	}
+
+	// Phases 3–4: collect label targets.
+	textBytes := n * 4
+	totalBytes := len(img.Words) * 4
+	needTextLabel := map[int]bool{img.Entry: true}
+	funcStart := map[int]bool{img.Entry: true}
+	for i := 0; i < n; i++ {
+		if slots[i].data {
+			continue
+		}
+		in := &slots[i].in
+		if in.Op == arm.B || in.Op == arm.BL {
+			t := i*4 + int(slots[i].boff)*4
+			if t < 0 || t >= textBytes {
+				return nil, errf("branch at %#x targets %#x outside text", i*4, t)
+			}
+			if slots[t/4].data {
+				return nil, errf("branch at %#x targets interwoven data", i*4)
+			}
+			needTextLabel[t] = true
+			if in.Op == arm.BL {
+				funcStart[t] = true
+			}
+		}
+	}
+	needDataLabel := map[int]bool{}
+	addrLabel := func(addr int) error {
+		switch {
+		case addr >= 0 && addr < textBytes:
+			if slots[addr/4].data {
+				return errf("address constant %#x points into a literal pool", addr)
+			}
+			needTextLabel[addr] = true
+			// An address in text loaded as data is a function pointer;
+			// in embedded code its targets are procedures (paper cites
+			// [5]); treat it as a function start.
+			funcStart[addr] = true
+		case addr >= textBytes && addr <= totalBytes:
+			needDataLabel[addr] = true
+		default:
+			return errf("relocated address %#x outside image", addr)
+		}
+		return nil
+	}
+	for _, r := range img.Relocs {
+		if err := addrLabel(int(img.Words[r])); err != nil {
+			return nil, err
+		}
+	}
+
+	// Name labels, preferring original symbols when present.
+	textName := map[int]string{}
+	for addr := range needTextLabel {
+		if s := img.SymbolAt(addr); s != "" {
+			textName[addr] = s
+		} else if funcStart[addr] {
+			textName[addr] = fmt.Sprintf("F_%x", addr)
+		} else {
+			textName[addr] = fmt.Sprintf(".L_%x", addr)
+		}
+	}
+	dataName := map[int]string{}
+	for addr := range needDataLabel {
+		if s := img.SymbolAt(addr); s != "" {
+			dataName[addr] = s
+		} else {
+			dataName[addr] = fmt.Sprintf("D_%x", addr)
+		}
+	}
+
+	// Symbolise a pool word: relocated words become "=label", others
+	// "=const:v".
+	literalTarget := func(poolIdx int) (string, error) {
+		v := img.Words[poolIdx]
+		if relocSet[poolIdx] {
+			addr := int(v)
+			if addr >= textBytes {
+				if s, ok := dataName[addr]; ok {
+					return s, nil
+				}
+				return "", errf("pool word %#x: unlabelled data address", poolIdx*4)
+			}
+			if s, ok := textName[addr]; ok {
+				return s, nil
+			}
+			return "", errf("pool word %#x: unlabelled text address", poolIdx*4)
+		}
+		return fmt.Sprintf("%s%d", arm.ConstPrefix, int32(v)), nil
+	}
+
+	// Phase 2: split into functions at sorted function starts.
+	starts := make([]int, 0, len(funcStart))
+	for a := range funcStart {
+		starts = append(starts, a)
+	}
+	sort.Ints(starts)
+	if len(starts) == 0 || starts[0] != 0 {
+		// Code before the first function start would be unreachable.
+		if len(starts) == 0 {
+			return nil, errf("no functions found")
+		}
+	}
+
+	prog := &Program{}
+	for fi, start := range starts {
+		end := textBytes
+		if fi+1 < len(starts) {
+			end = starts[fi+1]
+		}
+		fn := &Function{Name: textName[start]}
+		for addr := start; addr < end; addr += 4 {
+			i := addr / 4
+			if slots[i].data {
+				continue // pools are regenerated at re-link
+			}
+			if needTextLabel[addr] && addr != start {
+				lbl := arm.NewInstr(arm.LABEL)
+				lbl.Target = textName[addr]
+				fn.Code = append(fn.Code, lbl)
+			}
+			in := slots[i].in
+			if in.Op == arm.B || in.Op == arm.BL {
+				t := addr + int(slots[i].boff)*4
+				in.Target = textName[t]
+			} else if p, ok := poolOf[i]; ok {
+				sym, err := literalTarget(p)
+				if err != nil {
+					return nil, err
+				}
+				in.Rn = arm.RegNone
+				in.HasImm = false
+				in.Imm = 0
+				in.Target = sym
+			}
+			fn.Code = append(fn.Code, in)
+		}
+		fn.LRSaved = prologueSavesLR(fn.Code)
+		prog.Funcs = append(prog.Funcs, fn)
+	}
+
+	// Reconstruct the data section word by word (the linker aligns all
+	// data labels, so word granularity is lossless).
+	for addr := textBytes; addr < totalBytes; addr += 4 {
+		if name, ok := dataName[addr]; ok {
+			prog.Data = append(prog.Data, asm.DataItem{Kind: asm.DataLabel, Label: name})
+		}
+		w := img.Words[addr/4]
+		item := asm.DataItem{Kind: asm.DataWord, Value: int32(w)}
+		if relocSet[addr/4] {
+			t := int(w)
+			if s, ok := dataName[t]; ok {
+				item = asm.DataItem{Kind: asm.DataWord, Sym: s}
+			} else if s, ok := textName[t]; ok {
+				item = asm.DataItem{Kind: asm.DataWord, Sym: s}
+			} else {
+				return nil, errf("data reloc at %#x: unlabelled target %#x", addr, t)
+			}
+		}
+		prog.Data = append(prog.Data, item)
+	}
+	if name, ok := dataName[totalBytes]; ok {
+		// A label exactly at the end of the image (e.g. a buffer end
+		// marker or empty trailing object).
+		prog.Data = append(prog.Data, asm.DataItem{Kind: asm.DataLabel, Label: name})
+	}
+	return prog, nil
+}
+
+func prologueSavesLR(code []arm.Instr) bool {
+	for i := range code {
+		if code[i].Op == arm.LABEL {
+			continue
+		}
+		return code[i].Op == arm.PUSH && code[i].Reglist&(1<<arm.LR) != 0
+	}
+	return false
+}
+
+// ToUnit converts the program back to an assemblable unit, placing a
+// literal-pool barrier after each function.
+func (p *Program) ToUnit() (*asm.Unit, error) {
+	u := &asm.Unit{}
+	for _, fn := range p.Funcs {
+		lbl := arm.NewInstr(arm.LABEL)
+		lbl.Target = fn.Name
+		u.Text = append(u.Text, lbl)
+		u.Text = append(u.Text, fn.Code...)
+		last := lastExec(fn.Code)
+		if last == nil {
+			return nil, errf("function %s has no instructions", fn.Name)
+		}
+		if !last.IsTerminator() {
+			return nil, errf("function %s falls off its end (%s)", fn.Name, last.String())
+		}
+		u.Text = append(u.Text, asm.NewPoolBarrier())
+	}
+	u.Data = append(u.Data, p.Data...)
+	return u, nil
+}
+
+func lastExec(code []arm.Instr) *arm.Instr {
+	for i := len(code) - 1; i >= 0; i-- {
+		if code[i].Op != arm.LABEL && code[i].Op != arm.WORD {
+			return &code[i]
+		}
+	}
+	return nil
+}
+
+// Relink assembles the program into a fresh image.
+func (p *Program) Relink() (*link.Image, error) {
+	u, err := p.ToUnit()
+	if err != nil {
+		return nil, err
+	}
+	return link.Link(u)
+}
+
+// CountInstrs returns the number of executable instructions (the paper's
+// size metric excludes labels; literal-pool words track literal loads
+// one-for-one and are excluded as in the paper's instruction counts).
+func (p *Program) CountInstrs() int {
+	total := 0
+	for _, fn := range p.Funcs {
+		for i := range fn.Code {
+			if fn.Code[i].Op != arm.LABEL && fn.Code[i].Op != arm.WORD {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// Lookup returns the function with the given name, or nil.
+func (p *Program) Lookup(name string) *Function {
+	for _, fn := range p.Funcs {
+		if fn.Name == name {
+			return fn
+		}
+	}
+	return nil
+}
+
+// String renders the program as assembly text.
+func (p *Program) String() string {
+	u, err := p.ToUnit()
+	if err != nil {
+		var b strings.Builder
+		for _, fn := range p.Funcs {
+			fmt.Fprintf(&b, "%s:\n%s", fn.Name, asm.PrintText(fn.Code))
+		}
+		return b.String()
+	}
+	return asm.Print(u)
+}

@@ -1,0 +1,323 @@
+package loader
+
+import (
+	"strings"
+	"testing"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/asm"
+	"graphpa/internal/emu"
+	"graphpa/internal/link"
+)
+
+const demoSrc = `
+_start:
+	bl main
+	mov r0, #0
+	swi 0
+	.pool
+main:
+	push {r4, lr}
+	ldr r4, =counter
+	mov r0, #0
+	mov r1, #5
+loop:
+	add r0, r0, r1
+	subs r1, r1, #1
+	bne loop
+	str r0, [r4]
+	ldr r0, =70000
+	pop {r4, pc}
+	.pool
+.data
+counter:
+	.word 0
+msg:
+	.asciz "ok"
+ptr:
+	.word msg
+`
+
+func loadDemo(t *testing.T) (*link.Image, *Program) {
+	t.Helper()
+	u, err := asm.Parse(demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := link.Link(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, prog
+}
+
+func TestLoadFunctionSplit(t *testing.T) {
+	_, prog := loadDemo(t)
+	if len(prog.Funcs) != 2 {
+		t.Fatalf("got %d functions: %v", len(prog.Funcs), names(prog))
+	}
+	if prog.Funcs[0].Name != "_start" || prog.Funcs[1].Name != "main" {
+		t.Errorf("function names: %v", names(prog))
+	}
+	if prog.Funcs[0].LRSaved {
+		t.Error("_start must not be lr-saved")
+	}
+	if !prog.Funcs[1].LRSaved {
+		t.Error("main must be lr-saved")
+	}
+}
+
+func names(p *Program) []string {
+	var out []string
+	for _, f := range p.Funcs {
+		out = append(out, f.Name)
+	}
+	return out
+}
+
+func TestLoadReconstructsSymbolicForm(t *testing.T) {
+	_, prog := loadDemo(t)
+	main := prog.Lookup("main")
+	if main == nil {
+		t.Fatal("main not found")
+	}
+	var sawDataLit, sawConstLit, sawLocalLabel, sawBranch bool
+	for i := range main.Code {
+		in := &main.Code[i]
+		if in.IsLiteralLoad() {
+			if in.Target == "counter" {
+				sawDataLit = true
+			}
+			if in.Target == arm.ConstPrefix+"70000" {
+				sawConstLit = true
+			}
+		}
+		if in.Op == arm.LABEL && in.Target == "loop" {
+			sawLocalLabel = true
+		}
+		if in.Op == arm.B && in.Cond == arm.NE && in.Target == "loop" {
+			sawBranch = true
+		}
+		if in.Op == arm.WORD {
+			t.Error("pool words must not survive loading")
+		}
+	}
+	if !sawDataLit || !sawConstLit || !sawLocalLabel || !sawBranch {
+		t.Errorf("reconstruction incomplete: data=%v const=%v label=%v branch=%v\n%s",
+			sawDataLit, sawConstLit, sawLocalLabel, sawBranch, prog.String())
+	}
+}
+
+func TestLoadDataSection(t *testing.T) {
+	_, prog := loadDemo(t)
+	var labels []string
+	var sawPtrReloc bool
+	for _, d := range prog.Data {
+		if d.Kind == asm.DataLabel {
+			labels = append(labels, d.Label)
+		}
+		if d.Kind == asm.DataWord && d.Sym == "msg" {
+			sawPtrReloc = true
+		}
+	}
+	// "counter" and "msg" are referenced (by a literal load and a data
+	// relocation) so their labels must be reconstructed; "ptr" is never
+	// referenced and needs no label.
+	joined := strings.Join(labels, ",")
+	for _, want := range []string{"counter", "msg"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("data label %q missing (have %v)", want, labels)
+		}
+	}
+	if !sawPtrReloc {
+		t.Error("data-to-data relocation not reconstructed symbolically")
+	}
+}
+
+// TestRoundTripBehaviour is the key integration property: decompiling and
+// relinking must preserve observable behaviour and instruction count.
+func TestRoundTripBehaviour(t *testing.T) {
+	img, prog := loadDemo(t)
+
+	img2, err := prog.Relink()
+	if err != nil {
+		t.Fatalf("relink: %v\n%s", err, prog.String())
+	}
+	m1 := emu.New(img, nil)
+	c1, err := m1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := emu.New(img2, nil)
+	c2, err := m2.Run()
+	if err != nil {
+		t.Fatalf("relinked image faults: %v\n%s", err, prog.String())
+	}
+	if c1 != c2 || m1.Stdout.String() != m2.Stdout.String() {
+		t.Errorf("behaviour changed: exit %d vs %d, out %q vs %q", c1, c2, m1.Stdout.String(), m2.Stdout.String())
+	}
+
+	// Idempotence: loading the relinked image gives the same shape.
+	prog2, err := Load(img2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.CountInstrs() != prog2.CountInstrs() {
+		t.Errorf("instruction count drifted: %d vs %d", prog.CountInstrs(), prog2.CountInstrs())
+	}
+	if len(prog.Funcs) != len(prog2.Funcs) {
+		t.Errorf("function count drifted: %d vs %d", len(prog.Funcs), len(prog2.Funcs))
+	}
+}
+
+func TestCountInstrs(t *testing.T) {
+	_, prog := loadDemo(t)
+	// _start: bl, mov, swi = 3; main: push, ldr, mov, mov, add, subs,
+	// bne, str, ldr, pop = 10.
+	if got := prog.CountInstrs(); got != 13 {
+		t.Errorf("CountInstrs = %d, want 13\n%s", got, prog.String())
+	}
+}
+
+func TestLoadRejectsBranchIntoPool(t *testing.T) {
+	// Hand-construct an image whose branch targets a pool word.
+	u, err := asm.Parse(`
+_start:
+	ldr r0, =123456
+	swi 0
+	.pool
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := link.Link(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch the swi into a branch aimed at the pool word (offset +1).
+	b := arm.NewInstr(arm.B)
+	b.Target = "x"
+	w, err := arm.Encode(&b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.Words[1] = w
+	if _, err := Load(img); err == nil {
+		t.Error("branch into interwoven data must be rejected")
+	}
+}
+
+func TestLoadUnreferencedGarbageIsData(t *testing.T) {
+	u, err := asm.Parse("_start:\n\tmov r0, #0\n\tswi 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := link.Link(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a garbage word to text.
+	img.Words = append(img.Words, 0xFFFFFFFF)
+	img.TextWords++
+	prog, err := Load(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.CountInstrs(); got != 2 {
+		t.Errorf("CountInstrs = %d, want 2 (garbage word excluded)", got)
+	}
+}
+
+func TestToUnitRejectsFallthrough(t *testing.T) {
+	p := &Program{Funcs: []*Function{{
+		Name: "_start",
+		Code: []arm.Instr{func() arm.Instr {
+			in := arm.NewInstr(arm.MOV)
+			in.Rd, in.Imm, in.HasImm = arm.R0, 0, true
+			return in
+		}()},
+	}}}
+	if _, err := p.ToUnit(); err == nil {
+		t.Error("function falling off its end must be rejected")
+	}
+}
+
+func TestLoadRejectsPCRelRegisterLoad(t *testing.T) {
+	u, err := asm.Parse("_start:\n\tswi 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := link.Link(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Craft an ldr r0, [pc, r1] — register-indexed pc-relative.
+	in := arm.NewInstr(arm.LDR)
+	in.Rd, in.Rn, in.Rm = arm.R0, arm.PC, arm.R1
+	w, err := arm.Encode(&in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.Words[0] = w
+	img.TextWords = 1
+	if _, err := Load(img); err == nil {
+		t.Error("register-indexed pc-relative load must be rejected")
+	}
+}
+
+func TestLoadRejectsOutOfRangeLiteral(t *testing.T) {
+	u, err := asm.Parse("_start:\n\tswi 0\n\tswi 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := link.Link(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := arm.NewInstr(arm.LDR)
+	in.Rd, in.Rn, in.Imm, in.HasImm = arm.R0, arm.PC, 100, true // beyond text
+	w, err := arm.Encode(&in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.Words[0] = w
+	if _, err := Load(img); err == nil {
+		t.Error("literal load beyond text must be rejected")
+	}
+}
+
+func TestLoadBranchOutsideText(t *testing.T) {
+	u, err := asm.Parse("_start:\n\tswi 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := link.Link(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := arm.NewInstr(arm.B)
+	b.Target = "x"
+	w, err := arm.Encode(&b, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.Words[0] = w
+	if _, err := Load(img); err == nil {
+		t.Error("branch outside text must be rejected")
+	}
+}
+
+func TestProgramLookupAndString(t *testing.T) {
+	_, prog := loadDemo(t)
+	if prog.Lookup("main") == nil || prog.Lookup("nope") != nil {
+		t.Error("Lookup broken")
+	}
+	s := prog.String()
+	if !strings.Contains(s, "main:") || !strings.Contains(s, ".pool") {
+		t.Errorf("String() missing pieces:\n%s", s)
+	}
+}

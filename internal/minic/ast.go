@@ -1,0 +1,181 @@
+package minic
+
+import "fmt"
+
+// TypeKind classifies types.
+type TypeKind uint8
+
+// Type kinds.
+const (
+	TVoid TypeKind = iota
+	TInt           // 32-bit
+	TChar          // 8-bit
+	TPtr
+	TArray
+)
+
+// Type is a minic type.
+type Type struct {
+	Kind TypeKind
+	Elem *Type // TPtr, TArray
+	Len  int32 // TArray
+}
+
+// Predefined types.
+var (
+	TypeVoid = &Type{Kind: TVoid}
+	TypeInt  = &Type{Kind: TInt}
+	TypeChar = &Type{Kind: TChar}
+)
+
+// PtrTo returns a pointer type.
+func PtrTo(e *Type) *Type { return &Type{Kind: TPtr, Elem: e} }
+
+// ArrayOf returns an array type.
+func ArrayOf(e *Type, n int32) *Type { return &Type{Kind: TArray, Elem: e, Len: n} }
+
+// Size returns the byte size.
+func (t *Type) Size() int32 {
+	switch t.Kind {
+	case TInt, TPtr:
+		return 4
+	case TChar:
+		return 1
+	case TArray:
+		return t.Elem.Size() * t.Len
+	}
+	return 0
+}
+
+// IsScalar reports whether t is loadable in a register.
+func (t *Type) IsScalar() bool {
+	return t.Kind == TInt || t.Kind == TChar || t.Kind == TPtr
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TInt:
+		return "int"
+	case TChar:
+		return "char"
+	case TPtr:
+		return t.Elem.String() + "*"
+	case TArray:
+		return fmt.Sprintf("%s[%d]", t.Elem.String(), t.Len)
+	}
+	return "?"
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TPtr:
+		return t.Elem.Equal(o.Elem)
+	case TArray:
+		return t.Len == o.Len && t.Elem.Equal(o.Elem)
+	}
+	return true
+}
+
+// ExprKind classifies expressions.
+type ExprKind uint8
+
+// Expression kinds.
+const (
+	ENum    ExprKind = iota
+	EStr             // string literal (char array in rodata)
+	EVar             // identifier
+	EBinop           // Op in {+,-,*,/,%,&,|,^,<<,>>,==,!=,<,<=,>,>=,&&,||}
+	EUnop            // Op in {-,!,~,*,&}
+	EAssign          // Op "=" or compound "+=", ...
+	ECall
+	EIndex // a[i]
+	ECast  // implicit widen/narrow (inserted by checker)
+)
+
+// Expr is an expression node; Type is filled by the checker.
+type Expr struct {
+	Kind ExprKind
+	Op   string
+	Num  int32
+	Str  string
+	Name string
+	L, R *Expr
+	Args []*Expr
+	Type *Type
+	Line int
+
+	// Resolved by the checker.
+	Local  *LocalVar
+	Global *GlobalVar
+}
+
+// StmtKind classifies statements.
+type StmtKind uint8
+
+// Statement kinds.
+const (
+	SExpr StmtKind = iota
+	SDecl
+	SIf
+	SWhile
+	SDoWhile
+	SFor
+	SReturn
+	SBreak
+	SContinue
+	SBlock
+	SEmpty
+)
+
+// Stmt is a statement node.
+type Stmt struct {
+	Kind StmtKind
+	Expr *Expr // SExpr, SReturn (may be nil)
+	Init *Stmt // SFor
+	Cond *Expr // SIf/SWhile/SDoWhile/SFor
+	Post *Expr // SFor
+	Then *Stmt // SIf body, loop body
+	Else *Stmt
+	Body []*Stmt // SBlock
+	Decl *LocalVar
+	Line int
+}
+
+// LocalVar is a local variable or parameter.
+type LocalVar struct {
+	Name   string
+	Type   *Type
+	Offset int32 // frame offset, assigned by codegen
+	IsParm bool
+	Init   *Expr
+}
+
+// GlobalVar is a global definition.
+type GlobalVar struct {
+	Name   string
+	Type   *Type
+	Init   []int32 // flattened word/byte initialiser values
+	Str    string  // string initialiser for char arrays
+	HasIni bool
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []*LocalVar
+	Body   *Stmt // SBlock
+	Line   int
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Globals []*GlobalVar
+	Funcs   []*FuncDecl
+}

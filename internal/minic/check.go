@@ -1,0 +1,408 @@
+package minic
+
+import "fmt"
+
+// Builtin signatures: the runtime-library interface. These bottom out in
+// internal/link's hand-written assembly runtime (the dietlibc stand-in).
+var Builtins = map[string]struct {
+	Ret    *Type
+	Params []*Type
+}{
+	"putc":   {TypeVoid, []*Type{TypeInt}},
+	"getc":   {TypeInt, nil},
+	"puts":   {TypeVoid, []*Type{PtrTo(TypeChar)}},
+	"printi": {TypeVoid, []*Type{TypeInt}},
+	"clock":  {TypeInt, nil},
+	"exit":   {TypeVoid, []*Type{TypeInt}},
+	"memcpy": {TypeVoid, []*Type{PtrTo(TypeChar), PtrTo(TypeChar), TypeInt}},
+	"memset": {TypeVoid, []*Type{PtrTo(TypeChar), TypeInt, TypeInt}},
+	"strlen": {TypeInt, []*Type{PtrTo(TypeChar)}},
+	"strcmp": {TypeInt, []*Type{PtrTo(TypeChar), PtrTo(TypeChar)}},
+	"strcpy": {TypeVoid, []*Type{PtrTo(TypeChar), PtrTo(TypeChar)}},
+	"srand":  {TypeVoid, []*Type{TypeInt}},
+	"rand":   {TypeInt, nil},
+}
+
+// CheckError reports a semantic error.
+type CheckError struct {
+	Line int
+	Msg  string
+}
+
+func (e *CheckError) Error() string { return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg) }
+
+type checker struct {
+	prog     *Program
+	globals  map[string]*GlobalVar
+	funcs    map[string]*FuncDecl
+	scopes   []map[string]*LocalVar
+	fn       *FuncDecl
+	strN     int
+	loop     int
+	skipPush bool
+}
+
+// Check resolves names, computes types and hoists string literals into
+// generated globals. It mutates the program in place.
+func Check(prog *Program) error {
+	c := &checker{
+		prog:    prog,
+		globals: map[string]*GlobalVar{},
+		funcs:   map[string]*FuncDecl{},
+	}
+	for _, g := range prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return &CheckError{0, "duplicate global " + g.Name}
+		}
+		c.globals[g.Name] = g
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			return &CheckError{f.Line, "duplicate function " + f.Name}
+		}
+		if _, isB := Builtins[f.Name]; isB {
+			return &CheckError{f.Line, "function shadows builtin: " + f.Name}
+		}
+		c.funcs[f.Name] = f
+	}
+	for _, f := range prog.Funcs {
+		c.fn = f
+		c.scopes = []map[string]*LocalVar{{}}
+		for _, pm := range f.Params {
+			if err := c.declare(pm, f.Line); err != nil {
+				return err
+			}
+		}
+		c.skipPush = true
+		if err := c.stmt(f.Body); err != nil {
+			return err
+		}
+		c.skipPush = false
+	}
+	return nil
+}
+
+func (c *checker) declare(lv *LocalVar, line int) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[lv.Name]; dup {
+		return &CheckError{line, "redeclared variable " + lv.Name}
+	}
+	top[lv.Name] = lv
+	return nil
+}
+
+func (c *checker) lookup(name string) *LocalVar {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if lv, ok := c.scopes[i][name]; ok {
+			return lv
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s *Stmt) error {
+	switch s.Kind {
+	case SBlock:
+		if c.skipPush {
+			// The function's top-level block shares the parameter scope
+			// (C semantics: a local may not redeclare a parameter).
+			c.skipPush = false
+			for _, b := range s.Body {
+				if err := c.stmt(b); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		c.scopes = append(c.scopes, map[string]*LocalVar{})
+		for _, b := range s.Body {
+			if err := c.stmt(b); err != nil {
+				return err
+			}
+		}
+		c.scopes = c.scopes[:len(c.scopes)-1]
+	case SDecl:
+		if err := c.declare(s.Decl, s.Line); err != nil {
+			return err
+		}
+		if s.Decl.Init != nil {
+			if s.Decl.Type.Kind == TArray {
+				return &CheckError{s.Line, "array locals cannot have initialisers"}
+			}
+			if err := c.expr(s.Decl.Init); err != nil {
+				return err
+			}
+			if err := c.assignable(s.Decl.Type, s.Decl.Init, s.Line); err != nil {
+				return err
+			}
+		}
+	case SExpr:
+		return c.expr(s.Expr)
+	case SIf:
+		if err := c.expr(s.Cond); err != nil {
+			return err
+		}
+		if err := c.stmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.stmt(s.Else)
+		}
+	case SWhile, SDoWhile:
+		if err := c.expr(s.Cond); err != nil {
+			return err
+		}
+		c.loop++
+		err := c.stmt(s.Then)
+		c.loop--
+		return err
+	case SFor:
+		c.scopes = append(c.scopes, map[string]*LocalVar{})
+		if s.Init != nil {
+			if err := c.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := c.expr(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.expr(s.Post); err != nil {
+				return err
+			}
+		}
+		c.loop++
+		err := c.stmt(s.Then)
+		c.loop--
+		c.scopes = c.scopes[:len(c.scopes)-1]
+		return err
+	case SReturn:
+		if s.Expr == nil {
+			if c.fn.Ret.Kind != TVoid {
+				return &CheckError{s.Line, "missing return value in " + c.fn.Name}
+			}
+			return nil
+		}
+		if c.fn.Ret.Kind == TVoid {
+			return &CheckError{s.Line, "return value in void function " + c.fn.Name}
+		}
+		if err := c.expr(s.Expr); err != nil {
+			return err
+		}
+		return c.assignable(c.fn.Ret, s.Expr, s.Line)
+	case SBreak, SContinue:
+		if c.loop == 0 {
+			return &CheckError{s.Line, "break/continue outside loop"}
+		}
+	case SEmpty:
+	}
+	return nil
+}
+
+// decay converts array-typed expressions to pointers in value contexts.
+func decay(t *Type) *Type {
+	if t.Kind == TArray {
+		return PtrTo(t.Elem)
+	}
+	return t
+}
+
+func (c *checker) expr(e *Expr) error {
+	switch e.Kind {
+	case ENum:
+		e.Type = TypeInt
+	case EStr:
+		g := &GlobalVar{
+			Name:   fmt.Sprintf("__str%d", c.strN),
+			Type:   ArrayOf(TypeChar, int32(len(e.Str))+1),
+			Str:    e.Str,
+			HasIni: true,
+		}
+		c.strN++
+		c.prog.Globals = append(c.prog.Globals, g)
+		c.globals[g.Name] = g
+		e.Global = g
+		e.Type = PtrTo(TypeChar)
+	case EVar:
+		if lv := c.lookup(e.Name); lv != nil {
+			e.Local = lv
+			e.Type = lv.Type
+			return nil
+		}
+		if g, ok := c.globals[e.Name]; ok {
+			e.Global = g
+			e.Type = g.Type
+			return nil
+		}
+		return &CheckError{e.Line, "undefined variable " + e.Name}
+	case EBinop:
+		if err := c.expr(e.L); err != nil {
+			return err
+		}
+		if err := c.expr(e.R); err != nil {
+			return err
+		}
+		lt, rt := decay(e.L.Type), decay(e.R.Type)
+		switch e.Op {
+		case "+":
+			switch {
+			case lt.Kind == TPtr && rt.Kind != TPtr:
+				e.Type = lt
+			case rt.Kind == TPtr && lt.Kind != TPtr:
+				e.Type = rt
+			case lt.Kind == TPtr && rt.Kind == TPtr:
+				return &CheckError{e.Line, "cannot add pointers"}
+			default:
+				e.Type = TypeInt
+			}
+		case "-":
+			switch {
+			case lt.Kind == TPtr && rt.Kind == TPtr:
+				e.Type = TypeInt
+			case lt.Kind == TPtr:
+				e.Type = lt
+			case rt.Kind == TPtr:
+				return &CheckError{e.Line, "cannot subtract pointer from scalar"}
+			default:
+				e.Type = TypeInt
+			}
+		case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+			e.Type = TypeInt
+		default:
+			if lt.Kind == TPtr || rt.Kind == TPtr {
+				return &CheckError{e.Line, "pointer operand for " + e.Op}
+			}
+			e.Type = TypeInt
+		}
+	case EUnop:
+		if err := c.expr(e.L); err != nil {
+			return err
+		}
+		switch e.Op {
+		case "*":
+			t := decay(e.L.Type)
+			if t.Kind != TPtr {
+				return &CheckError{e.Line, "dereference of non-pointer"}
+			}
+			e.Type = t.Elem
+		case "&":
+			if !c.lvalue(e.L) {
+				return &CheckError{e.Line, "cannot take address of rvalue"}
+			}
+			e.Type = PtrTo(e.L.Type)
+		default:
+			if decay(e.L.Type).Kind == TPtr {
+				return &CheckError{e.Line, "pointer operand for unary " + e.Op}
+			}
+			e.Type = TypeInt
+		}
+	case EAssign:
+		if err := c.expr(e.L); err != nil {
+			return err
+		}
+		if !c.lvalue(e.L) {
+			return &CheckError{e.Line, "assignment to rvalue"}
+		}
+		if err := c.expr(e.R); err != nil {
+			return err
+		}
+		if e.Op != "=" && decay(e.L.Type).Kind == TPtr {
+			// Pointer arithmetic: p += n / p -= n with an integer offset.
+			if e.Op != "+=" && e.Op != "-=" {
+				return &CheckError{e.Line, "pointer compound assignment " + e.Op}
+			}
+			rt := decay(e.R.Type)
+			if rt.Kind != TInt && rt.Kind != TChar {
+				return &CheckError{e.Line, "pointer " + e.Op + " needs an integer offset"}
+			}
+		} else if err := c.assignable(e.L.Type, e.R, e.Line); err != nil {
+			return err
+		}
+		e.Type = e.L.Type
+	case ECall:
+		if b, ok := Builtins[e.Name]; ok {
+			if len(e.Args) != len(b.Params) {
+				return &CheckError{e.Line, fmt.Sprintf("%s expects %d args", e.Name, len(b.Params))}
+			}
+			for i, a := range e.Args {
+				if err := c.expr(a); err != nil {
+					return err
+				}
+				if err := c.assignable(b.Params[i], a, e.Line); err != nil {
+					return err
+				}
+			}
+			e.Type = b.Ret
+			return nil
+		}
+		fn, ok := c.funcs[e.Name]
+		if !ok {
+			return &CheckError{e.Line, "undefined function " + e.Name}
+		}
+		if len(e.Args) != len(fn.Params) {
+			return &CheckError{e.Line, fmt.Sprintf("%s expects %d args", e.Name, len(fn.Params))}
+		}
+		for i, a := range e.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+			if err := c.assignable(fn.Params[i].Type, a, e.Line); err != nil {
+				return err
+			}
+		}
+		e.Type = fn.Ret
+	case EIndex:
+		if err := c.expr(e.L); err != nil {
+			return err
+		}
+		if err := c.expr(e.R); err != nil {
+			return err
+		}
+		t := decay(e.L.Type)
+		if t.Kind != TPtr {
+			return &CheckError{e.Line, "indexing non-array"}
+		}
+		if decay(e.R.Type).Kind == TPtr {
+			return &CheckError{e.Line, "pointer index"}
+		}
+		e.Type = t.Elem
+	case ECast:
+		return &CheckError{e.Line, "unexpected cast node"}
+	}
+	return nil
+}
+
+func (c *checker) lvalue(e *Expr) bool {
+	switch e.Kind {
+	case EVar:
+		return e.Type.Kind != TArray
+	case EIndex:
+		return true
+	case EUnop:
+		return e.Op == "*"
+	}
+	return false
+}
+
+// assignable checks a value of e's type can be stored into type t:
+// int/char interconvert, pointers must match (or a literal 0 for null).
+func (c *checker) assignable(t *Type, e *Expr, line int) error {
+	et := decay(e.Type)
+	tt := decay(t)
+	switch {
+	case tt.Kind == TInt || tt.Kind == TChar:
+		if et.Kind == TInt || et.Kind == TChar {
+			return nil
+		}
+	case tt.Kind == TPtr:
+		if et.Kind == TPtr && (tt.Elem.Equal(et.Elem) || tt.Elem.Kind == TChar || et.Elem.Kind == TChar) {
+			return nil
+		}
+		if e.Kind == ENum && e.Num == 0 {
+			return nil
+		}
+	}
+	return &CheckError{line, fmt.Sprintf("cannot assign %s to %s", e.Type, t)}
+}

@@ -1,0 +1,239 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Val is a virtual register; NoVal means unused.
+type Val int32
+
+// NoVal marks an absent operand.
+const NoVal Val = -1
+
+// IROp classifies IR instructions.
+type IROp uint8
+
+// IR operations. The IR is a linear list with label pseudo-instructions;
+// all control flow is explicit branches. Division, modulo and
+// variable-amount shifts are lowered to runtime calls by the generator,
+// mirroring a softfloat-style ARM ABI.
+const (
+	IRConst  IROp = iota // Dst = Imm
+	IRMov                // Dst = A
+	IRBin                // Dst = A <bin> (B | Imm)
+	IRNeg                // Dst = -A
+	IRNot                // Dst = ^A
+	IRCmp                // Dst = (A <cond> (B|Imm)) ? 1 : 0
+	IRLoad               // Dst = *(int*)(A + Imm)
+	IRLoadB              // Dst = *(char*)(A + Imm)
+	IRStore              // *(int*)(A + Imm) = B
+	IRStoreB             // *(char*)(A + Imm) = B
+	IRAddrG              // Dst = &Sym
+	IRAddrL              // Dst = &local[LocalIdx]
+	IRCall               // Dst = Sym(Args...); Dst may be NoVal
+	IRRet                // return A (A may be NoVal)
+	IRBr                 // goto Label
+	IRBrCond             // if (A <cond> (B|Imm)) goto Label
+	IRLabel              // Label:
+)
+
+// BinKind is an ALU operation.
+type BinKind uint8
+
+// ALU operations (div/mod/variable shifts become calls).
+const (
+	BAdd BinKind = iota
+	BSub
+	BRsb // reverse subtract, for pointer-difference scaling
+	BMul
+	BAnd
+	BOr
+	BXor
+	BShl // by constant
+	BShr // arithmetic, by constant
+	BLsr // logical, by constant (strength-reduced __lshr)
+)
+
+var binNames = [...]string{"add", "sub", "rsb", "mul", "and", "or", "xor", "shl", "shr", "lsr"}
+
+func (b BinKind) String() string { return binNames[b] }
+
+// CondKind is a comparison (signed; addresses stay below 2^31 in our
+// address space, so signed compares are safe for pointers too).
+type CondKind uint8
+
+// Comparisons.
+const (
+	CEq CondKind = iota
+	CNe
+	CLt
+	CLe
+	CGt
+	CGe
+)
+
+var condNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge"}
+
+func (c CondKind) String() string { return condNames[c] }
+
+// Negate returns the inverse comparison.
+func (c CondKind) Negate() CondKind {
+	switch c {
+	case CEq:
+		return CNe
+	case CNe:
+		return CEq
+	case CLt:
+		return CGe
+	case CLe:
+		return CGt
+	case CGt:
+		return CLe
+	case CGe:
+		return CLt
+	}
+	return c
+}
+
+// IRIns is one IR instruction.
+type IRIns struct {
+	Op       IROp
+	Bin      BinKind
+	Cond     CondKind
+	Dst      Val
+	A, B     Val
+	Imm      int32
+	HasImm   bool
+	Sym      string
+	Label    string
+	Args     []Val
+	LocalIdx int
+}
+
+// IRLocal is a stack-allocated local (array or address-taken scalar).
+type IRLocal struct {
+	Name string
+	Size int32
+}
+
+// IRFunc is a lowered function.
+type IRFunc struct {
+	Name    string
+	NParams int
+	NVals   int // virtual register count; params are v0..NParams-1
+	Locals  []IRLocal
+	Ins     []IRIns
+	IsVoid  bool
+}
+
+// String renders the function for debugging and golden tests.
+func (f *IRFunc) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s (params=%d vals=%d)\n", f.Name, f.NParams, f.NVals)
+	for _, l := range f.Locals {
+		fmt.Fprintf(&b, "  local %s[%d]\n", l.Name, l.Size)
+	}
+	for _, in := range f.Ins {
+		b.WriteString("  " + in.String() + "\n")
+	}
+	return b.String()
+}
+
+func (in *IRIns) String() string {
+	op2 := func() string {
+		if in.HasImm {
+			return fmt.Sprintf("#%d", in.Imm)
+		}
+		return fmt.Sprintf("v%d", in.B)
+	}
+	switch in.Op {
+	case IRConst:
+		return fmt.Sprintf("v%d = %d", in.Dst, in.Imm)
+	case IRMov:
+		return fmt.Sprintf("v%d = v%d", in.Dst, in.A)
+	case IRBin:
+		return fmt.Sprintf("v%d = v%d %s %s", in.Dst, in.A, in.Bin, op2())
+	case IRNeg:
+		return fmt.Sprintf("v%d = -v%d", in.Dst, in.A)
+	case IRNot:
+		return fmt.Sprintf("v%d = ~v%d", in.Dst, in.A)
+	case IRCmp:
+		return fmt.Sprintf("v%d = v%d %s %s", in.Dst, in.A, in.Cond, op2())
+	case IRLoad:
+		return fmt.Sprintf("v%d = load [v%d+%d]", in.Dst, in.A, in.Imm)
+	case IRLoadB:
+		return fmt.Sprintf("v%d = loadb [v%d+%d]", in.Dst, in.A, in.Imm)
+	case IRStore:
+		return fmt.Sprintf("store [v%d+%d] = v%d", in.A, in.Imm, in.B)
+	case IRStoreB:
+		return fmt.Sprintf("storeb [v%d+%d] = v%d", in.A, in.Imm, in.B)
+	case IRAddrG:
+		return fmt.Sprintf("v%d = &%s", in.Dst, in.Sym)
+	case IRAddrL:
+		return fmt.Sprintf("v%d = &local%d", in.Dst, in.LocalIdx)
+	case IRCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = fmt.Sprintf("v%d", a)
+		}
+		if in.Dst == NoVal {
+			return fmt.Sprintf("call %s(%s)", in.Sym, strings.Join(args, ","))
+		}
+		return fmt.Sprintf("v%d = call %s(%s)", in.Dst, in.Sym, strings.Join(args, ","))
+	case IRRet:
+		if in.A == NoVal {
+			return "ret"
+		}
+		return fmt.Sprintf("ret v%d", in.A)
+	case IRBr:
+		return "br " + in.Label
+	case IRBrCond:
+		return fmt.Sprintf("br(v%d %s %s) %s", in.A, in.Cond, op2(), in.Label)
+	case IRLabel:
+		return in.Label + ":"
+	}
+	return "?"
+}
+
+// UseDef returns the vregs read and written by the instruction.
+func (in *IRIns) UseDef() (uses []Val, def Val) {
+	def = NoVal
+	add := func(v Val) {
+		if v != NoVal {
+			uses = append(uses, v)
+		}
+	}
+	switch in.Op {
+	case IRConst, IRAddrG, IRAddrL:
+		def = in.Dst
+	case IRMov, IRNeg, IRNot:
+		add(in.A)
+		def = in.Dst
+	case IRBin, IRCmp:
+		add(in.A)
+		if !in.HasImm {
+			add(in.B)
+		}
+		def = in.Dst
+	case IRLoad, IRLoadB:
+		add(in.A)
+		def = in.Dst
+	case IRStore, IRStoreB:
+		add(in.A)
+		add(in.B)
+	case IRCall:
+		for _, a := range in.Args {
+			add(a)
+		}
+		def = in.Dst
+	case IRRet:
+		add(in.A)
+	case IRBrCond:
+		add(in.A)
+		if !in.HasImm {
+			add(in.B)
+		}
+	}
+	return uses, def
+}

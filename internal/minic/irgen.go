@@ -1,0 +1,823 @@
+package minic
+
+import "fmt"
+
+// Lower translates a checked program to IR.
+func Lower(prog *Program) ([]*IRFunc, error) {
+	var out []*IRFunc
+	for _, fd := range prog.Funcs {
+		g := &irgen{decl: fd, fn: &IRFunc{
+			Name:    fd.Name,
+			NParams: len(fd.Params),
+			IsVoid:  fd.Ret.Kind == TVoid,
+		}}
+		g.vregOf = map[*LocalVar]Val{}
+		g.slotOf = map[*LocalVar]int{}
+		g.addressed = map[*LocalVar]bool{}
+		markAddressed(fd.Body, g.addressed)
+		if err := g.run(); err != nil {
+			return nil, err
+		}
+		out = append(out, g.fn)
+	}
+	return out, nil
+}
+
+// markAddressed records locals whose address is taken; they must live in
+// the frame rather than a register.
+func markAddressed(s *Stmt, m map[*LocalVar]bool) {
+	var walkE func(e *Expr)
+	walkE = func(e *Expr) {
+		if e == nil {
+			return
+		}
+		if e.Kind == EUnop && e.Op == "&" && e.L.Kind == EVar && e.L.Local != nil {
+			m[e.L.Local] = true
+		}
+		walkE(e.L)
+		walkE(e.R)
+		for _, a := range e.Args {
+			walkE(a)
+		}
+	}
+	var walkS func(s *Stmt)
+	walkS = func(s *Stmt) {
+		if s == nil {
+			return
+		}
+		walkE(s.Expr)
+		walkE(s.Cond)
+		walkE(s.Post)
+		if s.Decl != nil {
+			walkE(s.Decl.Init)
+		}
+		walkS(s.Init)
+		walkS(s.Then)
+		walkS(s.Else)
+		for _, b := range s.Body {
+			walkS(b)
+		}
+	}
+	walkS(s)
+}
+
+type irgen struct {
+	decl      *FuncDecl
+	fn        *IRFunc
+	vregOf    map[*LocalVar]Val
+	slotOf    map[*LocalVar]int
+	addressed map[*LocalVar]bool
+	labelN    int
+	breaks    []string
+	conts     []string
+}
+
+// GenError reports an IR lowering failure.
+type GenError struct {
+	Line int
+	Msg  string
+}
+
+func (e *GenError) Error() string { return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg) }
+
+func (g *irgen) errf(line int, format string, args ...any) error {
+	return &GenError{line, fmt.Sprintf(format, args...)}
+}
+
+func (g *irgen) newVal() Val {
+	v := Val(g.fn.NVals)
+	g.fn.NVals++
+	return v
+}
+
+func (g *irgen) newLabel() string {
+	g.labelN++
+	return fmt.Sprintf(".L%s_%d", g.fn.Name, g.labelN)
+}
+
+func (g *irgen) emit(in IRIns) { g.fn.Ins = append(g.fn.Ins, in) }
+
+func (g *irgen) run() error {
+	// Parameters arrive in v0..n-1.
+	for i, pm := range g.decl.Params {
+		v := g.newVal()
+		if g.addressed[pm] {
+			slot := g.addSlot(pm.Name, 4)
+			g.slotOf[pm] = slot
+			addr := g.newVal()
+			g.emit(IRIns{Op: IRAddrL, Dst: addr, LocalIdx: slot})
+			g.emit(IRIns{Op: IRStore, A: addr, B: v})
+		} else {
+			g.vregOf[pm] = v
+		}
+		_ = i
+	}
+	if err := g.stmt(g.decl.Body); err != nil {
+		return err
+	}
+	// Guarantee termination.
+	if g.fn.IsVoid {
+		g.emit(IRIns{Op: IRRet, A: NoVal, B: NoVal, Dst: NoVal})
+	} else {
+		z := g.newVal()
+		g.emit(IRIns{Op: IRConst, Dst: z, Imm: 0, A: NoVal, B: NoVal})
+		g.emit(IRIns{Op: IRRet, A: z, B: NoVal, Dst: NoVal})
+	}
+	return nil
+}
+
+func (g *irgen) addSlot(name string, size int32) int {
+	g.fn.Locals = append(g.fn.Locals, IRLocal{Name: name, Size: size})
+	return len(g.fn.Locals) - 1
+}
+
+func (g *irgen) stmt(s *Stmt) error {
+	switch s.Kind {
+	case SBlock:
+		for _, b := range s.Body {
+			if err := g.stmt(b); err != nil {
+				return err
+			}
+		}
+	case SEmpty:
+	case SDecl:
+		lv := s.Decl
+		switch {
+		case lv.Type.Kind == TArray:
+			g.slotOf[lv] = g.addSlot(lv.Name, (lv.Type.Size()+3)&^3)
+		case g.addressed[lv]:
+			slot := g.addSlot(lv.Name, 4)
+			g.slotOf[lv] = slot
+			if lv.Init != nil {
+				v, err := g.expr(lv.Init)
+				if err != nil {
+					return err
+				}
+				addr := g.newVal()
+				g.emit(IRIns{Op: IRAddrL, Dst: addr, LocalIdx: slot})
+				g.emit(IRIns{Op: IRStore, A: addr, B: v})
+			}
+		default:
+			v := g.newVal()
+			g.vregOf[lv] = v
+			if lv.Init != nil {
+				iv, err := g.expr(lv.Init)
+				if err != nil {
+					return err
+				}
+				g.emit(IRIns{Op: IRMov, Dst: v, A: iv})
+			}
+		}
+	case SExpr:
+		_, err := g.expr(s.Expr)
+		return err
+	case SReturn:
+		if s.Expr == nil {
+			g.emit(IRIns{Op: IRRet, A: NoVal})
+			return nil
+		}
+		v, err := g.expr(s.Expr)
+		if err != nil {
+			return err
+		}
+		g.emit(IRIns{Op: IRRet, A: v})
+	case SIf:
+		elseL := g.newLabel()
+		endL := elseL
+		if s.Else != nil {
+			endL = g.newLabel()
+		}
+		if err := g.condFalse(s.Cond, elseL); err != nil {
+			return err
+		}
+		if err := g.stmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			g.emit(IRIns{Op: IRBr, Label: endL})
+			g.emit(IRIns{Op: IRLabel, Label: elseL})
+			if err := g.stmt(s.Else); err != nil {
+				return err
+			}
+		}
+		g.emit(IRIns{Op: IRLabel, Label: endL})
+	case SWhile:
+		top := g.newLabel()
+		end := g.newLabel()
+		g.emit(IRIns{Op: IRLabel, Label: top})
+		if err := g.condFalse(s.Cond, end); err != nil {
+			return err
+		}
+		g.breaks = append(g.breaks, end)
+		g.conts = append(g.conts, top)
+		if err := g.stmt(s.Then); err != nil {
+			return err
+		}
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.conts = g.conts[:len(g.conts)-1]
+		g.emit(IRIns{Op: IRBr, Label: top})
+		g.emit(IRIns{Op: IRLabel, Label: end})
+	case SDoWhile:
+		top := g.newLabel()
+		end := g.newLabel()
+		cont := g.newLabel()
+		g.emit(IRIns{Op: IRLabel, Label: top})
+		g.breaks = append(g.breaks, end)
+		g.conts = append(g.conts, cont)
+		if err := g.stmt(s.Then); err != nil {
+			return err
+		}
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.conts = g.conts[:len(g.conts)-1]
+		g.emit(IRIns{Op: IRLabel, Label: cont})
+		if err := g.condTrue(s.Cond, top); err != nil {
+			return err
+		}
+		g.emit(IRIns{Op: IRLabel, Label: end})
+	case SFor:
+		if s.Init != nil {
+			if err := g.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		top := g.newLabel()
+		end := g.newLabel()
+		cont := g.newLabel()
+		g.emit(IRIns{Op: IRLabel, Label: top})
+		if s.Cond != nil {
+			if err := g.condFalse(s.Cond, end); err != nil {
+				return err
+			}
+		}
+		g.breaks = append(g.breaks, end)
+		g.conts = append(g.conts, cont)
+		if err := g.stmt(s.Then); err != nil {
+			return err
+		}
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.conts = g.conts[:len(g.conts)-1]
+		g.emit(IRIns{Op: IRLabel, Label: cont})
+		if s.Post != nil {
+			if _, err := g.expr(s.Post); err != nil {
+				return err
+			}
+		}
+		g.emit(IRIns{Op: IRBr, Label: top})
+		g.emit(IRIns{Op: IRLabel, Label: end})
+	case SBreak:
+		g.emit(IRIns{Op: IRBr, Label: g.breaks[len(g.breaks)-1]})
+	case SContinue:
+		g.emit(IRIns{Op: IRBr, Label: g.conts[len(g.conts)-1]})
+	}
+	return nil
+}
+
+// cmpOf maps a comparison operator to its CondKind.
+var cmpOf = map[string]CondKind{
+	"==": CEq, "!=": CNe, "<": CLt, "<=": CLe, ">": CGt, ">=": CGe,
+}
+
+// condFalse branches to label when e is false.
+func (g *irgen) condFalse(e *Expr, label string) error {
+	switch {
+	case e.Kind == EBinop && e.Op == "&&":
+		if err := g.condFalse(e.L, label); err != nil {
+			return err
+		}
+		return g.condFalse(e.R, label)
+	case e.Kind == EBinop && e.Op == "||":
+		mid := g.newLabel()
+		if err := g.condTrue(e.L, mid); err != nil {
+			return err
+		}
+		if err := g.condFalse(e.R, label); err != nil {
+			return err
+		}
+		g.emit(IRIns{Op: IRLabel, Label: mid})
+		return nil
+	case e.Kind == EUnop && e.Op == "!":
+		return g.condTrue(e.L, label)
+	case e.Kind == EBinop && cmpOf[e.Op] != 0 || e.Kind == EBinop && e.Op == "==":
+		return g.cmpBranch(e, cmpOf[e.Op].Negate(), label)
+	default:
+		v, err := g.expr(e)
+		if err != nil {
+			return err
+		}
+		g.emit(IRIns{Op: IRBrCond, A: v, Cond: CEq, HasImm: true, Imm: 0, Label: label})
+		return nil
+	}
+}
+
+// condTrue branches to label when e is true.
+func (g *irgen) condTrue(e *Expr, label string) error {
+	switch {
+	case e.Kind == EBinop && e.Op == "&&":
+		skip := g.newLabel()
+		if err := g.condFalse(e.L, skip); err != nil {
+			return err
+		}
+		if err := g.condTrue(e.R, label); err != nil {
+			return err
+		}
+		g.emit(IRIns{Op: IRLabel, Label: skip})
+		return nil
+	case e.Kind == EBinop && e.Op == "||":
+		if err := g.condTrue(e.L, label); err != nil {
+			return err
+		}
+		return g.condTrue(e.R, label)
+	case e.Kind == EUnop && e.Op == "!":
+		return g.condFalse(e.L, label)
+	case e.Kind == EBinop && cmpOf[e.Op] != 0 || e.Kind == EBinop && e.Op == "==":
+		return g.cmpBranch(e, cmpOf[e.Op], label)
+	default:
+		v, err := g.expr(e)
+		if err != nil {
+			return err
+		}
+		g.emit(IRIns{Op: IRBrCond, A: v, Cond: CNe, HasImm: true, Imm: 0, Label: label})
+		return nil
+	}
+}
+
+func (g *irgen) cmpBranch(e *Expr, cond CondKind, label string) error {
+	a, err := g.expr(e.L)
+	if err != nil {
+		return err
+	}
+	if e.R.Kind == ENum && fitsImm(e.R.Num) {
+		g.emit(IRIns{Op: IRBrCond, A: a, Cond: cond, HasImm: true, Imm: e.R.Num, Label: label})
+		return nil
+	}
+	b, err := g.expr(e.R)
+	if err != nil {
+		return err
+	}
+	g.emit(IRIns{Op: IRBrCond, A: a, B: b, Cond: cond, Label: label})
+	return nil
+}
+
+func fitsImm(v int32) bool { return v >= -2048 && v <= 2047 }
+
+// scaleOf returns the pointer-arithmetic scale (log2) for elem size, and
+// whether scaling is needed.
+func scaleOf(t *Type) (int32, bool) {
+	if t.Kind != TPtr && t.Kind != TArray {
+		return 0, false
+	}
+	if t.Elem.Size() == 4 {
+		return 2, true
+	}
+	return 0, false
+}
+
+func (g *irgen) expr(e *Expr) (Val, error) {
+	switch e.Kind {
+	case ENum:
+		v := g.newVal()
+		g.emit(IRIns{Op: IRConst, Dst: v, Imm: e.Num})
+		return v, nil
+	case EStr:
+		v := g.newVal()
+		g.emit(IRIns{Op: IRAddrG, Dst: v, Sym: e.Global.Name})
+		return v, nil
+	case EVar:
+		return g.loadVar(e)
+	case EUnop:
+		return g.unop(e)
+	case EBinop:
+		return g.binop(e)
+	case EAssign:
+		return g.assign(e)
+	case ECall:
+		return g.call(e)
+	case EIndex:
+		addr, off, byteSized, err := g.addrOf(e)
+		if err != nil {
+			return NoVal, err
+		}
+		v := g.newVal()
+		op := IRLoad
+		if byteSized {
+			op = IRLoadB
+		}
+		g.emit(IRIns{Op: op, Dst: v, A: addr, Imm: off})
+		return v, nil
+	}
+	return NoVal, g.errf(e.Line, "cannot lower expression")
+}
+
+func (g *irgen) loadVar(e *Expr) (Val, error) {
+	if lv := e.Local; lv != nil {
+		if v, ok := g.vregOf[lv]; ok {
+			return v, nil
+		}
+		slot := g.slotOf[lv]
+		addr := g.newVal()
+		g.emit(IRIns{Op: IRAddrL, Dst: addr, LocalIdx: slot})
+		if lv.Type.Kind == TArray {
+			return addr, nil // decay
+		}
+		v := g.newVal()
+		op := IRLoad
+		if lv.Type.Kind == TChar {
+			op = IRLoadB
+		}
+		g.emit(IRIns{Op: op, Dst: v, A: addr})
+		return v, nil
+	}
+	gv := e.Global
+	addr := g.newVal()
+	g.emit(IRIns{Op: IRAddrG, Dst: addr, Sym: gv.Name})
+	if gv.Type.Kind == TArray {
+		return addr, nil // decay
+	}
+	v := g.newVal()
+	op := IRLoad
+	if gv.Type.Kind == TChar {
+		op = IRLoadB
+	}
+	g.emit(IRIns{Op: op, Dst: v, A: addr})
+	return v, nil
+}
+
+// addrOf computes the address of an lvalue, returning (base, constant
+// offset, isByteSized).
+func (g *irgen) addrOf(e *Expr) (Val, int32, bool, error) {
+	switch e.Kind {
+	case EVar:
+		byteSized := e.Type.Kind == TChar
+		if lv := e.Local; lv != nil {
+			slot, ok := g.slotOf[lv]
+			if !ok {
+				return NoVal, 0, false, g.errf(e.Line, "internal: register local has no address")
+			}
+			addr := g.newVal()
+			g.emit(IRIns{Op: IRAddrL, Dst: addr, LocalIdx: slot})
+			return addr, 0, byteSized, nil
+		}
+		addr := g.newVal()
+		g.emit(IRIns{Op: IRAddrG, Dst: addr, Sym: e.Global.Name})
+		return addr, 0, byteSized, nil
+	case EIndex:
+		base, err := g.expr(e.L)
+		if err != nil {
+			return NoVal, 0, false, err
+		}
+		elem := decay(e.L.Type).Elem
+		byteSized := elem.Kind == TChar
+		size := elem.Size()
+		if e.R.Kind == ENum {
+			off := e.R.Num * size
+			if fitsImm(off) {
+				return base, off, byteSized, nil
+			}
+		}
+		idx, err := g.expr(e.R)
+		if err != nil {
+			return NoVal, 0, false, err
+		}
+		addr := g.newVal()
+		if size == 4 {
+			scaled := g.newVal()
+			g.emit(IRIns{Op: IRBin, Bin: BShl, Dst: scaled, A: idx, HasImm: true, Imm: 2})
+			g.emit(IRIns{Op: IRBin, Bin: BAdd, Dst: addr, A: base, B: scaled})
+		} else {
+			g.emit(IRIns{Op: IRBin, Bin: BAdd, Dst: addr, A: base, B: idx})
+		}
+		return addr, 0, byteSized, nil
+	case EUnop:
+		if e.Op == "*" {
+			base, err := g.expr(e.L)
+			if err != nil {
+				return NoVal, 0, false, err
+			}
+			return base, 0, e.Type.Kind == TChar, nil
+		}
+	}
+	return NoVal, 0, false, g.errf(e.Line, "not an addressable lvalue")
+}
+
+func (g *irgen) unop(e *Expr) (Val, error) {
+	switch e.Op {
+	case "-":
+		a, err := g.expr(e.L)
+		if err != nil {
+			return NoVal, err
+		}
+		v := g.newVal()
+		g.emit(IRIns{Op: IRNeg, Dst: v, A: a})
+		return v, nil
+	case "~":
+		a, err := g.expr(e.L)
+		if err != nil {
+			return NoVal, err
+		}
+		v := g.newVal()
+		g.emit(IRIns{Op: IRNot, Dst: v, A: a})
+		return v, nil
+	case "!":
+		a, err := g.expr(e.L)
+		if err != nil {
+			return NoVal, err
+		}
+		v := g.newVal()
+		g.emit(IRIns{Op: IRCmp, Cond: CEq, Dst: v, A: a, HasImm: true, Imm: 0})
+		return v, nil
+	case "*":
+		addr, off, byteSized, err := g.addrOf(e)
+		if err != nil {
+			return NoVal, err
+		}
+		v := g.newVal()
+		op := IRLoad
+		if byteSized {
+			op = IRLoadB
+		}
+		g.emit(IRIns{Op: op, Dst: v, A: addr, Imm: off})
+		return v, nil
+	case "&":
+		addr, off, _, err := g.addrOf(e.L)
+		if err != nil {
+			return NoVal, err
+		}
+		if off != 0 {
+			v := g.newVal()
+			g.emit(IRIns{Op: IRBin, Bin: BAdd, Dst: v, A: addr, HasImm: true, Imm: off})
+			return v, nil
+		}
+		return addr, nil
+	}
+	return NoVal, g.errf(e.Line, "bad unary %s", e.Op)
+}
+
+func (g *irgen) binop(e *Expr) (Val, error) {
+	switch e.Op {
+	case "&&", "||":
+		// Value form via short-circuit control flow.
+		v := g.newVal()
+		falseL := g.newLabel()
+		endL := g.newLabel()
+		if err := g.condFalse(e, falseL); err != nil {
+			return NoVal, err
+		}
+		g.emit(IRIns{Op: IRConst, Dst: v, Imm: 1})
+		g.emit(IRIns{Op: IRBr, Label: endL})
+		g.emit(IRIns{Op: IRLabel, Label: falseL})
+		g.emit(IRIns{Op: IRConst, Dst: v, Imm: 0})
+		g.emit(IRIns{Op: IRLabel, Label: endL})
+		return v, nil
+	case "==", "!=", "<", "<=", ">", ">=":
+		a, err := g.expr(e.L)
+		if err != nil {
+			return NoVal, err
+		}
+		v := g.newVal()
+		if e.R.Kind == ENum && fitsImm(e.R.Num) {
+			g.emit(IRIns{Op: IRCmp, Cond: cmpOf[e.Op], Dst: v, A: a, HasImm: true, Imm: e.R.Num})
+			return v, nil
+		}
+		b, err := g.expr(e.R)
+		if err != nil {
+			return NoVal, err
+		}
+		g.emit(IRIns{Op: IRCmp, Cond: cmpOf[e.Op], Dst: v, A: a, B: b})
+		return v, nil
+	case "/", "%":
+		a, err := g.expr(e.L)
+		if err != nil {
+			return NoVal, err
+		}
+		b, err := g.expr(e.R)
+		if err != nil {
+			return NoVal, err
+		}
+		v := g.newVal()
+		sym := "__divsi3"
+		if e.Op == "%" {
+			sym = "__modsi3"
+		}
+		g.emit(IRIns{Op: IRCall, Dst: v, Sym: sym, Args: []Val{a, b}})
+		return v, nil
+	case "<<", ">>":
+		a, err := g.expr(e.L)
+		if err != nil {
+			return NoVal, err
+		}
+		kind := BShl
+		sym := "__lshl"
+		if e.Op == ">>" {
+			kind = BShr
+			sym = "__ashr"
+		}
+		if e.R.Kind == ENum && e.R.Num >= 0 && e.R.Num <= 31 {
+			v := g.newVal()
+			g.emit(IRIns{Op: IRBin, Bin: kind, Dst: v, A: a, HasImm: true, Imm: e.R.Num})
+			return v, nil
+		}
+		b, err := g.expr(e.R)
+		if err != nil {
+			return NoVal, err
+		}
+		v := g.newVal()
+		g.emit(IRIns{Op: IRCall, Dst: v, Sym: sym, Args: []Val{a, b}})
+		return v, nil
+	}
+
+	// Pointer arithmetic scaling.
+	lt, rt := decay(e.L.Type), decay(e.R.Type)
+	a, err := g.expr(e.L)
+	if err != nil {
+		return NoVal, err
+	}
+	switch {
+	case e.Op == "+" && lt.Kind == TPtr && rt.Kind != TPtr:
+		return g.scaledAddSub(BAdd, a, e.R, lt)
+	case e.Op == "+" && rt.Kind == TPtr && lt.Kind != TPtr:
+		// int + ptr: compute ptr then add scaled int.
+		b, err := g.expr(e.R)
+		if err != nil {
+			return NoVal, err
+		}
+		return g.scaledAddSubVal(BAdd, b, a, rt)
+	case e.Op == "-" && lt.Kind == TPtr && rt.Kind == TPtr:
+		b, err := g.expr(e.R)
+		if err != nil {
+			return NoVal, err
+		}
+		diff := g.newVal()
+		g.emit(IRIns{Op: IRBin, Bin: BSub, Dst: diff, A: a, B: b})
+		if sc, need := scaleOf(lt); need {
+			v := g.newVal()
+			g.emit(IRIns{Op: IRBin, Bin: BShr, Dst: v, A: diff, HasImm: true, Imm: sc})
+			return v, nil
+		}
+		return diff, nil
+	case e.Op == "-" && lt.Kind == TPtr:
+		return g.scaledAddSub(BSub, a, e.R, lt)
+	}
+
+	bin := map[string]BinKind{"+": BAdd, "-": BSub, "*": BMul, "&": BAnd, "|": BOr, "^": BXor}[e.Op]
+	v := g.newVal()
+	if e.R.Kind == ENum && fitsImm(e.R.Num) && e.Op != "*" {
+		g.emit(IRIns{Op: IRBin, Bin: bin, Dst: v, A: a, HasImm: true, Imm: e.R.Num})
+		return v, nil
+	}
+	b, err := g.expr(e.R)
+	if err != nil {
+		return NoVal, err
+	}
+	g.emit(IRIns{Op: IRBin, Bin: bin, Dst: v, A: a, B: b})
+	return v, nil
+}
+
+// scaledAddSub emits ptr +/- idx*size where idx is an expression.
+func (g *irgen) scaledAddSub(kind BinKind, ptr Val, idx *Expr, pt *Type) (Val, error) {
+	sc, need := scaleOf(pt)
+	if idx.Kind == ENum {
+		off := idx.Num
+		if need {
+			off <<= sc
+		}
+		if fitsImm(off) {
+			v := g.newVal()
+			g.emit(IRIns{Op: IRBin, Bin: kind, Dst: v, A: ptr, HasImm: true, Imm: off})
+			return v, nil
+		}
+	}
+	iv, err := g.expr(idx)
+	if err != nil {
+		return NoVal, err
+	}
+	return g.scaledAddSubVal(kind, ptr, iv, pt)
+}
+
+func (g *irgen) scaledAddSubVal(kind BinKind, ptr, idx Val, pt *Type) (Val, error) {
+	sc, need := scaleOf(pt)
+	if need {
+		s := g.newVal()
+		g.emit(IRIns{Op: IRBin, Bin: BShl, Dst: s, A: idx, HasImm: true, Imm: sc})
+		idx = s
+	}
+	v := g.newVal()
+	g.emit(IRIns{Op: IRBin, Bin: kind, Dst: v, A: ptr, B: idx})
+	return v, nil
+}
+
+func (g *irgen) assign(e *Expr) (Val, error) {
+	// Register-allocated scalar target.
+	if e.L.Kind == EVar && e.L.Local != nil {
+		if dst, ok := g.vregOf[e.L.Local]; ok {
+			rhs, err := g.assignRHS(e, func() (Val, error) { return dst, nil })
+			if err != nil {
+				return NoVal, err
+			}
+			g.emit(IRIns{Op: IRMov, Dst: dst, A: rhs})
+			return dst, nil
+		}
+	}
+	// Memory target: compute the address once.
+	addr, off, byteSized, err := g.addrOf(e.L)
+	if err != nil {
+		return NoVal, err
+	}
+	loadOp, storeOp := IRLoad, IRStore
+	if byteSized {
+		loadOp, storeOp = IRLoadB, IRStoreB
+	}
+	rhs, err := g.assignRHS(e, func() (Val, error) {
+		cur := g.newVal()
+		g.emit(IRIns{Op: loadOp, Dst: cur, A: addr, Imm: off})
+		return cur, nil
+	})
+	if err != nil {
+		return NoVal, err
+	}
+	g.emit(IRIns{Op: storeOp, A: addr, Imm: off, B: rhs})
+	return rhs, nil
+}
+
+// assignRHS computes the stored value; current() yields the old value for
+// compound assignments.
+func (g *irgen) assignRHS(e *Expr, current func() (Val, error)) (Val, error) {
+	if e.Op == "=" {
+		return g.expr(e.R)
+	}
+	op := e.Op[:len(e.Op)-1] // "+=" -> "+"
+	cur, err := current()
+	if err != nil {
+		return NoVal, err
+	}
+	// Pointer compound assignment scales.
+	lt := decay(e.L.Type)
+	if lt.Kind == TPtr {
+		kind := BAdd
+		if op == "-" {
+			kind = BSub
+		}
+		return g.scaledAddSub(kind, cur, e.R, lt)
+	}
+	switch op {
+	case "/", "%":
+		b, err := g.expr(e.R)
+		if err != nil {
+			return NoVal, err
+		}
+		v := g.newVal()
+		sym := "__divsi3"
+		if op == "%" {
+			sym = "__modsi3"
+		}
+		g.emit(IRIns{Op: IRCall, Dst: v, Sym: sym, Args: []Val{cur, b}})
+		return v, nil
+	case "<<", ">>":
+		kind := BShl
+		sym := "__lshl"
+		if op == ">>" {
+			kind = BShr
+			sym = "__ashr"
+		}
+		if e.R.Kind == ENum && e.R.Num >= 0 && e.R.Num <= 31 {
+			v := g.newVal()
+			g.emit(IRIns{Op: IRBin, Bin: kind, Dst: v, A: cur, HasImm: true, Imm: e.R.Num})
+			return v, nil
+		}
+		b, err := g.expr(e.R)
+		if err != nil {
+			return NoVal, err
+		}
+		v := g.newVal()
+		g.emit(IRIns{Op: IRCall, Dst: v, Sym: sym, Args: []Val{cur, b}})
+		return v, nil
+	}
+	bin := map[string]BinKind{"+": BAdd, "-": BSub, "*": BMul, "&": BAnd, "|": BOr, "^": BXor}[op]
+	v := g.newVal()
+	if e.R.Kind == ENum && fitsImm(e.R.Num) && op != "*" {
+		g.emit(IRIns{Op: IRBin, Bin: bin, Dst: v, A: cur, HasImm: true, Imm: e.R.Num})
+		return v, nil
+	}
+	b, err := g.expr(e.R)
+	if err != nil {
+		return NoVal, err
+	}
+	g.emit(IRIns{Op: IRBin, Bin: bin, Dst: v, A: cur, B: b})
+	return v, nil
+}
+
+func (g *irgen) call(e *Expr) (Val, error) {
+	var args []Val
+	for _, a := range e.Args {
+		v, err := g.expr(a)
+		if err != nil {
+			return NoVal, err
+		}
+		args = append(args, v)
+	}
+	dst := NoVal
+	if e.Type.Kind != TVoid {
+		dst = g.newVal()
+	}
+	g.emit(IRIns{Op: IRCall, Dst: dst, Sym: e.Name, Args: args})
+	return dst, nil
+}

@@ -1,0 +1,224 @@
+// Package minic is a small C-subset compiler front end: lexer, parser,
+// type checker and IR generator. It plays the role gcc -Os plays in the
+// paper: producing realistic, template-generated ARM-style code for the
+// MiBench-like benchmark programs in internal/bench, so that procedural
+// abstraction sees the kind of duplication real compilers emit.
+//
+// The language: int (32-bit) and char (8-bit) scalars, pointers, fixed
+// arrays, globals with initialisers, functions (up to 4 parameters),
+// if/else, while/do/for, break/continue/return, the usual expression
+// operators with C precedence, and a handful of builtins (putc, getc,
+// puts, printi, clock, exit) that bottom out in the runtime library.
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNum
+	TokStr
+	TokChar
+	TokPunct
+	TokKeyword
+)
+
+// Token is one lexeme.
+type Token struct {
+	Kind TokKind
+	Text string
+	Num  int32
+	Line int
+}
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "void": true, "if": true, "else": true,
+	"while": true, "for": true, "do": true, "return": true, "break": true,
+	"continue": true, "unsigned": true, "const": true, "static": true,
+}
+
+// LexError reports a lexing failure.
+type LexError struct {
+	Line int
+	Msg  string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg) }
+
+// punctuators, longest first so maximal munch works.
+var puncts = []string{
+	"<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ";", ",",
+}
+
+// Lex tokenises src.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= n {
+				return nil, &LexError{line, "unterminated comment"}
+			}
+			i += 2
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentCont(src[j]) {
+				j++
+			}
+			text := src[i:j]
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: line})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			base := int32(10)
+			if c == '0' && j+1 < n && (src[j+1] == 'x' || src[j+1] == 'X') {
+				base = 16
+				j += 2
+			}
+			v := int32(0)
+			start := j
+			for j < n {
+				d := digitVal(src[j], base)
+				if d < 0 {
+					break
+				}
+				v = v*base + d
+				j++
+			}
+			if base == 16 && j == start {
+				return nil, &LexError{line, "bad hex literal"}
+			}
+			toks = append(toks, Token{Kind: TokNum, Num: v, Text: src[i:j], Line: line})
+			i = j
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < n && src[j] != '"' {
+				ch, nj, err := unescape(src, j, line)
+				if err != nil {
+					return nil, err
+				}
+				sb.WriteByte(ch)
+				j = nj
+			}
+			if j >= n {
+				return nil, &LexError{line, "unterminated string"}
+			}
+			toks = append(toks, Token{Kind: TokStr, Text: sb.String(), Line: line})
+			i = j + 1
+		case c == '\'':
+			j := i + 1
+			if j >= n {
+				return nil, &LexError{line, "unterminated char literal"}
+			}
+			ch, nj, err := unescape(src, j, line)
+			if err != nil {
+				return nil, err
+			}
+			if nj >= n || src[nj] != '\'' {
+				return nil, &LexError{line, "unterminated char literal"}
+			}
+			toks = append(toks, Token{Kind: TokChar, Num: int32(ch), Text: string(ch), Line: line})
+			i = nj + 1
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, Token{Kind: TokPunct, Text: p, Line: line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, &LexError{line, fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func digitVal(c byte, base int32) int32 {
+	var v int32
+	switch {
+	case c >= '0' && c <= '9':
+		v = int32(c - '0')
+	case c >= 'a' && c <= 'f':
+		v = int32(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		v = int32(c-'A') + 10
+	default:
+		return -1
+	}
+	if v >= base {
+		return -1
+	}
+	return v
+}
+
+func unescape(src string, j int, line int) (byte, int, error) {
+	if src[j] != '\\' {
+		return src[j], j + 1, nil
+	}
+	if j+1 >= len(src) {
+		return 0, 0, &LexError{line, "bad escape"}
+	}
+	switch src[j+1] {
+	case 'n':
+		return '\n', j + 2, nil
+	case 't':
+		return '\t', j + 2, nil
+	case 'r':
+		return '\r', j + 2, nil
+	case '0':
+		return 0, j + 2, nil
+	case '\\':
+		return '\\', j + 2, nil
+	case '\'':
+		return '\'', j + 2, nil
+	case '"':
+		return '"', j + 2, nil
+	}
+	return 0, 0, &LexError{line, fmt.Sprintf("bad escape \\%c", src[j+1])}
+}

@@ -1,0 +1,302 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`int x = 0x1F; // comment
+char c = 'a'; /* block
+comment */ "str\n"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	if toks[0].Kind != TokKeyword || toks[0].Text != "int" {
+		t.Errorf("tok0 = %v %q", kinds[0], texts[0])
+	}
+	if toks[3].Kind != TokNum || toks[3].Num != 31 {
+		t.Errorf("hex literal = %d", toks[3].Num)
+	}
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == TokChar && tok.Num == 'a' {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("char literal missing")
+	}
+	last := toks[len(toks)-2]
+	if last.Kind != TokStr || last.Text != "str\n" {
+		t.Errorf("string literal = %q", last.Text)
+	}
+}
+
+func TestLexMaximalMunch(t *testing.T) {
+	toks, err := Lex("a <<= b << c <= d < e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tok := range toks {
+		if tok.Kind == TokPunct {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := []string{"<<=", "<<", "<=", "<"}
+	if strings.Join(ops, " ") != strings.Join(want, " ") {
+		t.Errorf("ops = %v, want %v", ops, want)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `'a`, "int @ x;", "/* open"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func checked(t *testing.T, src string) *Program {
+	t.Helper()
+	p := mustParse(t, src)
+	if err := Check(p); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return p
+}
+
+func TestParseFunctionAndGlobals(t *testing.T) {
+	p := mustParse(t, `
+int table[4] = {1, 2, 3, 4};
+char msg[] = "hi";
+int counter = 7;
+int add(int a, int b) { return a + b; }
+void nothing(void) { }
+`)
+	if len(p.Globals) != 3 || len(p.Funcs) != 2 {
+		t.Fatalf("globals=%d funcs=%d", len(p.Globals), len(p.Funcs))
+	}
+	if p.Globals[0].Type.Kind != TArray || p.Globals[0].Type.Len != 4 {
+		t.Errorf("table type = %s", p.Globals[0].Type)
+	}
+	if p.Globals[1].Type.Len != 3 { // "hi" + NUL
+		t.Errorf("msg len = %d", p.Globals[1].Type.Len)
+	}
+	if p.Funcs[0].Name != "add" || len(p.Funcs[0].Params) != 2 {
+		t.Error("add signature wrong")
+	}
+	if len(p.Funcs[1].Params) != 0 {
+		t.Error("void param list should be empty")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p := mustParse(t, "int f(int a, int b) { return a + b * 2 == a << 1; }")
+	e := p.Funcs[0].Body.Body[0].Expr
+	if e.Op != "==" {
+		t.Fatalf("top op = %q", e.Op)
+	}
+	if e.L.Op != "+" || e.L.R.Op != "*" || e.R.Op != "<<" {
+		t.Errorf("precedence tree wrong: %q %q %q", e.L.Op, e.L.R.Op, e.R.Op)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `
+int f(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i += 1) {
+		if (i % 2 == 0) s += i; else s -= 1;
+	}
+	while (s > 100) { s /= 2; }
+	do { s += 1; } while (s < 0);
+	return s;
+}
+`
+	checked(t, src)
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"int f( { }",
+		"int f() { return 1 }",
+		"int f() { if x { } }",
+		"int f(int a, int b, int c, int d, int e) { return 0; }",
+		"int x[3] = {1,2,3,4};",
+		"foo f() {}",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	bad := []string{
+		"int f() { return y; }",
+		"int f() { g(); return 0; }",
+		"int f(int a) { return f(a, a); }",
+		"void f() { return 1; }",
+		"int f() { return; }",
+		"int f() { break; return 0; }",
+		"int f(int* p, int* q) { return p * q; }",
+		"int f(int a) { a() ; return 0; }",
+		"int f() { 1 = 2; return 0; }",
+		"int f(int a) { int a; return a; }",
+		"int g() { return 0; } int g() { return 1; }",
+		"int putc(int c) { return c; }",
+		"int f(int* p) { int x; x = p; return x; }",
+	}
+	for _, src := range bad {
+		p, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q) failed early: %v", src, err)
+			continue
+		}
+		if err := Check(p); err == nil {
+			t.Errorf("Check(%q) should fail", src)
+		}
+	}
+}
+
+func TestCheckTypes(t *testing.T) {
+	p := checked(t, `
+int arr[10];
+int f(int* p, int n) {
+	char buf[8];
+	p[1] = n;
+	buf[0] = 'x';
+	*p = p[2] + arr[n];
+	return &arr[3] - &arr[0];
+}
+`)
+	_ = p
+}
+
+func TestLowerBasics(t *testing.T) {
+	p := checked(t, `
+int f(int a, int b) {
+	int c = a + b;
+	return c * 2;
+}
+`)
+	irs, err := Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(irs) != 1 {
+		t.Fatalf("funcs = %d", len(irs))
+	}
+	f := irs[0]
+	if f.NParams != 2 {
+		t.Errorf("NParams = %d", f.NParams)
+	}
+	text := f.String()
+	for _, want := range []string{"add", "mul", "ret"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("IR missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestLowerDivBecomesCall(t *testing.T) {
+	p := checked(t, "int f(int a, int b) { return a / b + a % b + (a >> b); }")
+	irs, err := Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := irs[0].String()
+	for _, want := range []string{"__divsi3", "__modsi3", "__ashr"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("IR missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestLowerShortCircuit(t *testing.T) {
+	p := checked(t, "int f(int a, int b) { if (a && b) return 1; return a || b; }")
+	irs, err := Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := irs[0].String()
+	if !strings.Contains(text, "br(") {
+		t.Errorf("short-circuit IR missing branches:\n%s", text)
+	}
+}
+
+func TestLowerAddressedLocal(t *testing.T) {
+	p := checked(t, `
+void g(int* p) { *p = 5; }
+int f() {
+	int x = 1;
+	g(&x);
+	return x;
+}
+`)
+	irs, err := Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f *IRFunc
+	for _, ir := range irs {
+		if ir.Name == "f" {
+			f = ir
+		}
+	}
+	if len(f.Locals) != 1 {
+		t.Fatalf("addressed local not in frame: %s", f.String())
+	}
+	if !strings.Contains(f.String(), "&local0") {
+		t.Errorf("missing frame address:\n%s", f.String())
+	}
+}
+
+func TestLowerPointerScaling(t *testing.T) {
+	p := checked(t, `
+int f(int* p, int i) { return *(p + i); }
+int g(char* p, int i) { return *(p + i); }
+`)
+	irs, err := Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(irs[0].String(), "shl #2") {
+		t.Errorf("int* arithmetic must scale by 4:\n%s", irs[0].String())
+	}
+	if strings.Contains(irs[1].String(), "shl") {
+		t.Errorf("char* arithmetic must not scale:\n%s", irs[1].String())
+	}
+}
+
+func TestLowerStringLiteral(t *testing.T) {
+	p := checked(t, `void f() { puts("hello"); }`)
+	if len(p.Globals) != 1 || p.Globals[0].Str != "hello" {
+		t.Fatal("string literal not hoisted to a global")
+	}
+	irs, err := Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(irs[0].String(), "&__str0") {
+		t.Errorf("IR missing string address:\n%s", irs[0].String())
+	}
+}

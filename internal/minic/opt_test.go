@@ -1,0 +1,210 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func lowerSrc(t *testing.T, src string) []*IRFunc {
+	t.Helper()
+	p := mustParse(t, src)
+	if err := Check(p); err != nil {
+		t.Fatal(err)
+	}
+	irs, err := Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return irs
+}
+
+func fnByName(t *testing.T, fns []*IRFunc, name string) *IRFunc {
+	t.Helper()
+	for _, f := range fns {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+func TestInlineSmallFunction(t *testing.T) {
+	irs := lowerSrc(t, `
+int twice(int x) { return x + x; }
+int main() { return twice(21); }
+`)
+	out := OptimizeIR(irs)
+	main := fnByName(t, out, "main")
+	if strings.Contains(main.String(), "call twice") {
+		t.Errorf("twice not inlined:\n%s", main.String())
+	}
+	// twice is unreachable after inlining and must be dropped.
+	for _, f := range out {
+		if f.Name == "twice" {
+			t.Error("unused function not removed")
+		}
+	}
+	// Constant folding should reduce main to "return 42".
+	if !strings.Contains(main.String(), "= 42") {
+		t.Errorf("21+21 not folded:\n%s", main.String())
+	}
+}
+
+func TestInlineSkipsRecursive(t *testing.T) {
+	irs := lowerSrc(t, `
+int f(int n) { if (n <= 0) return 0; return n + f(n - 1); }
+int main() { return f(3); }
+`)
+	out := OptimizeIR(irs)
+	main := fnByName(t, out, "main")
+	if !strings.Contains(main.String(), "call f") {
+		t.Errorf("recursive f must not be inlined:\n%s", main.String())
+	}
+	fnByName(t, out, "f") // must still exist
+}
+
+func TestInlineSkipsMutualRecursion(t *testing.T) {
+	irs := lowerSrc(t, `
+int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+int main() { return even(4); }
+`)
+	out := OptimizeIR(irs)
+	main := fnByName(t, out, "main")
+	if !strings.Contains(main.String(), "call even") {
+		t.Errorf("mutually recursive even must not be inlined:\n%s", main.String())
+	}
+	fnByName(t, out, "even")
+	fnByName(t, out, "odd")
+}
+
+func TestConstantBranchElimination(t *testing.T) {
+	irs := lowerSrc(t, `
+int main() {
+	int n = 8;
+	if (n > 31) return 1;
+	if (n <= 0) return 2;
+	return n * 4;
+}
+`)
+	out := OptimizeIR(irs)
+	main := fnByName(t, out, "main")
+	s := main.String()
+	if strings.Contains(s, "br(") {
+		t.Errorf("constant branches survive:\n%s", s)
+	}
+	if !strings.Contains(s, "= 32") {
+		t.Errorf("result not folded to 32:\n%s", s)
+	}
+}
+
+func TestShiftHelperFoldsAway(t *testing.T) {
+	// The pattern every benchmark uses: shru with a constant amount must
+	// become straight-line code with no calls and no branches.
+	irs := lowerSrc(t, `
+int shru(int x, int n) {
+	if (n <= 0) return x;
+	if (n > 31) return 0;
+	return (x >> n) & (0x7fffffff >> (n - 1));
+}
+int main() {
+	int v = 0 - 1;
+	return shru(v, 24) & 255;
+}
+`)
+	out := OptimizeIR(irs)
+	main := fnByName(t, out, "main")
+	s := main.String()
+	if strings.Contains(s, "call") || strings.Contains(s, "br(") {
+		t.Errorf("shru(x, const) should fold to straight line:\n%s", s)
+	}
+}
+
+func TestDeadCodeElim(t *testing.T) {
+	f := &IRFunc{Name: "t", NVals: 4}
+	f.Ins = []IRIns{
+		{Op: IRConst, Dst: 0, Imm: 1, A: NoVal, B: NoVal},
+		{Op: IRConst, Dst: 1, Imm: 2, A: NoVal, B: NoVal}, // dead
+		{Op: IRBin, Bin: BAdd, Dst: 2, A: 0, HasImm: true, Imm: 5},
+		{Op: IRRet, A: 2, B: NoVal, Dst: NoVal},
+	}
+	simplify(f)
+	for i := range f.Ins {
+		if f.Ins[i].Op == IRConst && f.Ins[i].Dst == 1 {
+			t.Error("dead const not removed")
+		}
+	}
+	// the add should have been folded to a const 6
+	if !strings.Contains(f.String(), "= 6") {
+		t.Errorf("fold failed:\n%s", f.String())
+	}
+}
+
+func TestUnreachableElim(t *testing.T) {
+	f := &IRFunc{Name: "t", NVals: 2}
+	f.Ins = []IRIns{
+		{Op: IRBr, Label: "end"},
+		{Op: IRConst, Dst: 0, Imm: 9, A: NoVal, B: NoVal}, // unreachable
+		{Op: IRLabel, Label: "end"},
+		{Op: IRRet, A: NoVal, B: NoVal, Dst: NoVal},
+	}
+	simplify(f)
+	for i := range f.Ins {
+		if f.Ins[i].Op == IRConst {
+			t.Errorf("unreachable code survives:\n%s", f.String())
+		}
+		if f.Ins[i].Op == IRBr {
+			t.Errorf("fall-through branch survives:\n%s", f.String())
+		}
+	}
+}
+
+func TestEvalBinMatchesSemantics(t *testing.T) {
+	cases := []struct {
+		k    BinKind
+		a, b int32
+		want int32
+	}{
+		{BAdd, 2147483647, 1, -2147483648}, // wraps
+		{BSub, -2147483648, 1, 2147483647},
+		{BRsb, 3, 10, 7},
+		{BMul, 65536, 65536, 0},
+		{BShl, 1, 31, -2147483648},
+		{BShr, -8, 1, -4}, // arithmetic
+		{BAnd, 12, 10, 8},
+		{BOr, 12, 10, 14},
+		{BXor, 12, 10, 6},
+	}
+	for _, c := range cases {
+		if got := evalBin(c.k, c.a, c.b); got != c.want {
+			t.Errorf("evalBin(%v, %d, %d) = %d, want %d", c.k, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSwapCond(t *testing.T) {
+	pairs := map[CondKind]CondKind{CEq: CEq, CNe: CNe, CLt: CGt, CLe: CGe, CGt: CLt, CGe: CLe}
+	for in, want := range pairs {
+		if got := swapCond(in); got != want {
+			t.Errorf("swapCond(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestInlinePreservesLocals(t *testing.T) {
+	irs := lowerSrc(t, `
+void fill(int* p) { p[0] = 7; }
+int main() {
+	int buf[2];
+	fill(buf);
+	fill(&buf[1]);
+	return buf[0] + buf[1];
+}
+`)
+	out := OptimizeIR(irs)
+	main := fnByName(t, out, "main")
+	if strings.Contains(main.String(), "call fill") {
+		t.Errorf("fill not inlined:\n%s", main.String())
+	}
+}

@@ -1,0 +1,648 @@
+package minic
+
+import "fmt"
+
+// ParseError reports a syntax error.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg) }
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a translation unit (no type checking; see Check).
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(TokEOF) {
+		if err := p.topLevel(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *parser) atPunct(s string) bool {
+	return p.cur().Kind == TokPunct && p.cur().Text == s
+}
+
+func (p *parser) atKeyword(s string) bool {
+	return p.cur().Kind == TokKeyword && p.cur().Text == s
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.atPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKeyword(s string) bool {
+	if p.atKeyword(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.cur().Line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errf("expected %q, got %q", s, p.cur().Text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if !p.at(TokIdent) {
+		return "", p.errf("expected identifier, got %q", p.cur().Text)
+	}
+	return p.next().Text, nil
+}
+
+// baseType parses "int" | "char" | "void" with optional const/unsigned/
+// static qualifiers (accepted and ignored: the dialect is signed and
+// non-static, qualifiers exist so benchmark sources read like C).
+func (p *parser) baseType() (*Type, bool) {
+	for p.acceptKeyword("const") || p.acceptKeyword("static") || p.acceptKeyword("unsigned") {
+	}
+	switch {
+	case p.acceptKeyword("int"):
+		return TypeInt, true
+	case p.acceptKeyword("char"):
+		return TypeChar, true
+	case p.acceptKeyword("void"):
+		return TypeVoid, true
+	}
+	return nil, false
+}
+
+// declType parses pointer stars after a base type.
+func (p *parser) declType(base *Type) *Type {
+	t := base
+	for p.acceptPunct("*") {
+		t = PtrTo(t)
+	}
+	return t
+}
+
+func (p *parser) topLevel(prog *Program) error {
+	base, ok := p.baseType()
+	if !ok {
+		return p.errf("expected type at top level, got %q", p.cur().Text)
+	}
+	t := p.declType(base)
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if p.atPunct("(") {
+		fn, err := p.funcDecl(t, name)
+		if err != nil {
+			return err
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+		return nil
+	}
+	// Global variable(s).
+	for {
+		g, err := p.globalRest(t, name)
+		if err != nil {
+			return err
+		}
+		prog.Globals = append(prog.Globals, g)
+		if p.acceptPunct(",") {
+			t2 := p.declType(base)
+			name, err = p.ident()
+			if err != nil {
+				return err
+			}
+			t = t2
+			continue
+		}
+		break
+	}
+	return p.expectPunct(";")
+}
+
+func (p *parser) globalRest(t *Type, name string) (*GlobalVar, error) {
+	if p.acceptPunct("[") {
+		if p.acceptPunct("]") {
+			// length inferred from the initialiser
+			t = ArrayOf(t, 0)
+		} else {
+			if !p.at(TokNum) {
+				return nil, p.errf("array length must be a constant")
+			}
+			n := p.next().Num
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			t = ArrayOf(t, n)
+		}
+	}
+	g := &GlobalVar{Name: name, Type: t}
+	if p.acceptPunct("=") {
+		if err := p.globalInit(g); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func (p *parser) constExpr() (int32, error) {
+	neg := false
+	for {
+		if p.acceptPunct("-") {
+			neg = !neg
+			continue
+		}
+		break
+	}
+	var v int32
+	switch p.cur().Kind {
+	case TokNum, TokChar:
+		v = p.next().Num
+	default:
+		return 0, p.errf("expected constant, got %q", p.cur().Text)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) globalInit(g *GlobalVar) error {
+	g.HasIni = true
+	if p.at(TokStr) {
+		if g.Type.Kind != TArray || g.Type.Elem.Kind != TChar {
+			return p.errf("string initialiser requires char array")
+		}
+		s := p.next().Text
+		if g.Type.Len == 0 {
+			g.Type = ArrayOf(TypeChar, int32(len(s))+1)
+		}
+		g.Str = s
+		return nil
+	}
+	if p.acceptPunct("{") {
+		if g.Type.Kind != TArray {
+			return p.errf("brace initialiser requires array")
+		}
+		for !p.atPunct("}") {
+			v, err := p.constExpr()
+			if err != nil {
+				return err
+			}
+			g.Init = append(g.Init, v)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct("}"); err != nil {
+			return err
+		}
+		if g.Type.Len == 0 {
+			g.Type = ArrayOf(g.Type.Elem, int32(len(g.Init)))
+		}
+		if int32(len(g.Init)) > g.Type.Len {
+			return p.errf("too many initialisers for %s", g.Name)
+		}
+		return nil
+	}
+	v, err := p.constExpr()
+	if err != nil {
+		return err
+	}
+	g.Init = []int32{v}
+	return nil
+}
+
+func (p *parser) funcDecl(ret *Type, name string) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name, Ret: ret, Line: p.cur().Line}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if !p.acceptPunct(")") {
+		if p.atKeyword("void") && p.toks[p.pos+1].Kind == TokPunct && p.toks[p.pos+1].Text == ")" {
+			p.pos += 2
+		} else {
+			for {
+				base, ok := p.baseType()
+				if !ok {
+					return nil, p.errf("expected parameter type")
+				}
+				t := p.declType(base)
+				pname, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				// Array parameters decay to pointers.
+				if p.acceptPunct("[") {
+					if p.at(TokNum) {
+						p.next()
+					}
+					if err := p.expectPunct("]"); err != nil {
+						return nil, err
+					}
+					t = PtrTo(t)
+				}
+				fn.Params = append(fn.Params, &LocalVar{Name: pname, Type: t, IsParm: true})
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(fn.Params) > 4 {
+		return nil, p.errf("function %s: at most 4 parameters supported", name)
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*Stmt, error) {
+	line := p.cur().Line
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	blk := &Stmt{Kind: SBlock, Line: line}
+	for !p.atPunct("}") {
+		if p.at(TokEOF) {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Body = append(blk.Body, s)
+	}
+	p.pos++
+	return blk, nil
+}
+
+func (p *parser) stmt() (*Stmt, error) {
+	line := p.cur().Line
+	switch {
+	case p.atPunct("{"):
+		return p.block()
+	case p.acceptPunct(";"):
+		return &Stmt{Kind: SEmpty, Line: line}, nil
+	case p.atKeyword("int") || p.atKeyword("char") || p.atKeyword("const") ||
+		p.atKeyword("unsigned") || p.atKeyword("static"):
+		return p.declStmt()
+	case p.acceptKeyword("if"):
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &Stmt{Kind: SIf, Cond: cond, Then: then, Line: line}
+		if p.acceptKeyword("else") {
+			s.Else, err = p.stmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case p.acceptKeyword("while"):
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: SWhile, Cond: cond, Then: body, Line: line}, nil
+	case p.acceptKeyword("do"):
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptKeyword("while") {
+			return nil, p.errf("expected while after do body")
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: SDoWhile, Cond: cond, Then: body, Line: line}, nil
+	case p.acceptKeyword("for"):
+		return p.forStmt(line)
+	case p.acceptKeyword("return"):
+		s := &Stmt{Kind: SReturn, Line: line}
+		if !p.atPunct(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Expr = e
+		}
+		return s, p.expectPunct(";")
+	case p.acceptKeyword("break"):
+		return &Stmt{Kind: SBreak, Line: line}, p.expectPunct(";")
+	case p.acceptKeyword("continue"):
+		return &Stmt{Kind: SContinue, Line: line}, p.expectPunct(";")
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{Kind: SExpr, Expr: e, Line: line}, p.expectPunct(";")
+}
+
+func (p *parser) declStmt() (*Stmt, error) {
+	line := p.cur().Line
+	base, ok := p.baseType()
+	if !ok || base.Kind == TVoid {
+		return nil, p.errf("bad declaration type")
+	}
+	blk := &Stmt{Kind: SBlock, Line: line}
+	for {
+		t := p.declType(base)
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.acceptPunct("[") {
+			if !p.at(TokNum) {
+				return nil, p.errf("array length must be constant")
+			}
+			n := p.next().Num
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			t = ArrayOf(t, n)
+		}
+		lv := &LocalVar{Name: name, Type: t}
+		if p.acceptPunct("=") {
+			e, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			lv.Init = e
+		}
+		blk.Body = append(blk.Body, &Stmt{Kind: SDecl, Decl: lv, Line: line})
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if len(blk.Body) == 1 {
+		return blk.Body[0], nil
+	}
+	return blk, nil
+}
+
+func (p *parser) forStmt(line int) (*Stmt, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	s := &Stmt{Kind: SFor, Line: line}
+	if !p.atPunct(";") {
+		if p.atKeyword("int") || p.atKeyword("char") {
+			init, err := p.declStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = &Stmt{Kind: SExpr, Expr: e, Line: line}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.pos++
+	}
+	if !p.atPunct(";") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.atPunct(")") {
+		post, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Then = body
+	return s, nil
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *parser) expr() (*Expr, error) { return p.assignExpr() }
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"&=": true, "|=": true, "^=": true, "<<=": true, ">>=": true,
+}
+
+func (p *parser) assignExpr() (*Expr, error) {
+	lhs, err := p.binExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokPunct && assignOps[p.cur().Text] {
+		op := p.next().Text
+		rhs, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: EAssign, Op: op, L: lhs, R: rhs, Line: lhs.Line}, nil
+	}
+	return lhs, nil
+}
+
+// binary operator precedence, higher binds tighter.
+var binPrec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6, "<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8, "+": 9, "-": 9, "*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) binExpr(minPrec int) (*Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Expr{Kind: EBinop, Op: t.Text, L: lhs, R: rhs, Line: t.Line}
+	}
+}
+
+func (p *parser) unary() (*Expr, error) {
+	t := p.cur()
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "-", "!", "~", "*", "&":
+			p.pos++
+			e, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: EUnop, Op: t.Text, L: e, Line: t.Line}, nil
+		case "++", "--":
+			// pre-increment sugar: ++x -> x += 1
+			p.pos++
+			e, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			op := "+="
+			if t.Text == "--" {
+				op = "-="
+			}
+			one := &Expr{Kind: ENum, Num: 1, Line: t.Line}
+			return &Expr{Kind: EAssign, Op: op, L: e, R: one, Line: t.Line}, nil
+		}
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (*Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptPunct("["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			e = &Expr{Kind: EIndex, L: e, R: idx, Line: e.Line}
+		case p.atPunct("(") && e.Kind == EVar:
+			p.pos++
+			call := &Expr{Kind: ECall, Name: e.Name, Line: e.Line}
+			for !p.atPunct(")") {
+				a, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			e = call
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primary() (*Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNum, TokChar:
+		p.pos++
+		return &Expr{Kind: ENum, Num: t.Num, Line: t.Line}, nil
+	case TokStr:
+		p.pos++
+		return &Expr{Kind: EStr, Str: t.Text, Line: t.Line}, nil
+	case TokIdent:
+		p.pos++
+		return &Expr{Kind: EVar, Name: t.Text, Line: t.Line}, nil
+	case TokPunct:
+		if t.Text == "(" {
+			p.pos++
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expectPunct(")")
+		}
+	}
+	return nil, p.errf("unexpected token %q", t.Text)
+}

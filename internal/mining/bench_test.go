@@ -1,0 +1,35 @@
+package mining
+
+import "testing"
+
+// BenchmarkMineRunningExample measures the miner on the paper's Fig. 2
+// graph replicated across a small database.
+func BenchmarkMineRunningExample(b *testing.B) {
+	var graphs []*Graph
+	for i := 0; i < 16; i++ {
+		graphs = append(graphs, runningExample(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		Mine(graphs, Config{MinSupport: 2, EmbeddingSupport: true, MaxNodes: 6}, func(p *Pattern) { n++ })
+		if n == 0 {
+			b.Fatal("nothing mined")
+		}
+	}
+}
+
+// BenchmarkExactMIS measures the independent-set solver on a chain of
+// overlapping embeddings.
+func BenchmarkExactMIS(b *testing.B) {
+	var embs []*Embedding
+	for i := 0; i < 20; i++ {
+		embs = append(embs, &Embedding{GID: 0, Nodes: []int{i, i + 1, i + 2}})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := DisjointEmbeddings(embs, Config{}); len(got) == 0 {
+			b.Fatal("empty MIS")
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package mining
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is one entry of a DFS code (paper Fig. 7): the (i, j) DFS
+// discovery indices of an edge's endpoints, their node labels, the edge
+// label, and — the directed-graph extension — a direction flag telling
+// whether the underlying edge runs i→j or j→i.
+type Tuple struct {
+	I, J   int
+	LI, LJ string
+	Out    bool // true: edge I->J in the digraph; false: J->I
+	LE     string
+}
+
+// Forward reports whether the tuple discovers a new node (gSpan forward
+// edge).
+func (t Tuple) Forward() bool { return t.I < t.J }
+
+func (t Tuple) String() string {
+	d := "<"
+	if t.Out {
+		d = ">"
+	}
+	return fmt.Sprintf("(%d,%d,%s,%s,%s,%s)", t.I, t.J, t.LI, d, t.LE, t.LJ)
+}
+
+// dirRank orders edge directions: outgoing before incoming.
+func dirRank(out bool) int {
+	if out {
+		return 0
+	}
+	return 1
+}
+
+// CompareTuples implements the gSpan lexicographic order on DFS-code
+// entries, extended with the direction flag. It returns -1, 0 or +1.
+func CompareTuples(a, b Tuple) int {
+	af, bf := a.Forward(), b.Forward()
+	switch {
+	case !af && bf: // backward vs forward: (i,j) < (i2,j2) iff i < j2
+		if a.I < b.J {
+			return -1
+		}
+		return 1
+	case af && !bf: // forward vs backward: less iff j <= i2
+		if a.J <= b.I {
+			return -1
+		}
+		return 1
+	case af && bf:
+		if a.J != b.J {
+			return sign(a.J - b.J)
+		}
+		if a.I != b.I {
+			return sign(b.I - a.I) // larger I first
+		}
+	default: // both backward
+		if a.I != b.I {
+			return sign(a.I - b.I)
+		}
+		if a.J != b.J {
+			return sign(a.J - b.J)
+		}
+	}
+	// Same position: compare labels.
+	if c := strings.Compare(a.LI, b.LI); c != 0 {
+		return c
+	}
+	if d := dirRank(a.Out) - dirRank(b.Out); d != 0 {
+		return sign(d)
+	}
+	if c := strings.Compare(a.LE, b.LE); c != 0 {
+		return c
+	}
+	return strings.Compare(a.LJ, b.LJ)
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+// Code is a DFS code: a pattern identified by its ordered edge tuples.
+type Code []Tuple
+
+// NumNodes returns the number of DFS-discovered nodes in the code.
+func (c Code) NumNodes() int {
+	n := 0
+	for _, t := range c {
+		if t.J+1 > n {
+			n = t.J + 1
+		}
+		if t.I+1 > n {
+			n = t.I + 1
+		}
+	}
+	return n
+}
+
+// NodeLabels returns the node labels indexed by DFS index.
+func (c Code) NodeLabels() []string {
+	out := make([]string, c.NumNodes())
+	for _, t := range c {
+		out[t.I] = t.LI
+		out[t.J] = t.LJ
+	}
+	return out
+}
+
+// RightmostPath returns the DFS indices on the rightmost path, root
+// first. The rightmost vertex is the last forward-discovered node.
+func (c Code) RightmostPath() []int {
+	if len(c) == 0 {
+		return nil
+	}
+	// Find the rightmost vertex: highest J of a forward edge (or node 0).
+	rm := 0
+	parent := map[int]int{}
+	for _, t := range c {
+		if t.Forward() {
+			parent[t.J] = t.I
+			if t.J > rm {
+				rm = t.J
+			}
+		}
+	}
+	var path []int
+	for v := rm; ; {
+		path = append(path, v)
+		p, ok := parent[v]
+		if !ok {
+			break
+		}
+		v = p
+	}
+	// reverse to root-first
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// ToGraph materialises the code as a pattern graph.
+func (c Code) ToGraph() *Graph {
+	g := &Graph{ID: -1, Labels: c.NodeLabels()}
+	for _, t := range c {
+		if t.Out {
+			g.Edges = append(g.Edges, GEdge{From: t.I, To: t.J, Label: t.LE})
+		} else {
+			g.Edges = append(g.Edges, GEdge{From: t.J, To: t.I, Label: t.LE})
+		}
+	}
+	g.Freeze()
+	return g
+}
+
+// String renders the code compactly.
+func (c Code) String() string {
+	parts := make([]string, len(c))
+	for i, t := range c {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Key returns a map key identifying the code.
+func (c Code) Key() string { return c.String() }
+
+// IsMinimal reports whether c is the canonical (lexicographically
+// smallest) DFS code of its pattern graph. gSpan prunes every search
+// branch rooted at a non-minimal code: each pattern is then grown exactly
+// once (paper §3.3).
+func (c Code) IsMinimal() bool {
+	if len(c) == 0 {
+		return true
+	}
+	p := c.ToGraph()
+	// Simulate building the minimal code of p, step by step. embeddings
+	// are partial isomorphisms of the growing minimal code into p itself.
+	var embs []*Embedding
+	// Step 0: the minimal first tuple over all edges of p.
+	var best Tuple
+	for v := range p.Labels {
+		for _, h := range p.adj[v] {
+			t := Tuple{I: 0, J: 1, LI: p.Labels[v], LJ: p.Labels[h.other], Out: h.out, LE: h.label}
+			if embs == nil || CompareTuples(t, best) < 0 {
+				best = t
+				embs = embs[:0]
+			}
+			if CompareTuples(t, best) == 0 {
+				embs = append(embs, &Embedding{Nodes: []int{v, h.other}, Edges: []int{h.eid}})
+			}
+		}
+	}
+	if CompareTuples(best, c[0]) != 0 {
+		return CompareTuples(c[0], best) <= 0
+	}
+	cur := Code{best}
+	for k := 1; k < len(c); k++ {
+		exts := extend(cur, embs, func(int) *Graph { return p }, 1, nil)
+		if len(exts) == 0 {
+			// c has more edges than any extension of the minimal
+			// prefix; cannot happen for a valid code of p.
+			return false
+		}
+		minT := exts[0].t
+		for _, e := range exts[1:] {
+			if CompareTuples(e.t, minT) < 0 {
+				minT = e.t
+			}
+		}
+		if cmp := CompareTuples(c[k], minT); cmp != 0 {
+			return cmp < 0 // smaller than achievable means not a code of p; treat conservatively
+		}
+		// keep only embeddings achieving the minimum
+		embs = nil
+		for _, e := range exts {
+			if CompareTuples(e.t, minT) == 0 {
+				embs = append(embs, e.embs...)
+			}
+		}
+		cur = append(cur, minT)
+	}
+	return true
+}

@@ -1,0 +1,56 @@
+// Package mining implements frequent-subgraph mining on directed labeled
+// multigraphs: DgSpan, a directed-graph extension of gSpan (Yan & Han,
+// ICDM 2002), and Edgar, the paper's embedding-based extension that counts
+// non-overlapping embeddings via maximum independent sets in a collision
+// graph and applies PA-specific pruning (paper §3.3–3.5).
+package mining
+
+import "sort"
+
+// Graph is a directed labeled multigraph, the miner's input. For
+// procedural abstraction a Graph is the dependence graph of one basic
+// block: node labels are canonical instruction texts, edge labels encode
+// the dependence kind and register.
+type Graph struct {
+	ID     int
+	Labels []string
+	Edges  []GEdge
+
+	adj [][]half // built lazily by Freeze
+}
+
+// GEdge is one directed edge.
+type GEdge struct {
+	From, To int
+	Label    string
+}
+
+// half is one adjacency entry: the edge seen from one endpoint.
+type half struct {
+	other int
+	eid   int
+	out   bool // true when the edge leaves this node
+	label string
+}
+
+// Freeze builds adjacency structures; it must be called (once) before
+// mining. Mining never mutates the graph afterwards.
+func (g *Graph) Freeze() {
+	g.adj = make([][]half, len(g.Labels))
+	for i, e := range g.Edges {
+		g.adj[e.From] = append(g.adj[e.From], half{other: e.To, eid: i, out: true, label: e.Label})
+		g.adj[e.To] = append(g.adj[e.To], half{other: e.From, eid: i, out: false, label: e.Label})
+	}
+	// Deterministic order regardless of construction order.
+	for _, hs := range g.adj {
+		sort.Slice(hs, func(a, b int) bool {
+			if hs[a].eid != hs[b].eid {
+				return hs[a].eid < hs[b].eid
+			}
+			return hs[a].out && !hs[b].out
+		})
+	}
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.Labels) }

@@ -1,0 +1,345 @@
+package mining
+
+import (
+	"sort"
+	"strconv"
+)
+
+// Embedding is one occurrence of a pattern in a graph: Nodes[k] is the
+// graph node playing DFS index k, Edges[k] the graph edge realising code
+// tuple k.
+type Embedding struct {
+	GID   int
+	Nodes []int
+	Edges []int
+}
+
+// key identifies an embedding exactly (for deduplication of automorphic
+// rediscoveries).
+func (e *Embedding) key() string {
+	buf := make([]byte, 0, 8+6*(len(e.Nodes)+len(e.Edges)))
+	buf = strconv.AppendInt(buf, int64(e.GID), 10)
+	buf = append(buf, ':')
+	for _, n := range e.Nodes {
+		buf = strconv.AppendInt(buf, int64(n), 10)
+		buf = append(buf, ',')
+	}
+	buf = append(buf, '|')
+	for _, d := range e.Edges {
+		buf = strconv.AppendInt(buf, int64(d), 10)
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}
+
+// NodeSet returns the sorted set of graph nodes covered.
+func (e *Embedding) NodeSet() []int {
+	out := append([]int(nil), e.Nodes...)
+	sort.Ints(out)
+	return out
+}
+
+// Overlaps reports whether two embeddings share a node (they then collide
+// in the collision graph: at most one can be outlined, paper §3.4).
+func (e *Embedding) Overlaps(o *Embedding) bool {
+	if e.GID != o.GID {
+		return false
+	}
+	for _, a := range e.Nodes {
+		for _, b := range o.Nodes {
+			if a == b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Pattern is a frequent fragment.
+type Pattern struct {
+	Code       Code
+	Labels     []string // node labels by DFS index
+	Embeddings []*Embedding
+	// Support is the miner's frequency: number of graphs containing the
+	// pattern for DgSpan, size of a maximum set of non-overlapping
+	// embeddings for Edgar.
+	Support int
+	// Disjoint is a maximum non-overlapping subset of Embeddings
+	// (computed only in embedding-support mode).
+	Disjoint []*Embedding
+}
+
+// Config controls a mining run.
+type Config struct {
+	// MinSupport is the frequency threshold (≥ 2 for PA).
+	MinSupport int
+	// MaxNodes caps pattern size (0 = unlimited).
+	MaxNodes int
+	// EmbeddingSupport selects Edgar's frequency (non-overlapping
+	// embeddings) over DgSpan's graph count.
+	EmbeddingSupport bool
+	// GreedyMIS replaces the exact maximum-independent-set computation
+	// with the greedy heuristic everywhere (ablation knob).
+	GreedyMIS bool
+	// MISExactLimit is the per-graph embedding count above which the
+	// exact MIS falls back to greedy (0 = default 24; dense collision
+	// graphs above that size cost more than their occasional extra
+	// embedding is worth).
+	MISExactLimit int
+	// MaxPatterns aborts the search after visiting this many frequent
+	// patterns (0 = unlimited); a safety valve for adversarial inputs.
+	MaxPatterns int
+	// PruneSubtree, when non-nil, is consulted after each visit: if it
+	// returns true the pattern's extensions are skipped. Callers use it
+	// for benefit-bound pruning (no descendant can beat the incumbent),
+	// the PA-specific pruning of paper §3.5.
+	PruneSubtree func(*Pattern) bool
+	// ViableCount, when non-nil, filters extension groups by raw
+	// candidate count before their embeddings are materialised: a group
+	// with count c can only yield patterns of support <= c, so callers
+	// prune groups whose optimistic benefit cannot matter. Must be
+	// monotone (viable(c) implies viable(c+1)).
+	ViableCount func(count int) bool
+}
+
+func (c Config) exactLimit() int {
+	if c.MISExactLimit == 0 {
+		return 24
+	}
+	return c.MISExactLimit
+}
+
+// ext is one grouped rightmost extension.
+type ext struct {
+	t    Tuple
+	embs []*Embedding
+}
+
+// marks is per-graph scratch state for embedding traversal, versioned so
+// it never needs clearing.
+type marks struct {
+	nodeVer []int32
+	nodeVal []int32
+	edgeVer []int32
+	ver     int32
+}
+
+func (m *marks) reset(g *Graph) {
+	if len(m.nodeVer) < g.NumNodes() {
+		m.nodeVer = make([]int32, g.NumNodes())
+		m.nodeVal = make([]int32, g.NumNodes())
+	}
+	if len(m.edgeVer) < len(g.Edges) {
+		m.edgeVer = make([]int32, len(g.Edges))
+	}
+	m.ver++
+}
+
+func (m *marks) mapNode(n, dfs int) { m.nodeVer[n] = m.ver; m.nodeVal[n] = int32(dfs) }
+
+func (m *marks) nodeDFS(n int) (int, bool) {
+	if m.nodeVer[n] == m.ver {
+		return int(m.nodeVal[n]), true
+	}
+	return 0, false
+}
+
+func (m *marks) useEdge(e int) { m.edgeVer[e] = m.ver }
+
+func (m *marks) edgeUsed(e int) bool { return m.edgeVer[e] == m.ver }
+
+// extend computes all rightmost extensions of (code, embs), grouped by
+// tuple. Tuple groups that cannot possibly reach minSup embeddings are
+// discarded before their embeddings are materialised. graphOf resolves an
+// embedding's GID to its graph.
+func extend(code Code, embs []*Embedding, graphOf func(int) *Graph, minSup int, viable func(int) bool) []ext {
+	rmpath := code.RightmostPath()
+	if len(rmpath) == 0 {
+		return nil
+	}
+	rm := rmpath[len(rmpath)-1]
+	onPath := make(map[int]bool, len(rmpath))
+	for _, v := range rmpath {
+		onPath[v] = true
+	}
+	labels := code.NodeLabels()
+	numNodes := len(labels)
+
+	// Pass 1: enumerate candidate extensions without materialising
+	// child embeddings.
+	type cand struct {
+		emb     *Embedding
+		eid     int
+		newNode int // -1 for backward extensions
+	}
+	groups := map[Tuple][]cand{}
+	var mk marks
+	for _, emb := range embs {
+		g := graphOf(emb.GID)
+		mk.reset(g)
+		for di, n := range emb.Nodes {
+			mk.mapNode(n, di)
+		}
+		for _, eid := range emb.Edges {
+			mk.useEdge(eid)
+		}
+		// Backward from the rightmost vertex to rightmost-path vertices.
+		vrm := emb.Nodes[rm]
+		for _, h := range g.adj[vrm] {
+			if mk.edgeUsed(h.eid) {
+				continue
+			}
+			du, ok := mk.nodeDFS(h.other)
+			if !ok || du == rm || !onPath[du] {
+				continue
+			}
+			t := Tuple{I: rm, J: du, LI: labels[rm], LJ: labels[du], Out: h.out, LE: h.label}
+			groups[t] = append(groups[t], cand{emb: emb, eid: h.eid, newNode: -1})
+		}
+		// Forward from every rightmost-path vertex to an unmapped node.
+		for _, w := range rmpath {
+			vw := emb.Nodes[w]
+			for _, h := range g.adj[vw] {
+				if mk.edgeUsed(h.eid) {
+					continue
+				}
+				if _, ok := mk.nodeDFS(h.other); ok {
+					continue
+				}
+				t := Tuple{I: w, J: numNodes, LI: labels[w], LJ: g.Labels[h.other], Out: h.out, LE: h.label}
+				groups[t] = append(groups[t], cand{emb: emb, eid: h.eid, newNode: h.other})
+			}
+		}
+	}
+
+	// Pass 2: materialise embeddings for viable groups only.
+	out := make([]ext, 0, len(groups))
+	for t, cands := range groups {
+		if len(cands) < minSup {
+			continue
+		}
+		if viable != nil && !viable(len(cands)) {
+			continue
+		}
+		e := ext{t: t, embs: make([]*Embedding, 0, len(cands))}
+		seen := make(map[string]bool, len(cands))
+		for _, c := range cands {
+			ne := &Embedding{GID: c.emb.GID}
+			if c.newNode >= 0 {
+				ne.Nodes = append(append(make([]int, 0, len(c.emb.Nodes)+1), c.emb.Nodes...), c.newNode)
+			} else {
+				ne.Nodes = c.emb.Nodes
+			}
+			ne.Edges = append(append(make([]int, 0, len(c.emb.Edges)+1), c.emb.Edges...), c.eid)
+			k := ne.key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			e.embs = append(e.embs, ne)
+		}
+		if len(e.embs) < minSup {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return CompareTuples(out[i].t, out[j].t) < 0 })
+	return out
+}
+
+// Mine enumerates every frequent pattern with at least one edge, calling
+// visit for each (in canonical DFS-code growth order). The search is
+// complete: every frequent fragment is reported exactly once (via the
+// minimal-DFS-code test).
+func Mine(graphs []*Graph, cfg Config, visit func(*Pattern)) {
+	byID := map[int]*Graph{}
+	for _, g := range graphs {
+		if g.adj == nil {
+			g.Freeze()
+		}
+		byID[g.ID] = g
+	}
+	graphOf := func(id int) *Graph { return byID[id] }
+
+	// Seed patterns: one per distinct minimal single-edge tuple.
+	seeds := map[Tuple]*ext{}
+	for _, g := range graphs {
+		for v := range g.Labels {
+			for _, h := range g.adj[v] {
+				if !h.out {
+					continue // visit each edge once, from its source
+				}
+				a := Tuple{I: 0, J: 1, LI: g.Labels[v], LJ: g.Labels[h.other], Out: true, LE: h.label}
+				b := Tuple{I: 0, J: 1, LI: g.Labels[h.other], LJ: g.Labels[v], Out: false, LE: h.label}
+				t := a
+				nodes := []int{v, h.other}
+				if CompareTuples(b, a) < 0 {
+					t = b
+					nodes = []int{h.other, v}
+				}
+				s, ok := seeds[t]
+				if !ok {
+					s = &ext{t: t}
+					seeds[t] = s
+				}
+				s.embs = append(s.embs, &Embedding{GID: g.ID, Nodes: nodes, Edges: []int{h.eid}})
+			}
+		}
+	}
+	keys := make([]Tuple, 0, len(seeds))
+	for k := range seeds {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return CompareTuples(keys[i], keys[j]) < 0 })
+
+	visited := 0
+	aborted := false
+	var dfs func(code Code, embs []*Embedding)
+	dfs = func(code Code, embs []*Embedding) {
+		if aborted {
+			return
+		}
+		p := &Pattern{Code: code, Labels: code.NodeLabels(), Embeddings: embs}
+		p.Support = computeSupport(p, cfg)
+		if p.Support < cfg.MinSupport {
+			return
+		}
+		visit(p)
+		visited++
+		if cfg.MaxPatterns > 0 && visited >= cfg.MaxPatterns {
+			aborted = true
+			return
+		}
+		if cfg.MaxNodes > 0 && code.NumNodes() >= cfg.MaxNodes {
+			return
+		}
+		if cfg.PruneSubtree != nil && cfg.PruneSubtree(p) {
+			return
+		}
+		for _, e := range extend(code, embs, graphOf, cfg.MinSupport, cfg.ViableCount) {
+			child := append(append(Code{}, code...), e.t)
+			if !child.IsMinimal() {
+				continue
+			}
+			dfs(child, e.embs)
+		}
+	}
+	for _, k := range keys {
+		s := seeds[k]
+		dfs(Code{s.t}, s.embs)
+	}
+}
+
+// computeSupport fills in Support (and Disjoint in embedding mode).
+func computeSupport(p *Pattern, cfg Config) int {
+	if !cfg.EmbeddingSupport {
+		gids := map[int]bool{}
+		for _, e := range p.Embeddings {
+			gids[e.GID] = true
+		}
+		return len(gids)
+	}
+	dis := DisjointEmbeddings(p.Embeddings, cfg)
+	p.Disjoint = dis
+	return len(dis)
+}

@@ -1,0 +1,280 @@
+package mining
+
+import "sort"
+
+// This file computes maximum sets of non-overlapping embeddings (paper
+// §3.4): the nodes of the collision graph are a pattern's embeddings, two
+// embeddings collide when they share an instruction, and the largest
+// extractable set is a maximum independent set (equivalently a maximum
+// clique in the inverted collision graph). We follow the paper's choice of
+// an exact colour-bounded branch-and-bound (Kumlander 2004 is a
+// colour-class backtracking search of this family) on the inverted graph,
+// with a greedy fallback above a size threshold.
+
+// bitset is a fixed-capacity bit vector.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func (b bitset) clone() bitset {
+	out := make(bitset, len(b))
+	copy(out, b)
+	return out
+}
+
+func (b bitset) and(o bitset) bitset {
+	out := make(bitset, len(b))
+	for i := range b {
+		out[i] = b[i] & o[i]
+	}
+	return out
+}
+
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += popcount64(w)
+	}
+	return n
+}
+
+func popcount64(w uint64) int {
+	n := 0
+	for ; w != 0; w &= w - 1 {
+		n++
+	}
+	return n
+}
+
+// forEach calls f for every set bit in ascending order.
+func (b bitset) forEach(f func(int)) {
+	for wi, w := range b {
+		for w != 0 {
+			f(wi*64 + trailing(w&-w))
+			w &= w - 1
+		}
+	}
+}
+
+// first returns the lowest set bit, or -1.
+func (b bitset) first() int {
+	for wi, w := range b {
+		if w != 0 {
+			return wi*64 + trailing(w&-w)
+		}
+	}
+	return -1
+}
+
+func trailing(w uint64) int {
+	n := 0
+	for w&1 == 0 {
+		w >>= 1
+		n++
+	}
+	return n
+}
+
+// maxClique finds a maximum clique in the graph given by adjacency
+// bitsets, using greedy-colouring bounds (Tomita-style; the same bound
+// family as Kumlander's colour-class backtracking).
+func maxClique(n int, adj []bitset) []int {
+	var best []int
+	cand := newBitset(n)
+	for i := 0; i < n; i++ {
+		cand.set(i)
+	}
+	var expand func(r []int, p bitset)
+	expand = func(r []int, p bitset) {
+		if p.empty() {
+			if len(r) > len(best) {
+				best = append([]int(nil), r...)
+			}
+			return
+		}
+		order, bound := colourSort(p, adj)
+		for i := len(order) - 1; i >= 0; i-- {
+			v := order[i]
+			if len(r)+bound[i] <= len(best) {
+				return
+			}
+			expand(append(r, v), p.and(adj[v]))
+			p.clear(v)
+		}
+	}
+	expand(nil, cand)
+	return best
+}
+
+// colourSort greedily colours the candidate set and returns the vertices
+// ordered by colour class, with bound[i] = colour number of order[i]
+// (an upper bound on the clique extension using order[:i+1]).
+func colourSort(p bitset, adj []bitset) (order []int, bound []int) {
+	var verts []int
+	p.forEach(func(v int) { verts = append(verts, v) })
+	remaining := p.clone()
+	colour := 0
+	for len(order) < len(verts) {
+		colour++
+		avail := remaining.clone()
+		for !avail.empty() {
+			v := avail.first()
+			order = append(order, v)
+			bound = append(bound, colour)
+			remaining.clear(v)
+			avail.clear(v)
+			// remove neighbours of v from this colour class
+			for i := range avail {
+				avail[i] &^= adj[v][i]
+			}
+		}
+	}
+	return order, bound
+}
+
+// DisjointEmbeddings returns a maximum (or, above the exact-solver size
+// limit, greedily maximal) set of pairwise non-overlapping embeddings.
+// Embeddings are grouped per graph — overlap is only possible within one
+// graph — and solved independently.
+func DisjointEmbeddings(embs []*Embedding, cfg Config) []*Embedding {
+	byGID := map[int][]*Embedding{}
+	var gids []int
+	for _, e := range embs {
+		if _, ok := byGID[e.GID]; !ok {
+			gids = append(gids, e.GID)
+		}
+		byGID[e.GID] = append(byGID[e.GID], e)
+	}
+	sort.Ints(gids)
+
+	var out []*Embedding
+	for _, gid := range gids {
+		group := dedupeByNodeSet(byGID[gid])
+		if cfg.GreedyMIS || len(group) > cfg.exactLimit() {
+			out = append(out, greedyDisjoint(group)...)
+			continue
+		}
+		out = append(out, exactDisjoint(group)...)
+	}
+	return out
+}
+
+// dedupeByNodeSet drops embeddings covering an identical node set
+// (automorphic remappings are interchangeable for extraction).
+func dedupeByNodeSet(group []*Embedding) []*Embedding {
+	seen := map[string]bool{}
+	var out []*Embedding
+	for _, e := range group {
+		k := ""
+		for _, n := range e.NodeSet() {
+			k += itoa(n) + ","
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// exactDisjoint computes a maximum independent set of embeddings as a
+// maximum clique in the inverted collision graph.
+func exactDisjoint(group []*Embedding) []*Embedding {
+	n := len(group)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return group
+	}
+	inv := make([]bitset, n)
+	for i := range inv {
+		inv[i] = newBitset(n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !group[i].Overlaps(group[j]) {
+				inv[i].set(j)
+				inv[j].set(i)
+			}
+		}
+	}
+	idx := maxClique(n, inv)
+	sort.Ints(idx)
+	out := make([]*Embedding, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, group[i])
+	}
+	return out
+}
+
+// greedyDisjoint picks embeddings in order of ascending maximum node
+// index (interval-scheduling heuristic: blocks are linear, so finishing
+// early conflicts least).
+func greedyDisjoint(group []*Embedding) []*Embedding {
+	type item struct {
+		e          *Embedding
+		maxN, minN int
+	}
+	items := make([]item, len(group))
+	for i, e := range group {
+		ns := e.NodeSet()
+		items[i] = item{e: e, minN: ns[0], maxN: ns[len(ns)-1]}
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].maxN != items[b].maxN {
+			return items[a].maxN < items[b].maxN
+		}
+		return items[a].minN < items[b].minN
+	})
+	var out []*Embedding
+	for _, it := range items {
+		ok := true
+		for _, chosen := range out {
+			if it.e.Overlaps(chosen) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, it.e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package mining
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randDAG builds a random labelled DAG (edges only forward, like
+// dependence graphs).
+func randDAG(r *rand.Rand, id, nodes, edges int, nodeLabels, edgeLabels []string) *Graph {
+	g := &Graph{ID: id}
+	for i := 0; i < nodes; i++ {
+		g.Labels = append(g.Labels, nodeLabels[r.Intn(len(nodeLabels))])
+	}
+	seen := map[[2]int]bool{}
+	for e := 0; e < edges; e++ {
+		a, b := r.Intn(nodes), r.Intn(nodes)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			continue
+		}
+		seen[[2]int{a, b}] = true
+		g.Edges = append(g.Edges, GEdge{From: a, To: b, Label: edgeLabels[r.Intn(len(edgeLabels))]})
+	}
+	g.Freeze()
+	return g
+}
+
+// TestPropertyEmbeddingsAreValid: every reported embedding must be an
+// injective, label- and direction-preserving subgraph isomorphism, and no
+// pattern may be reported twice.
+func TestPropertyEmbeddingsAreValid(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	nodeLabels := []string{"a", "b", "c"}
+	edgeLabels := []string{"x", "y"}
+	for trial := 0; trial < 25; trial++ {
+		var graphs []*Graph
+		for i := 0; i < 3; i++ {
+			graphs = append(graphs, randDAG(r, i, 5+r.Intn(5), 6+r.Intn(8), nodeLabels, edgeLabels))
+		}
+		byID := map[int]*Graph{}
+		for _, g := range graphs {
+			byID[g.ID] = g
+		}
+		seenCodes := map[string]bool{}
+		count := 0
+		Mine(graphs, Config{MinSupport: 2, MaxNodes: 5, EmbeddingSupport: true, MaxPatterns: 5000}, func(p *Pattern) {
+			count++
+			key := p.Code.Key()
+			if seenCodes[key] {
+				t.Fatalf("trial %d: duplicate pattern %s", trial, key)
+			}
+			seenCodes[key] = true
+			if !p.Code.IsMinimal() {
+				t.Fatalf("trial %d: non-canonical pattern reported: %s", trial, key)
+			}
+			pg := p.Code.ToGraph()
+			for _, emb := range p.Embeddings {
+				g := byID[emb.GID]
+				validateEmbedding(t, trial, pg, g, emb)
+			}
+			// Disjoint embeddings must be pairwise node-disjoint and a
+			// subset of all embeddings.
+			for i := 0; i < len(p.Disjoint); i++ {
+				for j := i + 1; j < len(p.Disjoint); j++ {
+					if p.Disjoint[i].Overlaps(p.Disjoint[j]) {
+						t.Fatalf("trial %d: disjoint set overlaps", trial)
+					}
+				}
+			}
+			if p.Support != len(p.Disjoint) {
+				t.Fatalf("trial %d: support %d != |disjoint| %d", trial, p.Support, len(p.Disjoint))
+			}
+		})
+		if count == 0 {
+			continue // sparse random instance; fine
+		}
+	}
+}
+
+func validateEmbedding(t *testing.T, trial int, pat, g *Graph, emb *Embedding) {
+	t.Helper()
+	if len(emb.Nodes) != len(pat.Labels) || len(emb.Edges) != len(pat.Edges) {
+		t.Fatalf("trial %d: embedding arity mismatch", trial)
+	}
+	// injective
+	seen := map[int]bool{}
+	for di, n := range emb.Nodes {
+		if seen[n] {
+			t.Fatalf("trial %d: non-injective embedding", trial)
+		}
+		seen[n] = true
+		if g.Labels[n] != pat.Labels[di] {
+			t.Fatalf("trial %d: node label mismatch", trial)
+		}
+	}
+	// each pattern edge maps to a distinct graph edge with right
+	// endpoints, direction and label
+	usedEdges := map[int]bool{}
+	for ei, pe := range pat.Edges {
+		ge := g.Edges[emb.Edges[ei]]
+		if usedEdges[emb.Edges[ei]] {
+			t.Fatalf("trial %d: edge reused", trial)
+		}
+		usedEdges[emb.Edges[ei]] = true
+		wantFrom, wantTo := emb.Nodes[pe.From], emb.Nodes[pe.To]
+		if ge.From != wantFrom || ge.To != wantTo {
+			t.Fatalf("trial %d: edge endpoints/direction mismatch: pattern %v->%v maps to %v->%v",
+				trial, pe.From, pe.To, ge.From, ge.To)
+		}
+		if ge.Label != pe.Label {
+			t.Fatalf("trial %d: edge label mismatch", trial)
+		}
+	}
+}
+
+// TestPropertySupportMatchesBruteForce cross-checks DgSpan graph-count
+// support against a brute-force occurrence check on small instances.
+func TestPropertySupportMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		var graphs []*Graph
+		for i := 0; i < 4; i++ {
+			graphs = append(graphs, randDAG(r, i, 4+r.Intn(3), 4+r.Intn(4), []string{"a", "b"}, []string{"x"}))
+		}
+		Mine(graphs, Config{MinSupport: 2, MaxNodes: 3, MaxPatterns: 2000}, func(p *Pattern) {
+			gids := map[int]bool{}
+			for _, e := range p.Embeddings {
+				gids[e.GID] = true
+			}
+			if p.Support != len(gids) {
+				t.Fatalf("trial %d: support %d != distinct graphs %d", trial, p.Support, len(gids))
+			}
+			// brute force: the pattern must occur in each claimed graph
+			pg := p.Code.ToGraph()
+			for gid := range gids {
+				if !bruteForceOccurs(pg, graphs[gid]) {
+					t.Fatalf("trial %d: claimed occurrence not found by brute force", trial)
+				}
+			}
+		})
+	}
+}
+
+// bruteForceOccurs checks subgraph isomorphism by exhaustive backtracking
+// (small inputs only).
+func bruteForceOccurs(pat, g *Graph) bool {
+	n := len(pat.Labels)
+	assign := make([]int, n)
+	used := make([]bool, len(g.Labels))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			// check all edges exist
+			for _, pe := range pat.Edges {
+				found := false
+				for _, ge := range g.Edges {
+					if ge.From == assign[pe.From] && ge.To == assign[pe.To] && ge.Label == pe.Label {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+			return true
+		}
+		for v := 0; v < len(g.Labels); v++ {
+			if used[v] || g.Labels[v] != pat.Labels[i] {
+				continue
+			}
+			used[v] = true
+			assign[i] = v
+			if rec(i + 1) {
+				used[v] = false
+				return true
+			}
+			used[v] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// TestPropertyMISNeverWorseThanGreedy: the exact solver must always find
+// at least as many disjoint embeddings as the greedy heuristic.
+func TestPropertyMISNeverWorseThanGreedy(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		var embs []*Embedding
+		n := 3 + r.Intn(12)
+		for i := 0; i < n; i++ {
+			start := r.Intn(20)
+			size := 1 + r.Intn(4)
+			nodes := make([]int, size)
+			for j := range nodes {
+				nodes[j] = start + j
+			}
+			embs = append(embs, &Embedding{GID: 0, Nodes: nodes})
+		}
+		exact := DisjointEmbeddings(embs, Config{})
+		greedy := DisjointEmbeddings(embs, Config{GreedyMIS: true})
+		if len(exact) < len(greedy) {
+			t.Fatalf("trial %d: exact %d < greedy %d (%s)", trial, len(exact), len(greedy), dumpEmbs(embs))
+		}
+	}
+}
+
+func dumpEmbs(embs []*Embedding) string {
+	s := ""
+	for _, e := range embs {
+		s += fmt.Sprintf("%v ", e.Nodes)
+	}
+	return s
+}

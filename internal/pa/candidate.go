@@ -1,0 +1,269 @@
+// Package pa is the procedural-abstraction engine: it scores mined
+// fragments, checks that embeddings are extractable (the paper's §3.5
+// plausibility checks), rewrites blocks — outlining into new procedures or
+// cross-jumping to merged tails (§2.1 phase 8) — and drives the
+// mine/extract loop to a fixed point.
+package pa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/cfg"
+	"graphpa/internal/dfg"
+)
+
+// Method is an extraction mechanism (paper Fig. 12).
+type Method uint8
+
+// Extraction mechanisms.
+const (
+	MethodCall      Method = iota // outline into a procedure, reach it with bl
+	MethodCrossJump               // merge tails, reach the survivor with b
+)
+
+func (m Method) String() string {
+	if m == MethodCall {
+		return "call"
+	}
+	return "crossjump"
+}
+
+// Occurrence is one extractable embedding of a fragment: a set of
+// instruction indices inside one block. DFS holds the pattern-coordinate
+// mapping (DFS index -> instruction index) when the occurrence came from
+// the graph miner; for contiguous sequences (SFX) it equals Nodes.
+type Occurrence struct {
+	Block *cfg.Block
+	Graph *dfg.Graph
+	Nodes []int // sorted instruction indices
+	DFS   []int // pattern coordinates
+}
+
+// InducedSignature renders the occurrence's full induced dependence
+// structure in pattern coordinates: per-index instruction text plus every
+// dependence edge between occurrence nodes (not only the mined pattern
+// edges). Embeddings of one pattern are interchangeable — may share one
+// outlined body — exactly when their signatures are equal: gSpan matches
+// subgraphs, not induced subgraphs, so an embedding can carry extra
+// internal anti/output dependences that constrain its legal orders.
+func (o *Occurrence) InducedSignature() string {
+	pos := make(map[int]int, len(o.DFS)) // instruction index -> dfs index
+	for di, n := range o.DFS {
+		pos[n] = di
+	}
+	var b strings.Builder
+	for _, n := range o.DFS {
+		b.WriteString(o.Graph.Block.Instrs[n].String())
+		b.WriteByte('\n')
+	}
+	type sigEdge struct {
+		i, j int
+		kind dfg.DepKind
+		reg  arm.Reg
+	}
+	var edges []sigEdge
+	for _, e := range o.Graph.Edges {
+		di, ok1 := pos[e.From]
+		dj, ok2 := pos[e.To]
+		if ok1 && ok2 {
+			edges = append(edges, sigEdge{di, dj, e.Kind, e.Reg})
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].i != edges[b].i {
+			return edges[a].i < edges[b].i
+		}
+		if edges[a].j != edges[b].j {
+			return edges[a].j < edges[b].j
+		}
+		if edges[a].kind != edges[b].kind {
+			return edges[a].kind < edges[b].kind
+		}
+		return edges[a].reg < edges[b].reg
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "%d>%d:%d:%d\n", e.i, e.j, e.kind, e.reg)
+	}
+	return b.String()
+}
+
+// Candidate is a fragment chosen for extraction with all the occurrences
+// that will be rewritten.
+type Candidate struct {
+	Size    int // instructions per occurrence
+	Occs    []Occurrence
+	Method  Method
+	Benefit int // net instructions saved
+}
+
+// CallBenefit is the net saving of outlining a fragment of k instructions
+// occurring m times: every occurrence shrinks to one bl (m·(k−1)) and the
+// new procedure costs its k instructions plus a return.
+func CallBenefit(k, m int) int { return m*(k-1) - (k + 1) }
+
+// CrossJumpBenefit is the net saving of tail-merging: one occurrence
+// survives, the other m−1 shrink to one b each.
+func CrossJumpBenefit(k, m int) int { return (m - 1) * (k - 1) }
+
+// sortedNodes returns a sorted copy.
+func sortedNodes(nodes []int) []int {
+	out := append([]int(nil), nodes...)
+	sort.Ints(out)
+	return out
+}
+
+// containsTerminator reports whether the node set includes the block's
+// terminator instruction AND that terminator transfers control
+// unconditionally. Only unconditional tails may be merged (paper §2.1
+// phase 8: "ends with an unconditional return statement or a branch
+// instruction"): a conditional terminator falls through, and rerouting
+// its fall-through to the merge keeper's successor would change the
+// program.
+func containsTerminator(g *dfg.Graph, nodes []int) bool {
+	term := g.Block.Terminator()
+	if term == nil || !term.IsTerminator() {
+		return false
+	}
+	last := len(g.Block.Instrs) - 1
+	for _, n := range nodes {
+		if n == last {
+			return true
+		}
+	}
+	return false
+}
+
+// CallSafe reports whether a function may receive outlined calls: its
+// prologue must save lr (making lr dead in the body) and nothing in the
+// body may observe lr. Generated PA procedures and hand-written leaves
+// fail this and only participate in cross-jumping.
+func CallSafe(fn *cfg.Func) bool {
+	if !fn.LRSaved {
+		return false
+	}
+	first := true
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if first {
+				first = false
+				continue // the recognised prologue push {.., lr}
+			}
+			e := arm.EffectsOf(in)
+			if in.Op != arm.BL && e.Reads.Has(arm.LR) {
+				return false
+			}
+			if in.Op == arm.POP && in.Reglist&(1<<arm.LR) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CallOK reports whether the embedding may be outlined as a call (see
+// callExtractable); exported for the sequence baseline, which shares this
+// back end.
+func CallOK(g *dfg.Graph, nodes []int) bool {
+	return callExtractable(g, nodes, callSafeCache{})
+}
+
+// CrossJumpOK reports whether the embedding may be tail-merged (see
+// crossJumpExtractable).
+func CrossJumpOK(g *dfg.Graph, nodes []int) bool { return crossJumpExtractable(g, nodes) }
+
+// callSafeCache memoises CallSafe per function within one mining round.
+type callSafeCache map[*cfg.Func]bool
+
+func (c callSafeCache) get(fn *cfg.Func) bool {
+	if v, ok := c[fn]; ok {
+		return v
+	}
+	v := CallSafe(fn)
+	c[fn] = v
+	return v
+}
+
+// callExtractable reports whether one embedding can be outlined as a
+// procedure call: every instruction movable, the owning function call
+// safe, and no terminator included. Scheduling feasibility (acyclic
+// contraction) is checked separately when occurrences are combined.
+func callExtractable(g *dfg.Graph, nodes []int, safe callSafeCache) bool {
+	if containsTerminator(g, nodes) {
+		return false
+	}
+	if !safe.get(g.Block.Fn) {
+		return false
+	}
+	for _, n := range nodes {
+		if !arm.Abstractable(&g.Block.Instrs[n]) {
+			return false
+		}
+	}
+	return true
+}
+
+// crossJumpExtractable reports whether one embedding can be tail-merged:
+// it must include the block terminator and be schedulable as a suffix
+// (no dependence from the fragment to a surviving instruction).
+func crossJumpExtractable(g *dfg.Graph, nodes []int) bool {
+	if !containsTerminator(g, nodes) {
+		return false
+	}
+	inFrag := make(map[int]bool, len(nodes))
+	for _, n := range nodes {
+		inFrag[n] = true
+	}
+	for _, n := range nodes {
+		for _, s := range g.Succs(n) {
+			if !inFrag[s] {
+				return false
+			}
+		}
+		// A fragment instruction that reads pc or writes pc other than
+		// the terminator cannot exist mid-block by construction.
+	}
+	return true
+}
+
+// convexOK is the fast single-fragment convexity check (paper Fig. 9):
+// contracting nodes into one call must not create a cycle, i.e. no path
+// may leave the fragment and re-enter it. Cheaper than a full trial
+// schedule; used for the common one-occurrence-per-block case.
+func convexOK(g *dfg.Graph, nodes []int) bool {
+	n := g.N()
+	inFrag := make([]bool, n)
+	for _, v := range nodes {
+		inFrag[v] = true
+	}
+	// DFS from every external successor of the fragment, walking only
+	// external nodes; reaching a node with an edge back into the fragment
+	// means a cycle.
+	visited := make([]bool, n)
+	var stack []int
+	for _, v := range nodes {
+		for _, s := range g.Succs(v) {
+			if !inFrag[s] && !visited[s] {
+				visited[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Succs(v) {
+			if inFrag[s] {
+				return false
+			}
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return true
+}

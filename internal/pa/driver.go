@@ -1,0 +1,211 @@
+package pa
+
+import (
+	"fmt"
+	"time"
+
+	"graphpa/internal/cfg"
+	"graphpa/internal/dfg"
+	"graphpa/internal/loader"
+)
+
+// Options tunes the optimizer.
+type Options struct {
+	// MinSupport is the frequency threshold (default 2).
+	MinSupport int
+	// MaxNodes caps mined fragment size (default 8; larger finds more
+	// but mines longer).
+	MaxNodes int
+	// MaxSeqLen caps SFX sequence length (default 32).
+	MaxSeqLen int
+	// GreedyMIS uses the greedy independent-set heuristic instead of the
+	// exact solver (ablation knob).
+	GreedyMIS bool
+	// MaxRounds bounds mine/extract iterations (0 = to fixpoint).
+	MaxRounds int
+	// MaxPatterns bounds frequent patterns visited per mining round
+	// (default 100000). The frequent-fragment lattice of heavily
+	// duplicated regions is exponential — the paper ate multi-hour runs;
+	// we truncate the search deterministically instead. Sequence seeding
+	// and benefit-bound pruning put the profitable candidates early in
+	// the visit order, so the cap rarely costs savings. Raise it (or set
+	// it very high) to approximate the paper's exhaustive search.
+	MaxPatterns int
+	// SingleExtract reverts to the paper's strict one-fragment-per-round
+	// loop. By default the driver applies, per round, the best candidate
+	// plus every runner-up touching disjoint blocks — the same greedy
+	// order at a fraction of the mining restarts.
+	SingleExtract bool
+	// Batch is the number of runner-up candidates kept per round
+	// (default 16; ignored with SingleExtract).
+	Batch int
+}
+
+func (o Options) batch() int {
+	if o.SingleExtract {
+		return 1
+	}
+	if o.Batch == 0 {
+		return 16
+	}
+	return o.Batch
+}
+
+func (o Options) minSupport() int {
+	if o.MinSupport == 0 {
+		return 2
+	}
+	return o.MinSupport
+}
+
+func (o Options) maxNodes() int {
+	if o.MaxNodes == 0 {
+		return 8
+	}
+	return o.MaxNodes
+}
+
+// MaxSeqLenOrDefault returns the effective SFX sequence-length cap.
+func (o Options) MaxSeqLenOrDefault() int {
+	if o.MaxSeqLen == 0 {
+		return 32
+	}
+	return o.MaxSeqLen
+}
+
+func (o Options) maxPatterns() int {
+	if o.MaxPatterns == 0 {
+		return 100_000
+	}
+	return o.MaxPatterns
+}
+
+// Extraction records one applied rewrite.
+type Extraction struct {
+	Name    string
+	Method  Method
+	Size    int // instructions per occurrence
+	Occs    int
+	Benefit int
+}
+
+// Result summarises an optimization run.
+type Result struct {
+	Miner       string
+	Before      int // executable instructions before
+	After       int
+	Rounds      int
+	Extractions []Extraction
+	Program     *loader.Program
+	Duration    time.Duration
+}
+
+// Saved returns Before - After.
+func (r *Result) Saved() int { return r.Before - r.After }
+
+// CrossJumps and Calls count extraction mechanisms (paper Fig. 12).
+func (r *Result) CrossJumps() int {
+	n := 0
+	for _, e := range r.Extractions {
+		if e.Method == MethodCrossJump {
+			n++
+		}
+	}
+	return n
+}
+
+// Calls counts call-style extractions.
+func (r *Result) Calls() int { return len(r.Extractions) - r.CrossJumps() }
+
+// Optimize runs the paper's phase-8 loop: mine the block dependence
+// graphs, extract the fragment with the highest size benefit, and restart
+// until no fragment shrinks the program (or MaxRounds is hit). The input
+// program is not modified; the optimized program is in Result.Program.
+func Optimize(prog *loader.Program, m Miner, opts Options) *Result {
+	start := time.Now()
+	res := &Result{Miner: m.Name(), Before: prog.CountInstrs()}
+
+	cur := prog
+	used := usedNames(prog)
+	counter := 0
+	for {
+		if opts.MaxRounds > 0 && res.Rounds >= opts.MaxRounds {
+			break
+		}
+		view := cfg.Build(cur)
+		summaries := CallSummaries(view)
+		graphs := make([]*dfg.Graph, len(view.Blocks))
+		for i, b := range view.Blocks {
+			graphs[i] = dfg.Build(b, summaries)
+		}
+		cands := m.FindCandidates(view, graphs, opts)
+		applied := 0
+		usedBlocks := map[*cfg.Block]bool{}
+		for _, cand := range cands {
+			if cand == nil || cand.Benefit <= 0 {
+				continue
+			}
+			if opts.SingleExtract && applied >= 1 {
+				break
+			}
+			conflict := false
+			for _, occ := range cand.Occs {
+				if usedBlocks[occ.Block] {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				continue
+			}
+			for _, occ := range cand.Occs {
+				usedBlocks[occ.Block] = true
+			}
+			var name string
+			for {
+				name = fmt.Sprintf("__pa%d", counter)
+				counter++
+				if !used[name] {
+					break
+				}
+			}
+			used[name] = true
+			Apply(view, cand, name)
+			applied++
+			res.Extractions = append(res.Extractions, Extraction{
+				Name:    name,
+				Method:  cand.Method,
+				Size:    cand.Size,
+				Occs:    len(cand.Occs),
+				Benefit: cand.Benefit,
+			})
+		}
+		if applied == 0 {
+			break
+		}
+		res.Rounds++
+		cur = cfg.Reassemble(view)
+	}
+	res.Program = cur
+	res.After = cur.CountInstrs()
+	res.Duration = time.Since(start)
+	return res
+}
+
+func usedNames(prog *loader.Program) map[string]bool {
+	used := map[string]bool{}
+	for _, fn := range prog.Funcs {
+		used[fn.Name] = true
+		for i := range fn.Code {
+			if t := fn.Code[i].Target; t != "" {
+				used[t] = true
+			}
+		}
+	}
+	for _, d := range prog.Data {
+		if d.Label != "" {
+			used[d.Label] = true
+		}
+	}
+	return used
+}

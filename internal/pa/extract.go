@@ -1,0 +1,97 @@
+package pa
+
+import (
+	"sort"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/cfg"
+)
+
+// Apply rewrites the program view according to the candidate, using name
+// for the new procedure (call extraction) or merge label (cross jump).
+// The view's Funcs are updated in place; callers must rebuild blocks and
+// dependence graphs (cfg.Build / dfg.Build) before further analysis.
+func Apply(view *cfg.Program, cand *Candidate, name string) {
+	switch cand.Method {
+	case MethodCall:
+		applyCall(view, cand, name)
+	case MethodCrossJump:
+		applyCrossJump(view, cand, name)
+	}
+}
+
+func applyCall(view *cfg.Program, cand *Candidate, name string) {
+	body := FragmentBody(cand.Occs[0].Graph, cand.Occs[0].Nodes)
+	ret := arm.NewInstr(arm.BX)
+	ret.Rm = arm.LR
+	body = append(body, ret)
+
+	nf := &cfg.Func{Name: name, LRSaved: false}
+	nb := &cfg.Block{Fn: nf, Instrs: body}
+	nf.Blocks = []*cfg.Block{nb}
+	view.Funcs = append(view.Funcs, nf)
+	view.Blocks = append(view.Blocks, nb)
+
+	// Rewrite every occurrence block; occurrences sharing a block are
+	// contracted simultaneously.
+	byBlock := map[*cfg.Block][]Occurrence{}
+	var order []*cfg.Block
+	for _, occ := range cand.Occs {
+		if _, ok := byBlock[occ.Block]; !ok {
+			order = append(order, occ.Block)
+		}
+		byBlock[occ.Block] = append(byBlock[occ.Block], occ)
+	}
+	for _, b := range order {
+		occs := byBlock[b]
+		frags := make([][]int, len(occs))
+		calls := make([]arm.Instr, len(occs))
+		for i, occ := range occs {
+			frags[i] = occ.Nodes
+			bl := arm.NewInstr(arm.BL)
+			bl.Target = name
+			calls[i] = bl
+		}
+		newInstrs, ok := ScheduleContracted(occs[0].Graph, frags, calls)
+		if !ok {
+			// Selection verified schedulability; reaching this is a bug.
+			panic("pa: selected occurrence set is not schedulable")
+		}
+		b.Instrs = newInstrs
+	}
+}
+
+func applyCrossJump(view *cfg.Program, cand *Candidate, name string) {
+	occs := append([]Occurrence(nil), cand.Occs...)
+	sort.Slice(occs, func(i, j int) bool { return occs[i].Block.ID < occs[j].Block.ID })
+	keeper := occs[0]
+
+	// Keeper: schedule the fragment as a contiguous suffix and plant the
+	// merge label in front of it.
+	pre := ScheduleSuffix(keeper.Graph, keeper.Nodes)
+	tail := FragmentBody(keeper.Graph, keeper.Nodes)
+	fn := keeper.Block.Fn
+	if len(pre) == 0 {
+		keeper.Block.Labels = append(keeper.Block.Labels, name)
+		keeper.Block.Instrs = tail
+	} else {
+		keeper.Block.Instrs = pre
+		nb := &cfg.Block{Fn: fn, Labels: []string{name}, Instrs: tail}
+		// Insert after the keeper block.
+		for i, b := range fn.Blocks {
+			if b == keeper.Block {
+				fn.Blocks = append(fn.Blocks[:i+1], append([]*cfg.Block{nb}, fn.Blocks[i+1:]...)...)
+				break
+			}
+		}
+		view.Blocks = append(view.Blocks, nb)
+	}
+
+	// Others: drop the fragment and branch to the merged tail.
+	for _, occ := range occs[1:] {
+		pre := ScheduleSuffix(occ.Graph, occ.Nodes)
+		br := arm.NewInstr(arm.B)
+		br.Target = name
+		occ.Block.Instrs = append(pre, br)
+	}
+}

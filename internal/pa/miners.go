@@ -1,0 +1,326 @@
+package pa
+
+import (
+	"sort"
+	"strings"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/cfg"
+	"graphpa/internal/dfg"
+	"graphpa/internal/mining"
+)
+
+// Miner finds extractable fragments of the current program view, best
+// first. Implementations: GraphMiner (DgSpan/Edgar) here, and the
+// suffix-trie baseline in internal/sfx.
+type Miner interface {
+	Name() string
+	// FindCandidates returns profitable candidates ordered by descending
+	// benefit. The first entry is guaranteed to be a best candidate; the
+	// rest are good runners-up the driver may also apply in the same
+	// round when their blocks do not conflict.
+	FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts Options) []*Candidate
+}
+
+// candList keeps the best candidates seen, ordered by descending benefit
+// (ties: earlier discovery wins, keeping runs deterministic).
+type candList struct {
+	cands []*Candidate
+	limit int
+}
+
+func (cl *candList) best() *Candidate {
+	if len(cl.cands) == 0 {
+		return nil
+	}
+	return cl.cands[0]
+}
+
+func (cl *candList) add(c *Candidate) {
+	pos := len(cl.cands)
+	for pos > 0 && cl.cands[pos-1].Benefit < c.Benefit {
+		pos--
+	}
+	cl.cands = append(cl.cands, nil)
+	copy(cl.cands[pos+1:], cl.cands[pos:])
+	cl.cands[pos] = c
+	if len(cl.cands) > cl.limit {
+		cl.cands = cl.cands[:cl.limit]
+	}
+}
+
+// GraphMiner is graph-based PA: DgSpan when Embedding is false (support =
+// number of blocks containing the fragment, one extraction per block),
+// Edgar when true (support = maximum set of non-overlapping embeddings,
+// all of them extracted).
+type GraphMiner struct {
+	Embedding bool
+	// CanonicalMatch enables the paper's future-work fuzzy matching: node
+	// labels keep only the mnemonic and operand shapes (Fig. 13), so
+	// register renamings of a fragment unify. Extraction remains strict:
+	// only occurrences that are textually identical to the first are
+	// rewritten, so the transformation stays sound while the search
+	// generalises.
+	CanonicalMatch bool
+}
+
+// Name implements Miner.
+func (m *GraphMiner) Name() string {
+	if m.Embedding {
+		if m.CanonicalMatch {
+			return "edgar-canon"
+		}
+		return "edgar"
+	}
+	return "dgspan"
+}
+
+// MiningGraph converts a dependence graph into the miner's input form.
+// Parallel dependence edges between the same instruction pair (e.g. a RAW
+// plus a WAW through different registers) are merged into one edge whose
+// label is the sorted bundle of dependence labels. This keeps the search
+// lattice a simple-digraph lattice — far smaller than the multigraph one —
+// and loses nothing: embeddings whose extra internal dependences differ
+// would be rejected by the extraction-time induced-signature check anyway,
+// so bundling just applies that filter during matching.
+func MiningGraph(g *dfg.Graph, canonical bool) *mining.Graph {
+	mg := &mining.Graph{ID: g.Block.ID, Labels: make([]string, g.N())}
+	for i := 0; i < g.N(); i++ {
+		if canonical {
+			mg.Labels[i] = g.Block.Instrs[i].CanonicalKey()
+		} else {
+			mg.Labels[i] = g.NodeLabel(i)
+		}
+	}
+	// PA-specific pruning (paper §3.5): the graph search only feeds call
+	// extraction, so instructions that can never be outlined — barriers,
+	// control transfers, lr traffic, or anything in a function whose lr
+	// discipline forbids inserting calls — are permanently unextractable
+	// here. Dropping their edges deletes those lattice branches before
+	// the search starts. (Tail merging, the other mechanism, is a
+	// suffix phenomenon: its candidates come from the sequence scan that
+	// seeds every round, so nothing extractable is lost. The paper mined
+	// these families too and paid hours of search for the "seldom"
+	// cross jump, Fig. 12.)
+	callable := CallSafe(g.Block.Fn)
+	dead := func(i int) bool {
+		return !callable || !arm.Abstractable(&g.Block.Instrs[i])
+	}
+
+	bundle := map[[2]int][]string{}
+	var order [][2]int
+	for _, e := range g.Edges {
+		if dead(e.From) || dead(e.To) {
+			continue
+		}
+		k := [2]int{e.From, e.To}
+		if _, ok := bundle[k]; !ok {
+			order = append(order, k)
+		}
+		bundle[k] = append(bundle[k], e.Label())
+	}
+	for _, k := range order {
+		labels := bundle[k]
+		sort.Strings(labels)
+		mg.Edges = append(mg.Edges, mining.GEdge{From: k[0], To: k[1], Label: strings.Join(labels, "+")})
+	}
+	mg.Freeze()
+	return mg
+}
+
+// FindCandidates implements Miner.
+func (m *GraphMiner) FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts Options) []*Candidate {
+	byID := map[int]*dfg.Graph{}
+	var mgs []*mining.Graph
+	for _, g := range graphs {
+		byID[g.Block.ID] = g
+		mgs = append(mgs, MiningGraph(g, m.CanonicalMatch))
+	}
+	kept := &candList{limit: opts.batch()}
+	safe := callSafeCache{}
+	// Seed the incumbent list with contiguous-sequence candidates. With
+	// unbounded fragment size the graph search strictly subsumes the
+	// sequence scan; under the fragment-size cap, seeding restores that
+	// subsumption and gives the benefit-bound pruning a strong incumbent
+	// from the first visited pattern (branch-and-bound with an initial
+	// heuristic solution). DgSpan sees at most one occurrence per block,
+	// consistent with its graph-count support.
+	for _, c := range ScanSequences(graphs, opts, !m.Embedding) {
+		kept.add(c)
+	}
+	maxK := opts.maxNodes()
+	cfgm := mining.Config{
+		MinSupport:       opts.minSupport(),
+		MaxNodes:         maxK,
+		EmbeddingSupport: m.Embedding,
+		GreedyMIS:        opts.GreedyMIS,
+		MaxPatterns:      opts.maxPatterns(),
+		// Benefit-bound pruning: no descendant (support can only fall,
+		// size is capped at maxK) can beat the incumbent best candidate.
+		PruneSubtree: func(p *mining.Pattern) bool {
+			best := kept.best()
+			if best == nil {
+				return false
+			}
+			sup := p.Support
+			ub := CallBenefit(maxK, sup)
+			if cb := CrossJumpBenefit(maxK, sup); cb > ub {
+				ub = cb
+			}
+			return ub <= best.Benefit
+		},
+		// Extension groups whose raw candidate count cannot yield a
+		// pattern beating the incumbent are dropped before their
+		// embeddings are built.
+		ViableCount: func(count int) bool {
+			best := kept.best()
+			if best == nil {
+				return true
+			}
+			ub := CallBenefit(maxK, count)
+			if cb := CrossJumpBenefit(maxK, count); cb > ub {
+				ub = cb
+			}
+			return ub > best.Benefit
+		},
+	}
+
+	mining.Mine(mgs, cfgm, func(p *mining.Pattern) {
+		k := p.Code.NumNodes()
+		if k < 2 {
+			return
+		}
+		// Cheap gate before any independent-set work: the raw embedding
+		// count bounds every support notion from above.
+		ubRaw := CallBenefit(k, len(p.Embeddings))
+		if cb := CrossJumpBenefit(k, len(p.Embeddings)); cb > ubRaw {
+			ubRaw = cb
+		}
+		if ubRaw <= 0 {
+			return
+		}
+		if len(kept.cands) >= kept.limit && ubRaw <= kept.cands[len(kept.cands)-1].Benefit {
+			return
+		}
+		embs := p.Disjoint
+		if !m.Embedding {
+			// DgSpan's frequency is graph-count (that is p.Support here),
+			// but extraction still outlines every non-overlapping
+			// occurrence of the chosen fragment — the paper's miners
+			// share one extraction back end (§2.1 phase 8); only the
+			// DETECTION differs (§4.2: repeats within one block "remain
+			// unnoticed", i.e. fragments frequent only there are never
+			// found).
+			embs = mining.DisjointEmbeddings(p.Embeddings, mining.Config{GreedyMIS: opts.GreedyMIS})
+		}
+		mUB := len(embs)
+		ub := CallBenefit(k, mUB)
+		if cb := CrossJumpBenefit(k, mUB); cb > ub {
+			ub = cb
+		}
+		if ub <= 0 {
+			return
+		}
+		// A candidate is only useful if it beats the weakest kept entry.
+		minBen := 0
+		if len(kept.cands) >= kept.limit {
+			minBen = kept.cands[len(kept.cands)-1].Benefit
+		}
+		if ub <= minBen {
+			return
+		}
+		cand := m.buildCandidate(byID, embs, k, safe, minBen)
+		if cand == nil {
+			return
+		}
+		kept.add(cand)
+	})
+	return kept.cands
+}
+
+// buildCandidate turns raw disjoint embeddings into a verified candidate,
+// choosing the extraction method per the paper: fragments that include a
+// block terminator are tail-merged, everything else is outlined. minBen
+// is the benefit the candidate must beat to be useful; validation bails
+// out as soon as that becomes impossible (validation — signatures and
+// schedulability — dominates mining time otherwise).
+func (m *GraphMiner) buildCandidate(byID map[int]*dfg.Graph, embs []*mining.Embedding, k int, safe callSafeCache, minBen int) *Candidate {
+	if len(embs) == 0 {
+		return nil
+	}
+	first := byID[embs[0].GID]
+	firstOcc := Occurrence{Block: first.Block, Graph: first, Nodes: sortedNodes(embs[0].Nodes), DFS: embs[0].Nodes}
+	hasTerm := containsTerminator(first, firstOcc.Nodes)
+
+	// Embeddings must agree on their full induced dependence structure
+	// (and instruction texts) to share one extracted body; keep only
+	// those matching the first.
+	reference := firstOcc.InducedSignature()
+
+	benefit := func(m int) int {
+		if hasTerm {
+			return CrossJumpBenefit(k, m)
+		}
+		return CallBenefit(k, m)
+	}
+
+	var occs []Occurrence
+	blFrags := map[*cfg.Block][][]int{}
+	for i, e := range embs {
+		// Bail as soon as even accepting every remaining embedding
+		// cannot beat minBen.
+		if benefit(len(occs)+len(embs)-i) <= minBen {
+			return nil
+		}
+		g := byID[e.GID]
+		occ := Occurrence{Block: g.Block, Graph: g, Nodes: sortedNodes(e.Nodes), DFS: e.Nodes}
+		if hasTerm {
+			if !crossJumpExtractable(g, occ.Nodes) {
+				continue
+			}
+		} else {
+			if !callExtractable(g, occ.Nodes, safe) {
+				continue
+			}
+		}
+		if occ.InducedSignature() != reference {
+			continue
+		}
+		if !hasTerm {
+			// Schedulability: the cheap convexity check covers the
+			// common one-occurrence-per-block case; blocks collecting
+			// several occurrences get a full trial contraction.
+			if prev, ok := blFrags[g.Block]; ok {
+				trial := append(append([][]int(nil), prev...), occ.Nodes)
+				calls := make([]arm.Instr, len(trial))
+				for ci := range calls {
+					bl := arm.NewInstr(arm.BL)
+					bl.Target = "__pa_probe"
+					calls[ci] = bl
+				}
+				if _, ok := ScheduleContracted(g, trial, calls); !ok {
+					continue
+				}
+				blFrags[g.Block] = trial
+			} else {
+				if !convexOK(g, occ.Nodes) {
+					continue
+				}
+				blFrags[g.Block] = [][]int{occ.Nodes}
+			}
+		}
+		occs = append(occs, occ)
+	}
+	b := benefit(len(occs))
+	if len(occs) < 2 || b <= 0 || b <= minBen {
+		return nil
+	}
+	return &Candidate{Size: k, Occs: occs, Method: methodOf(hasTerm), Benefit: b}
+}
+
+func methodOf(hasTerm bool) Method {
+	if hasTerm {
+		return MethodCrossJump
+	}
+	return MethodCall
+}

@@ -1,0 +1,65 @@
+package pa
+
+import (
+	"testing"
+)
+
+// TestSameBlockTripleWithCalls tries to reproduce the rijndael breakage
+// shape: one long block with three occurrences of a fragment whose nodes
+// straddle call barriers.
+func TestSameBlockTripleWithCalls(t *testing.T) {
+	src := `
+_start:
+	bl main
+	swi 0
+main:
+	push {r4, r5, r6, r7, lr}
+	ldr r4, =buf
+	mov r5, #1
+	mov r6, #2
+	mov r7, #3
+
+	ldrb r0, [r4]
+	eor r0, r0, r5
+	bl helper
+	strb r0, [r4, #1]
+	eor r1, r5, r6
+	add r2, r1, #4
+	eor r3, r1, #7
+
+	ldrb r0, [r4, #2]
+	eor r0, r0, r5
+	bl helper
+	strb r0, [r4, #3]
+	eor r1, r5, r6
+	add r2, r1, #4
+	eor r3, r1, #7
+
+	ldrb r0, [r4, #4]
+	eor r0, r0, r5
+	bl helper
+	strb r0, [r4, #5]
+	eor r1, r5, r6
+	add r2, r1, #4
+	eor r3, r1, #7
+
+	add r0, r2, r3
+	pop {r4, r5, r6, r7, pc}
+	.pool
+helper:
+	add r0, r0, #17
+	eor r0, r0, #3
+	bx lr
+.data
+buf:
+	.space 16
+`
+	prog := loadSrc(t, src)
+	wantCode, wantOut := runProg(t, prog)
+	res := Optimize(prog, &GraphMiner{Embedding: true}, Options{})
+	gotCode, gotOut := runProg(t, res.Program)
+	if gotCode != wantCode || gotOut != wantOut {
+		t.Fatalf("behaviour changed: %d -> %d\n%s", wantCode, gotCode, res.Program.String())
+	}
+	t.Logf("saved=%d extractions=%+v", res.Saved(), res.Extractions)
+}

@@ -1,0 +1,238 @@
+package pa
+
+import (
+	"container/heap"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/dfg"
+)
+
+// This file linearises blocks after extraction. Replacing a fragment by a
+// single call contracts its nodes into one pseudo-node; the rewritten
+// block is any topological order of the contracted dependence graph. The
+// contraction is only legal when it stays acyclic — the paper's Fig. 9
+// shows the illegal case, where a path leaves the fragment and re-enters
+// it. We use a stable order (ties broken by original instruction index) so
+// untouched code keeps its layout.
+
+// intHeap is a min-heap of ints.
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// FragmentBody returns the fragment's instructions in a stable
+// topological order of its internal dependences: the body of the new
+// procedure (or merged tail).
+func FragmentBody(g *dfg.Graph, nodes []int) []arm.Instr {
+	inFrag := map[int]bool{}
+	for _, n := range nodes {
+		inFrag[n] = true
+	}
+	indeg := map[int]int{}
+	for _, n := range nodes {
+		for _, s := range g.Succs(n) {
+			if inFrag[s] {
+				indeg[s]++
+			}
+		}
+	}
+	h := &intHeap{}
+	for _, n := range nodes {
+		if indeg[n] == 0 {
+			heap.Push(h, n)
+		}
+	}
+	var out []arm.Instr
+	for h.Len() > 0 {
+		n := heap.Pop(h).(int)
+		out = append(out, g.Block.Instrs[n])
+		for _, s := range g.Succs(n) {
+			if !inFrag[s] {
+				continue
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				heap.Push(h, s)
+			}
+		}
+	}
+	return out
+}
+
+// ScheduleContracted rewrites a block in which each fragment in frags is
+// replaced by the corresponding call instruction. It returns the new
+// instruction list and whether the (multi-)contraction is acyclic. Each
+// frags[i] must be disjoint from the others.
+func ScheduleContracted(g *dfg.Graph, frags [][]int, calls []arm.Instr) ([]arm.Instr, bool) {
+	n := g.N()
+	// group[v] = -1 for external nodes, else fragment index.
+	group := make([]int, n)
+	for i := range group {
+		group[i] = -1
+	}
+	for fi, f := range frags {
+		for _, v := range f {
+			group[v] = fi
+		}
+	}
+	// Contracted vertices: externals keep their index; fragment fi is
+	// vertex n+fi with sort key min(frag).
+	nv := n + len(frags)
+	key := make([]int, nv)
+	for v := 0; v < n; v++ {
+		key[v] = v
+	}
+	for fi, f := range frags {
+		min := f[0]
+		for _, v := range f {
+			if v < min {
+				min = v
+			}
+		}
+		key[n+fi] = min
+	}
+	cvert := func(v int) int {
+		if group[v] >= 0 {
+			return n + group[v]
+		}
+		return v
+	}
+	// Build contracted adjacency (dedup via map).
+	succs := make([][]int, nv)
+	indeg := make([]int, nv)
+	seen := map[[2]int]bool{}
+	for v := 0; v < n; v++ {
+		for _, s := range g.Succs(v) {
+			a, b := cvert(v), cvert(s)
+			if a == b {
+				continue
+			}
+			k := [2]int{a, b}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			succs[a] = append(succs[a], b)
+			indeg[b]++
+		}
+	}
+	// Exclude contracted vertices that do not exist (external nodes that
+	// are fragment members never appear as themselves).
+	active := make([]bool, nv)
+	for v := 0; v < n; v++ {
+		if group[v] < 0 {
+			active[v] = true
+		}
+	}
+	for fi := range frags {
+		active[n+fi] = true
+	}
+	total := 0
+	for v := 0; v < nv; v++ {
+		if active[v] {
+			total++
+		}
+	}
+
+	// Kahn with a stable priority: lowest original index first.
+	h := &keyHeap{key: key}
+	for v := 0; v < nv; v++ {
+		if active[v] && indeg[v] == 0 {
+			heap.Push(h, v)
+		}
+	}
+	var out []arm.Instr
+	emitted := 0
+	for h.Len() > 0 {
+		v := heap.Pop(h).(int)
+		emitted++
+		if v >= n {
+			out = append(out, calls[v-n])
+		} else {
+			out = append(out, g.Block.Instrs[v])
+		}
+		for _, s := range succs[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				heap.Push(h, s)
+			}
+		}
+	}
+	if emitted != total {
+		return nil, false // cycle: the contraction is illegal (Fig. 9)
+	}
+	return out, true
+}
+
+// keyHeap pops the vertex with the smallest key.
+type keyHeap struct {
+	items []int
+	key   []int
+}
+
+func (h keyHeap) Len() int           { return len(h.items) }
+func (h keyHeap) Less(i, j int) bool { return h.key[h.items[i]] < h.key[h.items[j]] }
+func (h keyHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *keyHeap) Push(x interface{}) {
+	h.items = append(h.items, x.(int))
+}
+func (h *keyHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// ScheduleSuffix rewrites a block so that the fragment forms a contiguous
+// suffix: it returns the surviving prefix (external instructions in stable
+// topological order) — the fragment body follows via FragmentBody. The
+// caller must have verified crossJumpExtractable.
+func ScheduleSuffix(g *dfg.Graph, nodes []int) []arm.Instr {
+	inFrag := map[int]bool{}
+	for _, n := range nodes {
+		inFrag[n] = true
+	}
+	indeg := map[int]int{}
+	for v := 0; v < g.N(); v++ {
+		if inFrag[v] {
+			continue
+		}
+		for _, s := range g.Succs(v) {
+			if !inFrag[s] {
+				indeg[s]++
+			}
+		}
+	}
+	h := &intHeap{}
+	for v := 0; v < g.N(); v++ {
+		if !inFrag[v] && indeg[v] == 0 {
+			heap.Push(h, v)
+		}
+	}
+	var out []arm.Instr
+	for h.Len() > 0 {
+		v := heap.Pop(h).(int)
+		out = append(out, g.Block.Instrs[v])
+		for _, s := range g.Succs(v) {
+			if inFrag[s] {
+				continue
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				heap.Push(h, s)
+			}
+		}
+	}
+	return out
+}

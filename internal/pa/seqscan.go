@@ -1,0 +1,193 @@
+package pa
+
+import (
+	"sort"
+
+	"graphpa/internal/dfg"
+)
+
+const (
+	hashBase = 1099511628211
+)
+
+// pos locates a sequence occurrence: graph index and start offset.
+type pos struct{ g, start int }
+
+// ScanSequences finds repeated contiguous instruction sequences with
+// positive extraction benefit, best first — the suffix-trie baseline's
+// detector (Fraser/Myers/Wendt; fingerprint-filtered per Debray et al.).
+// The graph miners also call it to seed their branch-and-bound incumbent
+// list: with unbounded fragment size graph mining strictly subsumes
+// sequence mining, and seeding restores that subsumption under our
+// fragment-size cap. With onePerBlock, at most one occurrence per basic
+// block is counted (DgSpan's graph-count view).
+func ScanSequences(graphs []*dfg.Graph, opts Options, graphSupport bool) []*Candidate {
+	// Intern instruction texts -> token ids, per round.
+	tokens := map[string]uint64{}
+	next := uint64(1)
+	seqs := make([][]uint64, len(graphs))
+	maxLen := 2
+	for gi, g := range graphs {
+		n := g.N()
+		seq := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			s := g.NodeLabel(i)
+			id, ok := tokens[s]
+			if !ok {
+				id = next
+				next++
+				tokens[s] = id
+			}
+			seq[i] = id
+		}
+		seqs[gi] = seq
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	if maxLen > opts.MaxSeqLenOrDefault() {
+		maxLen = opts.MaxSeqLenOrDefault()
+	}
+
+	var all []*Candidate
+
+	for k := 2; k <= maxLen; k++ {
+		groups := map[uint64][]pos{}
+		for gi, seq := range seqs {
+			if len(seq) < k {
+				continue
+			}
+			var h uint64
+			pow := uint64(1)
+			for i := 0; i < k-1; i++ {
+				pow *= hashBase
+			}
+			for i := 0; i+k <= len(seq); i++ {
+				if i == 0 {
+					h = 0
+					for j := 0; j < k; j++ {
+						h = h*hashBase + seq[j]
+					}
+				} else {
+					h = (h-seq[i-1]*pow)*hashBase + seq[i+k-1]
+				}
+				groups[h] = append(groups[h], pos{gi, i})
+			}
+		}
+		var hashes []uint64
+		for h, ps := range groups {
+			if len(ps) >= 2 {
+				hashes = append(hashes, h)
+			}
+		}
+		sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+		for _, h := range hashes {
+			ps := groups[h]
+			// Verify against hash collisions: group by actual tokens.
+			ref := seqs[ps[0].g][ps[0].start : ps[0].start+k]
+			var same []pos
+			for _, p := range ps {
+				if equalSeq(seqs[p.g][p.start:p.start+k], ref) {
+					same = append(same, p)
+				}
+			}
+			if len(same) < 2 {
+				continue
+			}
+			// Non-overlapping occurrences, greedy left to right.
+			var chosen []pos
+			lastEnd := map[int]int{}
+			for _, p := range same {
+				if e, ok := lastEnd[p.g]; ok && p.start < e {
+					continue
+				}
+				chosen = append(chosen, p)
+				lastEnd[p.g] = p.start + k
+			}
+			if graphSupport && len(lastEnd) < 2 {
+				// graph-count frequency: the sequence must repeat across
+				// at least two blocks to be "frequent" for DgSpan, even
+				// though all its occurrences are then extracted.
+				continue
+			}
+			cand := seqCandidate(graphs, chosen, k)
+			if cand == nil {
+				continue
+			}
+			all = append(all, cand)
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Benefit > all[j].Benefit })
+	if len(all) > 64 {
+		all = all[:64]
+	}
+	return all
+}
+
+func equalSeq(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildCandidate validates occurrences and picks the extraction method:
+// sequences ending in the block terminator tail-merge, others outline.
+func seqCandidate(graphs []*dfg.Graph, chosen []pos, k int) *Candidate {
+	if len(chosen) < 2 {
+		return nil
+	}
+	mkNodes := func(start int) []int {
+		nodes := make([]int, k)
+		for i := range nodes {
+			nodes[i] = start + i
+		}
+		return nodes
+	}
+	first := graphs[chosen[0].g]
+	firstNodes := mkNodes(chosen[0].start)
+	firstOcc := Occurrence{Block: first.Block, Graph: first, Nodes: firstNodes, DFS: firstNodes}
+	reference := firstOcc.InducedSignature()
+
+	term := first.Block.Terminator()
+	endsAtTerm := chosen[0].start+k == first.N() && term != nil && term.IsTerminator()
+
+	var occs []Occurrence
+	for _, p := range chosen {
+		g := graphs[p.g]
+		occ := Occurrence{Block: g.Block, Graph: g, Nodes: mkNodes(p.start), DFS: mkNodes(p.start)}
+		if endsAtTerm {
+			if !CrossJumpOK(g, occ.Nodes) {
+				continue
+			}
+		} else {
+			if !CallOK(g, occ.Nodes) {
+				continue
+			}
+		}
+		if occ.InducedSignature() != reference {
+			continue
+		}
+		occs = append(occs, occ)
+	}
+	if len(occs) < 2 {
+		return nil
+	}
+	if endsAtTerm {
+		benefit := CrossJumpBenefit(k, len(occs))
+		if benefit <= 0 {
+			return nil
+		}
+		return &Candidate{Size: k, Occs: occs, Method: MethodCrossJump, Benefit: benefit}
+	}
+	benefit := CallBenefit(k, len(occs))
+	if benefit <= 0 {
+		return nil
+	}
+	return &Candidate{Size: k, Occs: occs, Method: MethodCall, Benefit: benefit}
+}

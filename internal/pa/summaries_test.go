@@ -1,0 +1,161 @@
+package pa
+
+import (
+	"testing"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/cfg"
+	"graphpa/internal/dfg"
+)
+
+// TestCallSummaries covers the bug class found on rijndael: procedures
+// created by earlier PA rounds have no calling convention — they read and
+// write arbitrary registers — so later rounds must model calls with real
+// footprints or they will move a register definition across a call that
+// consumes it.
+func TestCallSummaries(t *testing.T) {
+	prog := loadSrc(t, `
+_start:
+	bl main
+	swi 0
+main:
+	push {r4, lr}
+	mov r5, #1
+	bl weird
+	mov r0, r6
+	mov r5, #2
+	bl weird
+	add r0, r0, r6
+	pop {r4, pc}
+weird:
+	add r6, r5, #10
+	bx lr
+`)
+	view := cfg.Build(prog)
+	sums := CallSummaries(view)
+
+	w, ok := sums["weird"]
+	if !ok {
+		t.Fatal("no summary for weird")
+	}
+	if !w.Reads.Has(arm.R5) {
+		t.Error("summary must record that weird reads r5")
+	}
+	if !w.Writes.Has(arm.R6) {
+		t.Error("summary must record that weird writes r6")
+	}
+	if !w.Writes.Has(arm.LR) {
+		t.Error("calls always write lr")
+	}
+
+	// main transitively includes weird's effects.
+	m := sums["main"]
+	if !m.Reads.Has(arm.R5) || !m.Writes.Has(arm.R6) {
+		t.Error("main's summary must include its callee's footprint")
+	}
+
+	// The dependence graph built WITH summaries must order the r5
+	// definitions against the calls; without summaries it must not (the
+	// generic ABI model knows nothing about r5).
+	var mainBlock *cfg.Block
+	for _, fn := range view.Funcs {
+		if fn.Name == "main" {
+			mainBlock = fn.Blocks[0]
+		}
+	}
+	idx := func(text string) int {
+		for i := range mainBlock.Instrs {
+			if mainBlock.Instrs[i].String() == text {
+				return i
+			}
+		}
+		t.Fatalf("instruction %q not found", text)
+		return -1
+	}
+	movIdx := idx("mov r5, #1")
+	blIdx := movIdx + 1 // bl weird follows
+
+	with := dfg.Build(mainBlock, sums)
+	found := false
+	for _, e := range with.Edges {
+		if e.From == movIdx && e.To == blIdx && e.Reg == arm.R5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("with summaries: mov r5 must feed the call")
+	}
+	without := dfg.Build(mainBlock, nil)
+	for _, e := range without.Edges {
+		if e.From == movIdx && e.To == blIdx && e.Reg == arm.R5 {
+			t.Error("generic ABI model should not know about r5 (this guards the test's premise)")
+		}
+	}
+}
+
+// TestSummariesRecursionFixpoint: summaries converge on recursive call
+// graphs.
+func TestSummariesRecursionFixpoint(t *testing.T) {
+	prog := loadSrc(t, `
+_start:
+	bl a
+	swi 0
+a:
+	push {r4, lr}
+	add r7, r7, #1
+	cmp r7, #10
+	bllt b
+	pop {r4, pc}
+b:
+	push {r4, lr}
+	eor r8, r8, r7
+	bl a
+	pop {r4, pc}
+`)
+	view := cfg.Build(prog)
+	sums := CallSummaries(view)
+	a, b := sums["a"], sums["b"]
+	if !a.Writes.Has(arm.R8) || !b.Writes.Has(arm.R7) {
+		t.Error("mutual recursion must propagate effects both ways")
+	}
+	if !a.Reads.Has(arm.R7) || !b.Reads.Has(arm.R8) {
+		t.Error("reads must propagate through the cycle")
+	}
+}
+
+// TestOutlinedProcFootprintRespected is the end-to-end shape: a program
+// whose helper reads a callee-saved register; Edgar must not break it no
+// matter what it extracts.
+func TestOutlinedProcFootprintRespected(t *testing.T) {
+	src := `
+_start:
+	bl main
+	swi 0
+main:
+	push {r4, lr}
+	mov r5, #3
+	mov r6, #0
+	mov r5, #1
+	bl weird
+	mov r4, r6
+	eor r4, r4, #7
+	add r4, r4, r4
+	mov r5, #2
+	bl weird
+	mov r0, r6
+	eor r0, r0, #7
+	add r0, r0, r0
+	add r0, r0, r4
+	pop {r4, pc}
+weird:
+	add r6, r5, #10
+	bx lr
+`
+	prog := loadSrc(t, src)
+	wantCode, wantOut := runProg(t, prog)
+	res := Optimize(prog, &GraphMiner{Embedding: true}, Options{})
+	gotCode, gotOut := runProg(t, res.Program)
+	if gotCode != wantCode || gotOut != wantOut {
+		t.Fatalf("behaviour changed: %d -> %d\n%s", wantCode, gotCode, res.Program.String())
+	}
+}

@@ -1,0 +1,192 @@
+package sfx
+
+import (
+	"testing"
+
+	"graphpa/internal/asm"
+	"graphpa/internal/emu"
+	"graphpa/internal/link"
+	"graphpa/internal/loader"
+	"graphpa/internal/pa"
+)
+
+func loadSrc(t *testing.T, src string) *loader.Program {
+	t.Helper()
+	u, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := link.Link(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := loader.Load(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func runProg(t *testing.T, prog *loader.Program) (int32, string) {
+	t.Helper()
+	img, err := prog.Relink()
+	if err != nil {
+		t.Fatalf("relink: %v\n%s", err, prog.String())
+	}
+	m := emu.New(img, nil)
+	code, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, prog.String())
+	}
+	return code, m.Stdout.String()
+}
+
+// identicalSeqSrc: a 4-instruction sequence repeated identically three
+// times across blocks — SFX's home turf.
+const identicalSeqSrc = `
+_start:
+	bl main
+	swi 0
+main:
+	push {r4, lr}
+	mov r0, #1
+	mov r1, #2
+	add r0, r0, r1
+	eor r1, r0, #7
+	add r0, r0, r1
+	sub r1, r1, #1
+	b b2
+b2:
+	add r0, r0, r1
+	eor r1, r0, #7
+	add r0, r0, r1
+	sub r1, r1, #1
+	b b3
+b3:
+	add r0, r0, r1
+	eor r1, r0, #7
+	add r0, r0, r1
+	sub r1, r1, #1
+	pop {r4, pc}
+`
+
+func TestSFXExtractsIdenticalSequences(t *testing.T) {
+	prog := loadSrc(t, identicalSeqSrc)
+	wantCode, wantOut := runProg(t, prog)
+
+	res := pa.Optimize(prog, &Miner{}, pa.Options{})
+	// k=4, m=3: benefit 3*3 - 5 = 4.
+	if res.Saved() < 4 {
+		t.Fatalf("SFX saved %d, want >= 4\n%s", res.Saved(), res.Program.String())
+	}
+	gotCode, gotOut := runProg(t, res.Program)
+	if gotCode != wantCode || gotOut != wantOut {
+		t.Errorf("behaviour changed: exit %d->%d out %q->%q", wantCode, gotCode, wantOut, gotOut)
+	}
+}
+
+// reorderedSrc: same computation but one occurrence has its independent
+// instructions swapped. SFX must save strictly less than graph PA here.
+const reorderedSrc = `
+_start:
+	bl main
+	swi 0
+main:
+	push {r4, lr}
+	mov r0, #1
+	mov r1, #2
+	mov r2, #3
+	add r0, r0, r1
+	eor r1, r0, #7
+	add r2, r2, r0
+	sub r0, r0, #1
+	b b2
+b2:
+	add r0, r0, r1
+	add r2, r2, r0
+	eor r1, r0, #7
+	sub r0, r0, #1
+	b b3
+b3:
+	add r0, r0, r1
+	eor r1, r0, #7
+	add r2, r2, r0
+	sub r0, r0, #1
+	pop {r4, pc}
+`
+
+func TestSFXvsEdgarOnReordering(t *testing.T) {
+	sfxRes := pa.Optimize(loadSrc(t, reorderedSrc), &Miner{}, pa.Options{})
+	edgarRes := pa.Optimize(loadSrc(t, reorderedSrc), &pa.GraphMiner{Embedding: true}, pa.Options{})
+	if edgarRes.Saved() <= sfxRes.Saved() {
+		t.Errorf("Edgar (%d) must beat SFX (%d) on reordered code",
+			edgarRes.Saved(), sfxRes.Saved())
+	}
+	// Behaviour must be preserved by both.
+	wantCode, wantOut := runProg(t, loadSrc(t, reorderedSrc))
+	for _, res := range []*pa.Result{sfxRes, edgarRes} {
+		gotCode, gotOut := runProg(t, res.Program)
+		if gotCode != wantCode || gotOut != wantOut {
+			t.Errorf("%s changed behaviour", res.Miner)
+		}
+	}
+}
+
+func TestSFXCrossJump(t *testing.T) {
+	src := `
+_start:
+	bl f1
+	mov r4, r0
+	bl f2
+	add r0, r4, r0
+	swi 0
+f1:
+	push {r4, lr}
+	mov r0, #1
+	add r0, r0, #5
+	eor r0, r0, #3
+	sub r0, r0, #1
+	pop {r4, pc}
+f2:
+	push {r4, lr}
+	mov r0, #2
+	add r0, r0, #5
+	eor r0, r0, #3
+	sub r0, r0, #1
+	pop {r4, pc}
+`
+	prog := loadSrc(t, src)
+	wantCode, wantOut := runProg(t, prog)
+	res := pa.Optimize(prog, &Miner{}, pa.Options{})
+	if res.CrossJumps() == 0 {
+		t.Fatalf("SFX should tail-merge identical epilogues; got %+v", res.Extractions)
+	}
+	gotCode, gotOut := runProg(t, res.Program)
+	if gotCode != wantCode || gotOut != wantOut {
+		t.Error("behaviour changed")
+	}
+}
+
+func TestSFXNothingToFind(t *testing.T) {
+	src := `
+_start:
+	mov r0, #1
+	add r0, r0, #2
+	eor r0, r0, #3
+	swi 0
+`
+	res := pa.Optimize(loadSrc(t, src), &Miner{}, pa.Options{})
+	if res.Saved() != 0 || res.Rounds != 0 {
+		t.Errorf("saved %d in %d rounds on duplicate-free code", res.Saved(), res.Rounds)
+	}
+}
+
+func TestSFXRespectsMaxSeqLen(t *testing.T) {
+	prog := loadSrc(t, identicalSeqSrc)
+	res := pa.Optimize(prog, &Miner{}, pa.Options{MaxSeqLen: 2})
+	for _, e := range res.Extractions {
+		if e.Size > 2 {
+			t.Errorf("extraction size %d exceeds MaxSeqLen", e.Size)
+		}
+	}
+}
