@@ -1,0 +1,15 @@
+#!/bin/sh
+# CI gate: vet plus the whole test suite under the race detector. The
+# parallel search is only trustworthy raced, so -race is not optional
+# here. Short mode (the default) trims the end-to-end determinism suite
+# to its two fastest benchmark programs; run `./ci.sh -full` for the
+# complete matrix.
+set -eu
+cd "$(dirname "$0")"
+
+go vet ./...
+if [ "${1:-}" = "-full" ]; then
+	go test -race -count=1 ./...
+else
+	go test -race -count=1 -short ./...
+fi

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	edgar [-miner edgar|dgspan|sfx|edgar-canon] [-schedule] [-maxrounds n]
-//	      [-minsup n] [-maxfrag n] [-greedy-mis] [-verify] [-dump] file.mc
+//	      [-minsup n] [-maxfrag n] [-greedy-mis] [-workers n] [-verify]
+//	      [-dump] file.mc
 //
 // The paper's pipeline (§2.1): decompile, reconstruct labels, split into
 // basic blocks, build data-flow graphs, mine, extract, repeat.
@@ -32,6 +33,7 @@ func main() {
 	minSup := flag.Int("minsup", 0, "minimum fragment frequency (default 2)")
 	maxFrag := flag.Int("maxfrag", 0, "maximum fragment size in instructions (default 8)")
 	greedyMIS := flag.Bool("greedy-mis", false, "use greedy instead of exact independent sets")
+	workers := flag.Int("workers", 0, "parallel width (0 = all cores, 1 = serial); results are identical at any width")
 	verify := flag.Bool("verify", true, "run before/after and compare behaviour")
 	dump := flag.Bool("dump", false, "print the optimized assembly")
 	flag.Parse()
@@ -61,6 +63,7 @@ func main() {
 		MinSupport: *minSup,
 		MaxNodes:   *maxFrag,
 		GreedyMIS:  *greedyMIS,
+		Workers:    *workers,
 	})
 	if err != nil {
 		fatal(err)

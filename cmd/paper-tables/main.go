@@ -7,7 +7,8 @@
 // Usage:
 //
 //	paper-tables [-only table1|table2|table3|fig11|fig12|timings]
-//	             [-miners sfx,dgspan,edgar] [-maxfrag n] [-noverify]
+//	             [-miners sfx,dgspan,edgar] [-maxfrag n] [-workers n]
+//	             [-noverify]
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 	programs := flag.String("programs", "", "comma-separated program subset (default: all)")
 	maxFrag := flag.Int("maxfrag", 0, "maximum fragment size (default 8)")
 	maxPatterns := flag.Int("maxpatterns", 0, "per-round mining budget (default 100000)")
+	workers := flag.Int("workers", 0, "parallel width (0 = all cores, 1 = serial); tables are identical at any width")
 	noverify := flag.Bool("noverify", false, "skip differential behaviour checks")
 	verbose := flag.Bool("v", false, "log per-program progress to stderr")
 	flag.Parse()
@@ -59,7 +61,7 @@ func main() {
 	}
 
 	list := strings.Split(*miners, ",")
-	ev, err := bench.Evaluate(ws, list, pa.Options{MaxNodes: *maxFrag, MaxPatterns: *maxPatterns}, !*noverify)
+	ev, err := bench.Evaluate(ws, list, pa.Options{MaxNodes: *maxFrag, MaxPatterns: *maxPatterns, Workers: *workers}, !*noverify)
 	if err != nil {
 		fatal(err)
 	}

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"embed"
 	"fmt"
 	"sort"
@@ -18,6 +19,7 @@ import (
 	"graphpa/internal/link"
 	"graphpa/internal/loader"
 	"graphpa/internal/pa"
+	"graphpa/internal/par"
 )
 
 //go:embed programs/*.mc
@@ -67,15 +69,31 @@ func Build(name string, opts codegen.Options) (*Workload, error) {
 	return &Workload{Name: name, Image: img, Prog: prog, Instrs: prog.CountInstrs()}, nil
 }
 
-// BuildAll compiles every benchmark.
+// BuildAll compiles every benchmark, one worker per core. The result is
+// identical to building serially in Names order: each compile is
+// independent, the ordered fan-in appends in that order, and a failure
+// reports the first failing program in that order (errors ride in the
+// produced value precisely so a later worker's failure cannot win).
 func BuildAll(opts codegen.Options) ([]*Workload, error) {
+	type built struct {
+		w   *Workload
+		err error
+	}
 	out := make([]*Workload, 0, len(Names))
-	for _, n := range Names {
-		w, err := Build(n, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, w)
+	err := par.OrderedMap(context.Background(), par.Workers(0), len(Names),
+		func(_ context.Context, i int) (built, error) {
+			w, err := Build(Names[i], opts)
+			return built{w, err}, nil
+		},
+		func(_ int, b built) error {
+			if b.err != nil {
+				return b.err
+			}
+			out = append(out, b.w)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -87,6 +105,12 @@ type Evaluation struct {
 	Miners    []string
 	// Results[program][miner]
 	Results map[string]map[string]*pa.Result
+	// Wall is the harness wall clock for the whole matrix; with Workers
+	// > 1 it undercuts the sum of per-cell Durations (the paper-tables
+	// timing output reports the ratio).
+	Wall time.Duration
+	// Workers is the effective parallel width Evaluate ran with.
+	Workers int
 }
 
 // Progress, when non-nil, receives one line per finished program/miner
@@ -101,29 +125,61 @@ func progressf(format string, args ...any) {
 
 // Evaluate optimizes every workload with every miner. When verify is set,
 // each optimized binary is executed and its behaviour compared against
-// the original (differential check).
+// the original (differential check). The program×miner cells run
+// concurrently (width from opts.Workers, like the optimizer itself), but
+// every cell is an independent deterministic computation and the ordered
+// fan-in stores results and reports progress in the serial loop's order,
+// so the Evaluation — and any table rendered from it — is byte-identical
+// at every width. Cell errors ride in the produced value so the first
+// failing cell in serial order is the one reported.
 func Evaluate(ws []*Workload, miners []string, opts pa.Options, verify bool) (*Evaluation, error) {
-	ev := &Evaluation{Workloads: ws, Miners: miners, Results: map[string]map[string]*pa.Result{}}
+	start := time.Now()
+	workers := opts.WorkersOrDefault()
+	ev := &Evaluation{Workloads: ws, Miners: miners, Workers: workers,
+		Results: map[string]map[string]*pa.Result{}}
+	resolved := make([]pa.Miner, len(miners))
+	for i, mn := range miners {
+		m, err := core.MinerByName(mn)
+		if err != nil {
+			return nil, err
+		}
+		resolved[i] = m
+	}
 	for _, w := range ws {
 		ev.Results[w.Name] = map[string]*pa.Result{}
-		for _, mn := range miners {
-			m, err := core.MinerByName(mn)
+	}
+	type cellResult struct {
+		res *pa.Result
+		err error
+	}
+	cells := len(ws) * len(miners)
+	err := par.OrderedMap(context.Background(), workers, cells,
+		func(_ context.Context, i int) (cellResult, error) {
+			w, mn := ws[i/len(miners)], miners[i%len(miners)]
+			res, img, err := core.Optimize(w.Image, resolved[i%len(miners)], opts)
 			if err != nil {
-				return nil, err
-			}
-			res, img, err := core.Optimize(w.Image, m, opts)
-			if err != nil {
-				return nil, fmt.Errorf("bench: %s/%s: %w", w.Name, mn, err)
+				return cellResult{err: fmt.Errorf("bench: %s/%s: %w", w.Name, mn, err)}, nil
 			}
 			if verify {
 				if err := core.VerifyEquivalent(w.Image, img, nil); err != nil {
-					return nil, fmt.Errorf("bench: %s/%s: %w", w.Name, mn, err)
+					return cellResult{err: fmt.Errorf("bench: %s/%s: %w", w.Name, mn, err)}, nil
 				}
 			}
-			ev.Results[w.Name][mn] = res
-			progressf("%s/%s: saved %d in %v", w.Name, mn, res.Saved(), res.Duration)
-		}
+			return cellResult{res: res}, nil
+		},
+		func(i int, c cellResult) error {
+			if c.err != nil {
+				return c.err
+			}
+			w, mn := ws[i/len(miners)], miners[i%len(miners)]
+			ev.Results[w.Name][mn] = c.res
+			progressf("%s/%s: saved %d in %v", w.Name, mn, c.res.Saved(), c.res.Duration)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	ev.Wall = time.Since(start)
 	return ev, nil
 }
 

@@ -153,9 +153,18 @@ func Timings(ev *Evaluation) string {
 		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, "%-10s", "total")
+	var serial time.Duration
 	for _, mn := range []string{"sfx", "dgspan", "edgar"} {
 		fmt.Fprintf(&b, " %12s", sums[mn].Round(time.Millisecond))
+		serial += sums[mn]
 	}
 	b.WriteByte('\n')
+	if ev.Wall > 0 {
+		// The per-cell durations above sum the serial-equivalent work;
+		// the harness wall clock shows what the parallel matrix cost.
+		speedup := float64(serial) / float64(ev.Wall)
+		fmt.Fprintf(&b, "wall clock %s with %d workers (%.2fx vs summed cells)\n",
+			ev.Wall.Round(time.Millisecond), ev.Workers, speedup)
+	}
 	return b.String()
 }

@@ -206,7 +206,7 @@ func (c Code) IsMinimal() bool {
 	}
 	cur := Code{best}
 	for k := 1; k < len(c); k++ {
-		exts := extend(cur, embs, func(int) *Graph { return p }, 1, nil)
+		exts := extendFull(cur, embs, func(int) *Graph { return p })
 		if len(exts) == 0 {
 			// c has more edges than any extension of the minimal
 			// prefix; cannot happen for a valid code of p.

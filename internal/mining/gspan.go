@@ -100,6 +100,21 @@ type Config struct {
 	// prune groups whose optimistic benefit cannot matter. Must be
 	// monotone (viable(c) implies viable(c+1)).
 	ViableCount func(count int) bool
+	// Workers > 1 mines seed subtrees speculatively on that many
+	// goroutines and replays them deterministically (see parallel.go);
+	// the visit sequence is identical to the serial search. Workers <= 1
+	// keeps the fully serial search. When Workers > 1 and NewSpeculator
+	// is nil, PruneSubtree and ViableCount are called concurrently and
+	// must be safe for concurrent use.
+	Workers int
+	// NewSpeculator, when non-nil, supplies per-worker callbacks for the
+	// speculative phase of the parallel search. Speculation callbacks may
+	// consult shared incumbent state (under their own locking) and may
+	// memoise side results, but must not mutate anything the
+	// authoritative visit/PruneSubtree/ViableCount path depends on:
+	// correctness never depends on what speculation decides, only the
+	// amount of replay fallback work does.
+	NewSpeculator func() *Speculator
 }
 
 func (c Config) exactLimit() int {
@@ -148,11 +163,38 @@ func (m *marks) useEdge(e int) { m.edgeVer[e] = m.ver }
 
 func (m *marks) edgeUsed(e int) bool { return m.edgeVer[e] == m.ver }
 
-// extend computes all rightmost extensions of (code, embs), grouped by
-// tuple. Tuple groups that cannot possibly reach minSup embeddings are
-// discarded before their embeddings are materialised. graphOf resolves an
-// embedding's GID to its graph.
-func extend(code Code, embs []*Embedding, graphOf func(int) *Graph, minSup int, viable func(int) bool) []ext {
+// cand is one not-yet-materialised extension candidate (pass 1).
+type cand struct {
+	emb     *Embedding
+	eid     int
+	newNode int // -1 for backward extensions
+}
+
+// rawGroup is one tuple-grouped set of extension candidates before
+// materialisation. Its contents are independent of any incumbent state:
+// only which groups get materialised is a policy decision.
+type rawGroup struct {
+	t     Tuple
+	cands []cand
+}
+
+// miner holds one search instance: configuration, per-instance scratch
+// state (the marks arrays — the reason a worker cannot share a miner)
+// and the serial visit bookkeeping.
+type miner struct {
+	cfg     Config
+	graphOf func(int) *Graph
+	visit   func(*Pattern)
+	visited int
+	aborted bool
+	mk      marks // reused across extendGroups calls
+}
+
+// extendGroups computes all rightmost extensions of (code, embs) grouped
+// by tuple, sorted by tuple order, without materialising child
+// embeddings. Groups whose raw candidate count cannot reach MinSupport
+// are dropped (a config constant, so this is state-independent).
+func (mn *miner) extendGroups(code Code, embs []*Embedding) []rawGroup {
 	rmpath := code.RightmostPath()
 	if len(rmpath) == 0 {
 		return nil
@@ -167,15 +209,10 @@ func extend(code Code, embs []*Embedding, graphOf func(int) *Graph, minSup int, 
 
 	// Pass 1: enumerate candidate extensions without materialising
 	// child embeddings.
-	type cand struct {
-		emb     *Embedding
-		eid     int
-		newNode int // -1 for backward extensions
-	}
 	groups := map[Tuple][]cand{}
-	var mk marks
+	mk := &mn.mk
 	for _, emb := range embs {
-		g := graphOf(emb.GID)
+		g := mn.graphOf(emb.GID)
 		mk.reset(g)
 		for di, n := range emb.Nodes {
 			mk.mapNode(n, di)
@@ -212,45 +249,133 @@ func extend(code Code, embs []*Embedding, graphOf func(int) *Graph, minSup int, 
 		}
 	}
 
-	// Pass 2: materialise embeddings for viable groups only.
-	out := make([]ext, 0, len(groups))
+	out := make([]rawGroup, 0, len(groups))
 	for t, cands := range groups {
-		if len(cands) < minSup {
+		if len(cands) < mn.cfg.MinSupport {
 			continue
 		}
-		if viable != nil && !viable(len(cands)) {
-			continue
-		}
-		e := ext{t: t, embs: make([]*Embedding, 0, len(cands))}
-		seen := make(map[string]bool, len(cands))
-		for _, c := range cands {
-			ne := &Embedding{GID: c.emb.GID}
-			if c.newNode >= 0 {
-				ne.Nodes = append(append(make([]int, 0, len(c.emb.Nodes)+1), c.emb.Nodes...), c.newNode)
-			} else {
-				ne.Nodes = c.emb.Nodes
-			}
-			ne.Edges = append(append(make([]int, 0, len(c.emb.Edges)+1), c.emb.Edges...), c.eid)
-			k := ne.key()
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-			e.embs = append(e.embs, ne)
-		}
-		if len(e.embs) < minSup {
-			continue
-		}
-		out = append(out, e)
+		out = append(out, rawGroup{t: t, cands: cands})
 	}
 	sort.Slice(out, func(i, j int) bool { return CompareTuples(out[i].t, out[j].t) < 0 })
 	return out
 }
 
+// materialize is pass 2 for one group: build the child embeddings,
+// deduplicating automorphic rediscoveries. ok is false when
+// deduplication drops the group below MinSupport. Deterministic: the
+// result depends only on the group.
+func (mn *miner) materialize(g rawGroup) (embs []*Embedding, ok bool) {
+	embs = make([]*Embedding, 0, len(g.cands))
+	seen := make(map[string]bool, len(g.cands))
+	for _, c := range g.cands {
+		ne := &Embedding{GID: c.emb.GID}
+		if c.newNode >= 0 {
+			ne.Nodes = append(append(make([]int, 0, len(c.emb.Nodes)+1), c.emb.Nodes...), c.newNode)
+		} else {
+			ne.Nodes = c.emb.Nodes
+		}
+		ne.Edges = append(append(make([]int, 0, len(c.emb.Edges)+1), c.emb.Edges...), c.eid)
+		k := ne.key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		embs = append(embs, ne)
+	}
+	return embs, len(embs) >= mn.cfg.MinSupport
+}
+
+// extendFull materialises every extension group without frequency or
+// viability filtering — the minimality test simulates minimal-code
+// growth on a single pattern graph and needs them all.
+func extendFull(code Code, embs []*Embedding, graphOf func(int) *Graph) []ext {
+	mn := &miner{cfg: Config{MinSupport: 1}, graphOf: graphOf}
+	groups := mn.extendGroups(code, embs)
+	out := make([]ext, 0, len(groups))
+	for _, g := range groups {
+		if cembs, ok := mn.materialize(g); ok {
+			out = append(out, ext{t: g.t, embs: cembs})
+		}
+	}
+	return out
+}
+
+// pattern builds the Pattern for (code, embs) and computes its support
+// (and Disjoint in embedding mode). Pure given the inputs.
+func (mn *miner) pattern(code Code, embs []*Embedding) *Pattern {
+	p := &Pattern{Code: code, Labels: code.NodeLabels(), Embeddings: embs}
+	p.Support = computeSupport(p, mn.cfg)
+	return p
+}
+
+// dfs is the serial search step: build the pattern, check frequency,
+// then visit and descend.
+func (mn *miner) dfs(code Code, embs []*Embedding) {
+	if mn.aborted {
+		return
+	}
+	p := mn.pattern(code, embs)
+	if p.Support < mn.cfg.MinSupport {
+		return
+	}
+	if mn.step(p) {
+		mn.expand(code, embs)
+	}
+}
+
+// step visits a frequent pattern and, unless a bound stops it, expands
+// its extensions. Shared verbatim between the serial search and the
+// deterministic replay of speculative subtrees.
+func (mn *miner) step(p *Pattern) bool {
+	mn.visit(p)
+	mn.visited++
+	if mn.cfg.MaxPatterns > 0 && mn.visited >= mn.cfg.MaxPatterns {
+		mn.aborted = true
+		return false
+	}
+	if mn.cfg.MaxNodes > 0 && p.Code.NumNodes() >= mn.cfg.MaxNodes {
+		return false
+	}
+	if mn.cfg.PruneSubtree != nil && mn.cfg.PruneSubtree(p) {
+		return false
+	}
+	return true
+}
+
+// expand enumerates, filters and materialises the extensions of (code,
+// embs), then recurses into each minimal child. All viability decisions
+// happen before any child is visited — the incumbent state a child visit
+// mutates must not influence its siblings' group filtering, exactly as
+// in a monolithic extend-then-loop.
+func (mn *miner) expand(code Code, embs []*Embedding) {
+	groups := mn.extendGroups(code, embs)
+	kids := make([]ext, 0, len(groups))
+	for _, g := range groups {
+		if mn.cfg.ViableCount != nil && !mn.cfg.ViableCount(len(g.cands)) {
+			continue
+		}
+		cembs, ok := mn.materialize(g)
+		if !ok {
+			continue
+		}
+		kids = append(kids, ext{t: g.t, embs: cembs})
+	}
+	for _, k := range kids {
+		child := append(append(Code{}, code...), k.t)
+		if !child.IsMinimal() {
+			continue
+		}
+		mn.dfs(child, k.embs)
+	}
+}
+
 // Mine enumerates every frequent pattern with at least one edge, calling
 // visit for each (in canonical DFS-code growth order). The search is
 // complete: every frequent fragment is reported exactly once (via the
-// minimal-DFS-code test).
+// minimal-DFS-code test). With cfg.Workers > 1 the seed subtrees are
+// mined speculatively in parallel and replayed in order; the visit
+// sequence (patterns, order, truncation point) is identical to the
+// serial search.
 func Mine(graphs []*Graph, cfg Config, visit func(*Pattern)) {
 	byID := map[int]*Graph{}
 	for _, g := range graphs {
@@ -260,8 +385,21 @@ func Mine(graphs []*Graph, cfg Config, visit func(*Pattern)) {
 		byID[g.ID] = g
 	}
 	graphOf := func(id int) *Graph { return byID[id] }
+	roots := seedPatterns(graphs)
 
-	// Seed patterns: one per distinct minimal single-edge tuple.
+	if cfg.Workers > 1 && len(roots) > 1 {
+		mineParallel(graphOf, roots, cfg, visit)
+		return
+	}
+	mn := &miner{cfg: cfg, graphOf: graphOf, visit: visit}
+	for _, s := range roots {
+		mn.dfs(Code{s.t}, s.embs)
+	}
+}
+
+// seedPatterns builds the 1-edge root patterns: one per distinct minimal
+// single-edge tuple, in canonical tuple order.
+func seedPatterns(graphs []*Graph) []*ext {
 	seeds := map[Tuple]*ext{}
 	for _, g := range graphs {
 		for v := range g.Labels {
@@ -286,48 +424,12 @@ func Mine(graphs []*Graph, cfg Config, visit func(*Pattern)) {
 			}
 		}
 	}
-	keys := make([]Tuple, 0, len(seeds))
-	for k := range seeds {
-		keys = append(keys, k)
+	out := make([]*ext, 0, len(seeds))
+	for _, s := range seeds {
+		out = append(out, s)
 	}
-	sort.Slice(keys, func(i, j int) bool { return CompareTuples(keys[i], keys[j]) < 0 })
-
-	visited := 0
-	aborted := false
-	var dfs func(code Code, embs []*Embedding)
-	dfs = func(code Code, embs []*Embedding) {
-		if aborted {
-			return
-		}
-		p := &Pattern{Code: code, Labels: code.NodeLabels(), Embeddings: embs}
-		p.Support = computeSupport(p, cfg)
-		if p.Support < cfg.MinSupport {
-			return
-		}
-		visit(p)
-		visited++
-		if cfg.MaxPatterns > 0 && visited >= cfg.MaxPatterns {
-			aborted = true
-			return
-		}
-		if cfg.MaxNodes > 0 && code.NumNodes() >= cfg.MaxNodes {
-			return
-		}
-		if cfg.PruneSubtree != nil && cfg.PruneSubtree(p) {
-			return
-		}
-		for _, e := range extend(code, embs, graphOf, cfg.MinSupport, cfg.ViableCount) {
-			child := append(append(Code{}, code...), e.t)
-			if !child.IsMinimal() {
-				continue
-			}
-			dfs(child, e.embs)
-		}
-	}
-	for _, k := range keys {
-		s := seeds[k]
-		dfs(Code{s.t}, s.embs)
-	}
+	sort.Slice(out, func(i, j int) bool { return CompareTuples(out[i].t, out[j].t) < 0 })
+	return out
 }
 
 // computeSupport fills in Support (and Disjoint in embedding mode).

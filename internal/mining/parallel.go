@@ -1,0 +1,247 @@
+package mining
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"graphpa/internal/par"
+)
+
+// This file parallelises the lattice search without giving up the serial
+// search's exact visit sequence. The problem: the profitable search is
+// stateful — PruneSubtree and ViableCount consult an incumbent that the
+// visitor itself updates, so which subtrees get cut depends on visit
+// order, and naive fan-out would change the mined output. The solution
+// is speculate-then-replay: each 1-edge seed's subtree is mined on a
+// worker using advisory (possibly stale) policy callbacks, recording the
+// explored lattice as a tree of specNodes; a single consumer then
+// replays the recorded trees in canonical seed order running the real
+// control flow against the authoritative state. Everything recorded is
+// state-independent (pattern construction, support/MIS, extension
+// grouping, deduplication, minimality), so replay only re-checks the
+// state-dependent decisions; wherever speculation explored too little —
+// a subtree it pruned but the authoritative policy would enter, or an
+// extension group it skipped — replay falls back to mining that part
+// live. Correctness therefore never depends on the speculation policy;
+// only the amount of redundant work does.
+
+// Speculator is the per-worker policy of the speculative phase. All
+// callbacks are optional.
+type Speculator struct {
+	// Visit observes each speculatively-explored frequent pattern. It
+	// runs concurrently with other workers and with the authoritative
+	// replay, so it must not mutate state the authoritative path reads
+	// without its own synchronisation. Typical use: memoise expensive
+	// pure by-products (independent sets, validated candidates) keyed by
+	// the *Pattern, which replay later receives by pointer.
+	Visit func(*Pattern)
+	// PruneSubtree advises against descending below a pattern. A stale
+	// or aggressive answer costs replay fallback work, never output.
+	PruneSubtree func(*Pattern) bool
+	// ViableCount advises on materialising an extension group.
+	ViableCount func(count int) bool
+}
+
+// specNode records one speculatively-explored lattice node.
+type specNode struct {
+	p        *Pattern
+	expanded bool // extensions were enumerated (exts is meaningful)
+	exts     []specExt
+}
+
+// specExt records one extension group of an expanded node, in the same
+// (sorted) order extendGroups produces.
+type specExt struct {
+	t            Tuple
+	rawCount     int          // pass-1 candidate count (state-independent)
+	materialized bool         // pass 2 was run during speculation
+	dropped      bool         // materialised but deduplication fell below MinSupport
+	minimal      bool         // child code passed the minimal-DFS-code test
+	embs         []*Embedding // child embeddings (materialised, not dropped)
+	child        *specNode    // recorded subtree (minimal children, unless speculation stopped)
+}
+
+// errAbort signals MaxPatterns truncation out of the ordered fan-in.
+var errAbort = errors.New("mining: pattern budget exhausted")
+
+// mineParallel runs the speculate-then-replay pipeline: one producer job
+// per seed subtree, consumed (replayed) in canonical seed order.
+func mineParallel(graphOf func(int) *Graph, roots []*ext, cfg Config, visit func(*Pattern)) {
+	auth := &miner{cfg: cfg, graphOf: graphOf, visit: visit}
+	budget := &specBudget{max: int64(cfg.MaxPatterns)}
+	err := par.OrderedMap(context.Background(), cfg.Workers, len(roots),
+		func(ctx context.Context, i int) (*specNode, error) {
+			s := newSpeculator(ctx, cfg, graphOf, budget)
+			return s.mine(Code{roots[i].t}, roots[i].embs), nil
+		},
+		func(i int, root *specNode) error {
+			auth.replay(root)
+			if auth.aborted {
+				return errAbort
+			}
+			return nil
+		})
+	if err != nil && !errors.Is(err, errAbort) {
+		// Producers and the replay consumer return no other error, and
+		// worker panics re-raise inside OrderedMap.
+		panic(err)
+	}
+}
+
+// specBudget caps total speculative visits across all workers at the
+// global MaxPatterns: the authoritative replay truncates there, so any
+// speculation past it is guaranteed waste. Shared and monotone — seeds
+// are speculated in roughly replay order, so the visits that fit the
+// budget are roughly the ones replay will consume.
+type specBudget struct {
+	mu  sync.Mutex
+	n   int64
+	max int64 // <= 0: unlimited
+}
+
+func (b *specBudget) spend() bool {
+	if b.max <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	b.n++
+	ok := b.n <= b.max
+	b.mu.Unlock()
+	return ok
+}
+
+// speculator mines one seed subtree on a worker. It owns a private miner
+// (scratch marks) and shares the global speculation budget.
+type speculator struct {
+	ctx     context.Context
+	mn      miner
+	sp      Speculator
+	budget  *specBudget
+	stopped bool
+}
+
+func newSpeculator(ctx context.Context, cfg Config, graphOf func(int) *Graph, budget *specBudget) *speculator {
+	s := &speculator{ctx: ctx, budget: budget}
+	s.mn = miner{cfg: cfg, graphOf: graphOf}
+	if cfg.NewSpeculator != nil {
+		if sp := cfg.NewSpeculator(); sp != nil {
+			s.sp = *sp
+		}
+	} else {
+		s.sp = Speculator{PruneSubtree: cfg.PruneSubtree, ViableCount: cfg.ViableCount}
+	}
+	return s
+}
+
+// budgetLeft reports whether speculation may go on: the global visit
+// budget has room and the fan-in was not cancelled.
+func (s *speculator) budgetLeft() bool {
+	if s.stopped {
+		return false
+	}
+	if s.ctx.Err() != nil {
+		s.stopped = true
+	}
+	return !s.stopped
+}
+
+// mine explores (code, embs) speculatively, recording what it finds.
+func (s *speculator) mine(code Code, embs []*Embedding) *specNode {
+	p := s.mn.pattern(code, embs)
+	n := &specNode{p: p}
+	if p.Support < s.mn.cfg.MinSupport {
+		return n
+	}
+	if s.sp.Visit != nil {
+		s.sp.Visit(p)
+	}
+	if !s.budget.spend() {
+		s.stopped = true
+	}
+	if !s.budgetLeft() {
+		return n
+	}
+	if s.mn.cfg.MaxNodes > 0 && code.NumNodes() >= s.mn.cfg.MaxNodes {
+		return n
+	}
+	if s.sp.PruneSubtree != nil && s.sp.PruneSubtree(p) {
+		return n
+	}
+	groups := s.mn.extendGroups(code, embs)
+	n.expanded = true
+	n.exts = make([]specExt, len(groups))
+	for gi, g := range groups {
+		se := specExt{t: g.t, rawCount: len(g.cands)}
+		if s.sp.ViableCount == nil || s.sp.ViableCount(len(g.cands)) {
+			se.materialized = true
+			cembs, ok := s.mn.materialize(g)
+			if !ok {
+				se.dropped = true
+			} else {
+				se.embs = cembs
+				child := append(append(Code{}, code...), g.t)
+				if child.IsMinimal() {
+					se.minimal = true
+					if s.budgetLeft() {
+						se.child = s.mine(child, cembs)
+					}
+				}
+			}
+		}
+		n.exts[gi] = se
+	}
+	return n
+}
+
+// replay walks a recorded subtree running the serial search's exact
+// control flow against the authoritative state. Any gap in the record —
+// the speculation stopped where the authoritative policy descends, or
+// skipped a group the authoritative policy wants — falls back to live
+// serial mining of that part.
+func (mn *miner) replay(n *specNode) {
+	if mn.aborted {
+		return
+	}
+	p := n.p
+	if p.Support < mn.cfg.MinSupport {
+		return
+	}
+	if !mn.step(p) {
+		return
+	}
+	if !n.expanded {
+		mn.expand(p.Code, p.Embeddings)
+		return
+	}
+	// The serial search decides every group's viability inside extend,
+	// before any child visit can move the incumbent: freeze all decisions
+	// now, against the current state.
+	use := make([]bool, len(n.exts))
+	for i := range n.exts {
+		e := &n.exts[i]
+		use[i] = mn.cfg.ViableCount == nil || mn.cfg.ViableCount(e.rawCount)
+		if use[i] && !e.materialized {
+			// Speculation skipped a group the authoritative policy
+			// wants; its raw candidates were not kept, so redo this
+			// node's whole extension step live.
+			mn.expand(p.Code, p.Embeddings)
+			return
+		}
+	}
+	for i := range n.exts {
+		if mn.aborted {
+			return
+		}
+		e := &n.exts[i]
+		if !use[i] || e.dropped || !e.minimal {
+			continue
+		}
+		if e.child != nil {
+			mn.replay(e.child)
+		} else {
+			child := append(append(Code{}, p.Code...), e.t)
+			mn.dfs(child, e.embs)
+		}
+	}
+}

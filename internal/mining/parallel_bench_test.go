@@ -1,0 +1,66 @@
+package mining_test
+
+// Lattice-parallelism benchmarks on the paper's worst case: rijndael
+// (§4.2 reports Edgar needing 4h22m there). The workload is the real
+// mining input — the per-block dependence graphs of the compiled
+// benchmark — under the embedding-support search with the usual
+// per-round pattern budget. Compare BenchmarkMineParallel1 (serial
+// search) against 4/8 workers for the speedup; on a single-core host
+// the parallel runs mostly measure the speculate-then-replay overhead.
+
+import (
+	"sync"
+	"testing"
+
+	"graphpa/internal/bench"
+	"graphpa/internal/mining"
+	"graphpa/internal/pa"
+)
+
+var rijndael = struct {
+	once   sync.Once
+	graphs []*mining.Graph
+	err    error
+}{}
+
+func rijndaelGraphs(b *testing.B) []*mining.Graph {
+	rijndael.once.Do(func() {
+		w, err := bench.Build("rijndael", bench.DefaultCodegen())
+		if err != nil {
+			rijndael.err = err
+			return
+		}
+		for _, g := range w.Graphs() {
+			rijndael.graphs = append(rijndael.graphs, pa.MiningGraph(g, false))
+		}
+	})
+	if rijndael.err != nil {
+		b.Fatal(rijndael.err)
+	}
+	return rijndael.graphs
+}
+
+func benchMineWorkers(b *testing.B, workers int) {
+	graphs := rijndaelGraphs(b)
+	cfg := mining.Config{
+		MinSupport:       2,
+		MaxNodes:         8,
+		EmbeddingSupport: true,
+		MaxPatterns:      20000,
+		Workers:          workers,
+	}
+	visited := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		visited = 0
+		mining.Mine(graphs, cfg, func(p *mining.Pattern) { visited++ })
+		if visited == 0 {
+			b.Fatal("nothing mined")
+		}
+	}
+	b.ReportMetric(float64(visited), "patterns")
+}
+
+func BenchmarkMineParallel1(b *testing.B) { benchMineWorkers(b, 1) }
+func BenchmarkMineParallel4(b *testing.B) { benchMineWorkers(b, 4) }
+func BenchmarkMineParallel8(b *testing.B) { benchMineWorkers(b, 8) }

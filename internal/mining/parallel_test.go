@@ -1,0 +1,205 @@
+package mining
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// trace renders one visited pattern's full identity: code, support and
+// every embedding (order included). Two runs are equivalent exactly when
+// their trace sequences are equal.
+func trace(p *Pattern) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s sup=%d dis=%d;", p.Code.Key(), p.Support, len(p.Disjoint))
+	for _, e := range p.Embeddings {
+		fmt.Fprintf(&b, " %s", e.key())
+	}
+	return b.String()
+}
+
+func mineTrace(graphs []*Graph, cfg Config) []string {
+	var out []string
+	Mine(graphs, cfg, func(p *Pattern) { out = append(out, trace(p)) })
+	return out
+}
+
+func assertSameTrace(t *testing.T, name string, serial, parallel []string) {
+	t.Helper()
+	if len(serial) != len(parallel) {
+		t.Fatalf("%s: serial visited %d patterns, parallel %d", name, len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("%s: visit %d differs:\nserial:   %s\nparallel: %s", name, i, serial[i], parallel[i])
+		}
+	}
+}
+
+// testGraphSets returns graph databases with distinct lattice shapes.
+func testGraphSets() map[string][]*Graph {
+	var big []*Graph
+	for i := 0; i < 6; i++ {
+		big = append(big, runningExample(i))
+	}
+	return map[string][]*Graph{
+		"chains": {
+			chain(0, "e", "ldr", "sub", "add", "str"),
+			chain(1, "e", "ldr", "sub", "add", "str"),
+			chain(2, "e", "mov", "cmp", "add"),
+			chain(3, "e", "mov", "cmp", "add"),
+		},
+		"running-example": {runningExample(0), runningExample(1)},
+		"replicated":      big,
+	}
+}
+
+// TestParallelMatchesSerial: the parallel search must reproduce the
+// serial visit sequence exactly — same patterns, same order, same
+// supports and embeddings — across support modes and size caps.
+func TestParallelMatchesSerial(t *testing.T) {
+	configs := map[string]Config{
+		"graph-support":     {MinSupport: 2},
+		"embedding-support": {MinSupport: 2, EmbeddingSupport: true},
+		"capped":            {MinSupport: 2, EmbeddingSupport: true, MaxNodes: 3},
+		"greedy-mis":        {MinSupport: 2, EmbeddingSupport: true, GreedyMIS: true},
+	}
+	for gname, graphs := range testGraphSets() {
+		for cname, cfg := range configs {
+			serial := mineTrace(graphs, cfg)
+			for _, workers := range []int{2, 8} {
+				pcfg := cfg
+				pcfg.Workers = workers
+				got := mineTrace(graphs, pcfg)
+				assertSameTrace(t, fmt.Sprintf("%s/%s/w%d", gname, cname, workers), serial, got)
+			}
+		}
+	}
+}
+
+// TestParallelMaxPatternsTruncation: the MaxPatterns budget must cut the
+// parallel visit sequence at exactly the serial truncation point.
+func TestParallelMaxPatternsTruncation(t *testing.T) {
+	graphs := testGraphSets()["replicated"]
+	for _, budget := range []int{1, 3, 7, 20} {
+		cfg := Config{MinSupport: 2, EmbeddingSupport: true, MaxPatterns: budget}
+		serial := mineTrace(graphs, cfg)
+		cfg.Workers = 8
+		got := mineTrace(graphs, cfg)
+		assertSameTrace(t, fmt.Sprintf("budget=%d", budget), serial, got)
+	}
+}
+
+// TestParallelStatefulIncumbent mimics the PA search: the visitor moves
+// an incumbent bound that PruneSubtree and ViableCount consult, so the
+// serial output depends on visit order. The parallel search must still
+// match it bit for bit, whatever the speculation policy does —
+// exercised with an exact mirror, an over-pruner (maximum fallback), an
+// under-pruner (maximum wasted exploration) and a live shared-incumbent
+// reader (stale bounds).
+func TestParallelStatefulIncumbent(t *testing.T) {
+	graphs := testGraphSets()["replicated"]
+
+	// run executes one stateful search; spec == nil means serial.
+	run := func(workers int, spec func(s *incumbent) *Speculator) []string {
+		s := &incumbent{}
+		var out []string
+		cfg := Config{
+			MinSupport:       2,
+			EmbeddingSupport: true,
+			Workers:          workers,
+			PruneSubtree:     func(p *Pattern) bool { return s.bound() > 3*p.Support },
+			ViableCount:      func(c int) bool { return s.bound() <= 4*c },
+		}
+		if spec != nil {
+			cfg.NewSpeculator = func() *Speculator { return spec(s) }
+		}
+		Mine(graphs, cfg, func(p *Pattern) {
+			out = append(out, trace(p))
+			s.raise(p.Support + p.Code.NumNodes())
+		})
+		return out
+	}
+
+	serial := run(1, nil)
+	if len(serial) == 0 {
+		t.Fatal("serial stateful search mined nothing")
+	}
+	policies := map[string]func(s *incumbent) *Speculator{
+		"mirror": func(s *incumbent) *Speculator {
+			return &Speculator{
+				PruneSubtree: func(p *Pattern) bool { return s.bound() > 3*p.Support },
+				ViableCount:  func(c int) bool { return s.bound() <= 4*c },
+			}
+		},
+		"over-prune":  func(*incumbent) *Speculator { return &Speculator{PruneSubtree: func(*Pattern) bool { return true }} },
+		"under-prune": func(*incumbent) *Speculator { return &Speculator{} },
+		"skip-groups": func(*incumbent) *Speculator {
+			return &Speculator{ViableCount: func(c int) bool { return c%2 == 0 }}
+		},
+	}
+	for name, spec := range policies {
+		for _, workers := range []int{2, 8} {
+			got := run(workers, spec)
+			assertSameTrace(t, fmt.Sprintf("%s/w%d", name, workers), serial, got)
+		}
+	}
+}
+
+// incumbent is a mutex-guarded monotone bound shared between the
+// authoritative replay (writer) and speculation workers (readers).
+type incumbent struct {
+	mu sync.Mutex
+	b  int
+}
+
+func (s *incumbent) bound() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b
+}
+
+func (s *incumbent) raise(v int) {
+	s.mu.Lock()
+	if v > s.b {
+		s.b = v
+	}
+	s.mu.Unlock()
+}
+
+// TestSpeculatorVisitObservesPatterns: replay must hand the visitor the
+// same *Pattern pointers speculation produced, so speculative memoisation
+// keyed by pointer pays off.
+func TestSpeculatorVisitObservesPatterns(t *testing.T) {
+	graphs := testGraphSets()["chains"]
+	specSeen := map[*Pattern]bool{}
+	var mu sync.Mutex
+	hits, total := 0, 0
+	cfg := Config{
+		MinSupport:       2,
+		EmbeddingSupport: true,
+		Workers:          4,
+		NewSpeculator: func() *Speculator {
+			return &Speculator{Visit: func(p *Pattern) {
+				mu.Lock()
+				specSeen[p] = true
+				mu.Unlock()
+			}}
+		},
+	}
+	Mine(graphs, cfg, func(p *Pattern) {
+		total++
+		mu.Lock()
+		if specSeen[p] {
+			hits++
+		}
+		mu.Unlock()
+	})
+	if total == 0 {
+		t.Fatal("nothing mined")
+	}
+	if hits != total {
+		t.Errorf("replay reused %d/%d speculative patterns; want all (no policy gaps here)", hits, total)
+	}
+}

@@ -1,12 +1,14 @@
 package pa
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"graphpa/internal/cfg"
 	"graphpa/internal/dfg"
 	"graphpa/internal/loader"
+	"graphpa/internal/par"
 )
 
 // Options tunes the optimizer.
@@ -39,7 +41,25 @@ type Options struct {
 	// Batch is the number of runner-up candidates kept per round
 	// (default 16; ignored with SingleExtract).
 	Batch int
+	// Workers is the parallel width of the optimizer's hot paths
+	// (speculative lattice mining, sequence scanning, dependence-graph
+	// construction): 0 derives the count from GOMAXPROCS, 1 forces the
+	// serial pipeline, n > 1 uses n workers. Every setting produces
+	// identical results — the parallel search replays deterministically —
+	// so only wall clock changes.
+	Workers int
 }
+
+func (o Options) workers() int {
+	if o.Workers == 1 {
+		return 1
+	}
+	return par.Workers(o.Workers)
+}
+
+// WorkersOrDefault returns the effective parallel width (resolving the
+// Workers-0 default to the GOMAXPROCS-derived count).
+func (o Options) WorkersOrDefault() int { return o.workers() }
 
 func (o Options) batch() int {
 	if o.SingleExtract {
@@ -135,8 +155,19 @@ func Optimize(prog *loader.Program, m Miner, opts Options) *Result {
 		view := cfg.Build(cur)
 		summaries := CallSummaries(view)
 		graphs := make([]*dfg.Graph, len(view.Blocks))
-		for i, b := range view.Blocks {
-			graphs[i] = dfg.Build(b, summaries)
+		if w := opts.workers(); w > 1 {
+			// Per-block graph construction is independent; indexed writes
+			// keep the result order-identical to the serial loop.
+			if err := par.Do(context.Background(), w, len(view.Blocks), func(_ context.Context, i int) error {
+				graphs[i] = dfg.Build(view.Blocks[i], summaries)
+				return nil
+			}); err != nil {
+				panic(err) // workers return no errors; panics re-raise in par.Do
+			}
+		} else {
+			for i, b := range view.Blocks {
+				graphs[i] = dfg.Build(b, summaries)
+			}
 		}
 		cands := m.FindCandidates(view, graphs, opts)
 		applied := 0

@@ -3,6 +3,7 @@ package pa
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"graphpa/internal/arm"
 	"graphpa/internal/cfg"
@@ -47,6 +48,91 @@ func (cl *candList) add(c *Candidate) {
 	if len(cl.cands) > cl.limit {
 		cl.cands = cl.cands[:cl.limit]
 	}
+}
+
+// fragUB is the optimistic benefit of a k-node fragment with at most m
+// occurrences, whichever extraction mechanism wins.
+func fragUB(k, m int) int {
+	ub := CallBenefit(k, m)
+	if cb := CrossJumpBenefit(k, m); cb > ub {
+		ub = cb
+	}
+	return ub
+}
+
+// search is the shared state of one FindCandidates run: the incumbent
+// candidate list read by the branch-and-bound policies, plus — in
+// parallel mode — a memo of pure by-products the speculative phase
+// precomputed, keyed by pattern pointer (the replay receives the very
+// *Pattern objects speculation built). All access goes through the
+// mutex: the authoritative replay mutates the incumbents while
+// speculation workers read them for (advisory) pruning bounds.
+type search struct {
+	mu   sync.Mutex
+	kept candList
+	memo map[*mining.Pattern]*patMemo // nil in serial mode
+}
+
+// patMemo caches speculative per-pattern work. The candidate entry is
+// reusable because buildCandidate's occurrence filtering is independent
+// of its bail threshold: a non-nil result stands for every lower
+// threshold, and nil built at threshold thr stands for every threshold
+// >= thr.
+type patMemo struct {
+	disjoint     []*mining.Embedding // DgSpan-mode independent set
+	haveDisjoint bool
+	cand         *Candidate // validated candidate (nil = rejected)
+	candThr      int        // the bail threshold cand was built against
+	haveCand     bool
+}
+
+// boundsSnap is one coherent read of the incumbent state.
+type boundsSnap struct {
+	best     int // highest kept benefit (meaningful when haveBest)
+	haveBest bool
+	minBen   int // benefit a new candidate must beat: weakest kept when full, else 0
+	full     bool
+}
+
+func (s *search) bounds() boundsSnap {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b boundsSnap
+	if len(s.kept.cands) > 0 {
+		b.best = s.kept.cands[0].Benefit
+		b.haveBest = true
+	}
+	if len(s.kept.cands) >= s.kept.limit {
+		b.full = true
+		b.minBen = s.kept.cands[len(s.kept.cands)-1].Benefit
+	}
+	return b
+}
+
+func (s *search) add(c *Candidate) {
+	s.mu.Lock()
+	s.kept.add(c)
+	s.mu.Unlock()
+}
+
+func (s *search) lookup(p *mining.Pattern) *patMemo {
+	if s.memo == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.memo[p]
+}
+
+func (s *search) memoize(p *mining.Pattern, fill func(*patMemo)) {
+	s.mu.Lock()
+	mm := s.memo[p]
+	if mm == nil {
+		mm = &patMemo{}
+		s.memo[p] = mm
+	}
+	fill(mm)
+	s.mu.Unlock()
 }
 
 // GraphMiner is graph-based PA: DgSpan when Embedding is false (support =
@@ -136,8 +222,19 @@ func (m *GraphMiner) FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts
 		byID[g.Block.ID] = g
 		mgs = append(mgs, MiningGraph(g, m.CanonicalMatch))
 	}
-	kept := &candList{limit: opts.batch()}
+	workers := opts.workers()
+	s := &search{kept: candList{limit: opts.batch()}}
 	safe := callSafeCache{}
+	if workers > 1 {
+		s.memo = map[*mining.Pattern]*patMemo{}
+		// The call-safety cache is written lazily on miss; speculation
+		// workers share it, so fill it completely up front — every
+		// occurrence's function owns one of these graphs' blocks — and
+		// it stays read-only for the rest of the round.
+		for _, g := range graphs {
+			safe.get(g.Block.Fn)
+		}
+	}
 	// Seed the incumbent list with contiguous-sequence candidates. With
 	// unbounded fragment size the graph search strictly subsumes the
 	// sequence scan; under the fragment-size cap, seeding restores that
@@ -146,96 +243,153 @@ func (m *GraphMiner) FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts
 	// heuristic solution). DgSpan sees at most one occurrence per block,
 	// consistent with its graph-count support.
 	for _, c := range ScanSequences(graphs, opts, !m.Embedding) {
-		kept.add(c)
+		s.kept.add(c)
 	}
 	maxK := opts.maxNodes()
+	// Benefit-bound pruning: no descendant (support can only fall, size
+	// is capped at maxK) can beat the incumbent best candidate. The same
+	// policies serve the authoritative search and, in parallel mode, the
+	// speculation workers — the latter just see fresher-or-staler bounds
+	// through the search lock, which costs fallback work, never output.
+	prune := func(p *mining.Pattern) bool {
+		b := s.bounds()
+		return b.haveBest && fragUB(maxK, p.Support) <= b.best
+	}
+	// Extension groups whose raw candidate count cannot yield a pattern
+	// beating the incumbent are dropped before their embeddings are
+	// built.
+	viable := func(count int) bool {
+		b := s.bounds()
+		return !b.haveBest || fragUB(maxK, count) > b.best
+	}
 	cfgm := mining.Config{
 		MinSupport:       opts.minSupport(),
 		MaxNodes:         maxK,
 		EmbeddingSupport: m.Embedding,
 		GreedyMIS:        opts.GreedyMIS,
 		MaxPatterns:      opts.maxPatterns(),
-		// Benefit-bound pruning: no descendant (support can only fall,
-		// size is capped at maxK) can beat the incumbent best candidate.
-		PruneSubtree: func(p *mining.Pattern) bool {
-			best := kept.best()
-			if best == nil {
-				return false
+		Workers:          workers,
+		PruneSubtree:     prune,
+		ViableCount:      viable,
+		NewSpeculator: func() *mining.Speculator {
+			return &mining.Speculator{
+				PruneSubtree: prune,
+				ViableCount:  viable,
+				Visit:        func(p *mining.Pattern) { m.speculateVisit(s, byID, maxK, safe, opts, p) },
 			}
-			sup := p.Support
-			ub := CallBenefit(maxK, sup)
-			if cb := CrossJumpBenefit(maxK, sup); cb > ub {
-				ub = cb
-			}
-			return ub <= best.Benefit
-		},
-		// Extension groups whose raw candidate count cannot yield a
-		// pattern beating the incumbent are dropped before their
-		// embeddings are built.
-		ViableCount: func(count int) bool {
-			best := kept.best()
-			if best == nil {
-				return true
-			}
-			ub := CallBenefit(maxK, count)
-			if cb := CrossJumpBenefit(maxK, count); cb > ub {
-				ub = cb
-			}
-			return ub > best.Benefit
 		},
 	}
+	mining.Mine(mgs, cfgm, func(p *mining.Pattern) { m.visitPattern(s, byID, maxK, safe, opts, p) })
+	return s.kept.cands
+}
 
-	mining.Mine(mgs, cfgm, func(p *mining.Pattern) {
-		k := p.Code.NumNodes()
-		if k < 2 {
+// visitPattern is the authoritative per-pattern visitor: it gates by
+// optimistic benefit, resolves the extraction-ready embedding set, and
+// admits validated candidates into the incumbent list. In parallel mode
+// it reuses whatever the speculative phase already computed for this
+// pattern object.
+func (m *GraphMiner) visitPattern(s *search, byID map[int]*dfg.Graph, maxK int, safe callSafeCache, opts Options, p *mining.Pattern) {
+	k := p.Code.NumNodes()
+	if k < 2 {
+		return
+	}
+	// Cheap gate before any independent-set work: the raw embedding
+	// count bounds every support notion from above.
+	ubRaw := fragUB(k, len(p.Embeddings))
+	if ubRaw <= 0 {
+		return
+	}
+	b := s.bounds()
+	if b.full && ubRaw <= b.minBen {
+		return
+	}
+	mm := s.lookup(p)
+	if mm != nil && mm.haveCand {
+		if mm.cand != nil {
+			// Occurrence filtering is threshold-independent, so the
+			// speculative candidate is exact; only the admission test
+			// runs against the current incumbents.
+			if mm.cand.Benefit > b.minBen {
+				s.add(mm.cand)
+			}
 			return
 		}
-		// Cheap gate before any independent-set work: the raw embedding
-		// count bounds every support notion from above.
-		ubRaw := CallBenefit(k, len(p.Embeddings))
-		if cb := CrossJumpBenefit(k, len(p.Embeddings)); cb > ubRaw {
-			ubRaw = cb
-		}
-		if ubRaw <= 0 {
+		if b.minBen >= mm.candThr {
+			// Rejected at a threshold the incumbents have since met or
+			// passed: still rejected.
 			return
 		}
-		if len(kept.cands) >= kept.limit && ubRaw <= kept.cands[len(kept.cands)-1].Benefit {
-			return
-		}
-		embs := p.Disjoint
-		if !m.Embedding {
-			// DgSpan's frequency is graph-count (that is p.Support here),
-			// but extraction still outlines every non-overlapping
-			// occurrence of the chosen fragment — the paper's miners
-			// share one extraction back end (§2.1 phase 8); only the
-			// DETECTION differs (§4.2: repeats within one block "remain
-			// unnoticed", i.e. fragments frequent only there are never
-			// found).
+		// Rejected against a stricter threshold than the current one —
+		// rebuild live below.
+	}
+	embs := p.Disjoint
+	if !m.Embedding {
+		// DgSpan's frequency is graph-count (that is p.Support here),
+		// but extraction still outlines every non-overlapping
+		// occurrence of the chosen fragment — the paper's miners
+		// share one extraction back end (§2.1 phase 8); only the
+		// DETECTION differs (§4.2: repeats within one block "remain
+		// unnoticed", i.e. fragments frequent only there are never
+		// found).
+		if mm != nil && mm.haveDisjoint {
+			embs = mm.disjoint
+		} else {
 			embs = mining.DisjointEmbeddings(p.Embeddings, mining.Config{GreedyMIS: opts.GreedyMIS})
 		}
-		mUB := len(embs)
-		ub := CallBenefit(k, mUB)
-		if cb := CrossJumpBenefit(k, mUB); cb > ub {
-			ub = cb
-		}
-		if ub <= 0 {
-			return
-		}
-		// A candidate is only useful if it beats the weakest kept entry.
-		minBen := 0
-		if len(kept.cands) >= kept.limit {
-			minBen = kept.cands[len(kept.cands)-1].Benefit
-		}
-		if ub <= minBen {
-			return
-		}
-		cand := m.buildCandidate(byID, embs, k, safe, minBen)
-		if cand == nil {
-			return
-		}
-		kept.add(cand)
+	}
+	ub := fragUB(k, len(embs))
+	if ub <= 0 {
+		return
+	}
+	// A candidate is only useful if it beats the weakest kept entry.
+	if ub <= b.minBen {
+		return
+	}
+	cand := m.buildCandidate(byID, embs, k, safe, b.minBen)
+	if cand == nil {
+		return
+	}
+	s.add(cand)
+}
+
+// speculateVisit mirrors visitPattern on a speculation worker: same
+// gates against a snapshot of the incumbents, but results go into the
+// memo instead of the incumbent list — the authoritative replay alone
+// decides admission. This is where the expensive work (independent
+// sets, candidate validation) runs concurrently.
+func (m *GraphMiner) speculateVisit(s *search, byID map[int]*dfg.Graph, maxK int, safe callSafeCache, opts Options, p *mining.Pattern) {
+	k := p.Code.NumNodes()
+	if k < 2 {
+		return
+	}
+	ubRaw := fragUB(k, len(p.Embeddings))
+	if ubRaw <= 0 {
+		return
+	}
+	b := s.bounds()
+	if b.full && ubRaw <= b.minBen {
+		// The bounds only tighten, so the replay will skip this pattern
+		// at least as early; nothing worth precomputing.
+		return
+	}
+	embs := p.Disjoint
+	if !m.Embedding {
+		embs = mining.DisjointEmbeddings(p.Embeddings, mining.Config{GreedyMIS: opts.GreedyMIS})
+		s.memoize(p, func(mm *patMemo) {
+			mm.disjoint = embs
+			mm.haveDisjoint = true
+		})
+	}
+	ub := fragUB(k, len(embs))
+	if ub <= 0 || ub <= b.minBen {
+		return
+	}
+	cand := m.buildCandidate(byID, embs, k, safe, b.minBen)
+	s.memoize(p, func(mm *patMemo) {
+		mm.cand = cand
+		mm.candThr = b.minBen
+		mm.haveCand = true
 	})
-	return kept.cands
 }
 
 // buildCandidate turns raw disjoint embeddings into a verified candidate,

@@ -1,9 +1,11 @@
 package pa
 
 import (
+	"context"
 	"sort"
 
 	"graphpa/internal/dfg"
+	"graphpa/internal/par"
 )
 
 const (
@@ -51,70 +53,24 @@ func ScanSequences(graphs []*dfg.Graph, opts Options, graphSupport bool) []*Cand
 
 	var all []*Candidate
 
-	for k := 2; k <= maxLen; k++ {
-		groups := map[uint64][]pos{}
-		for gi, seq := range seqs {
-			if len(seq) < k {
-				continue
-			}
-			var h uint64
-			pow := uint64(1)
-			for i := 0; i < k-1; i++ {
-				pow *= hashBase
-			}
-			for i := 0; i+k <= len(seq); i++ {
-				if i == 0 {
-					h = 0
-					for j := 0; j < k; j++ {
-						h = h*hashBase + seq[j]
-					}
-				} else {
-					h = (h-seq[i-1]*pow)*hashBase + seq[i+k-1]
-				}
-				groups[h] = append(groups[h], pos{gi, i})
-			}
+	if w := opts.workers(); w > 1 && maxLen > 2 {
+		// Each sequence length is an independent scan over the read-only
+		// token arrays; ordered fan-in keeps `all` in the serial k order,
+		// which the stable sort below depends on for tie-breaking.
+		err := par.OrderedMap(context.Background(), w, maxLen-1,
+			func(_ context.Context, i int) ([]*Candidate, error) {
+				return scanLen(graphs, seqs, i+2, graphSupport), nil
+			},
+			func(_ int, cands []*Candidate) error {
+				all = append(all, cands...)
+				return nil
+			})
+		if err != nil {
+			panic(err) // scanners return no errors; panics re-raise in par.OrderedMap
 		}
-		var hashes []uint64
-		for h, ps := range groups {
-			if len(ps) >= 2 {
-				hashes = append(hashes, h)
-			}
-		}
-		sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
-		for _, h := range hashes {
-			ps := groups[h]
-			// Verify against hash collisions: group by actual tokens.
-			ref := seqs[ps[0].g][ps[0].start : ps[0].start+k]
-			var same []pos
-			for _, p := range ps {
-				if equalSeq(seqs[p.g][p.start:p.start+k], ref) {
-					same = append(same, p)
-				}
-			}
-			if len(same) < 2 {
-				continue
-			}
-			// Non-overlapping occurrences, greedy left to right.
-			var chosen []pos
-			lastEnd := map[int]int{}
-			for _, p := range same {
-				if e, ok := lastEnd[p.g]; ok && p.start < e {
-					continue
-				}
-				chosen = append(chosen, p)
-				lastEnd[p.g] = p.start + k
-			}
-			if graphSupport && len(lastEnd) < 2 {
-				// graph-count frequency: the sequence must repeat across
-				// at least two blocks to be "frequent" for DgSpan, even
-				// though all its occurrences are then extracted.
-				continue
-			}
-			cand := seqCandidate(graphs, chosen, k)
-			if cand == nil {
-				continue
-			}
-			all = append(all, cand)
+	} else {
+		for k := 2; k <= maxLen; k++ {
+			all = append(all, scanLen(graphs, seqs, k, graphSupport)...)
 		}
 	}
 	sort.SliceStable(all, func(i, j int) bool { return all[i].Benefit > all[j].Benefit })
@@ -122,6 +78,78 @@ func ScanSequences(graphs []*dfg.Graph, opts Options, graphSupport bool) []*Cand
 		all = all[:64]
 	}
 	return all
+}
+
+// scanLen finds the positive-benefit candidates of one sequence length:
+// rolling-hash grouping, collision verification, greedy left-to-right
+// overlap resolution, method selection. Pure over its inputs.
+func scanLen(graphs []*dfg.Graph, seqs [][]uint64, k int, graphSupport bool) []*Candidate {
+	groups := map[uint64][]pos{}
+	for gi, seq := range seqs {
+		if len(seq) < k {
+			continue
+		}
+		var h uint64
+		pow := uint64(1)
+		for i := 0; i < k-1; i++ {
+			pow *= hashBase
+		}
+		for i := 0; i+k <= len(seq); i++ {
+			if i == 0 {
+				h = 0
+				for j := 0; j < k; j++ {
+					h = h*hashBase + seq[j]
+				}
+			} else {
+				h = (h-seq[i-1]*pow)*hashBase + seq[i+k-1]
+			}
+			groups[h] = append(groups[h], pos{gi, i})
+		}
+	}
+	var hashes []uint64
+	for h, ps := range groups {
+		if len(ps) >= 2 {
+			hashes = append(hashes, h)
+		}
+	}
+	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+	var out []*Candidate
+	for _, h := range hashes {
+		ps := groups[h]
+		// Verify against hash collisions: group by actual tokens.
+		ref := seqs[ps[0].g][ps[0].start : ps[0].start+k]
+		var same []pos
+		for _, p := range ps {
+			if equalSeq(seqs[p.g][p.start:p.start+k], ref) {
+				same = append(same, p)
+			}
+		}
+		if len(same) < 2 {
+			continue
+		}
+		// Non-overlapping occurrences, greedy left to right.
+		var chosen []pos
+		lastEnd := map[int]int{}
+		for _, p := range same {
+			if e, ok := lastEnd[p.g]; ok && p.start < e {
+				continue
+			}
+			chosen = append(chosen, p)
+			lastEnd[p.g] = p.start + k
+		}
+		if graphSupport && len(lastEnd) < 2 {
+			// graph-count frequency: the sequence must repeat across
+			// at least two blocks to be "frequent" for DgSpan, even
+			// though all its occurrences are then extracted.
+			continue
+		}
+		cand := seqCandidate(graphs, chosen, k)
+		if cand == nil {
+			continue
+		}
+		out = append(out, cand)
+	}
+	return out
 }
 
 func equalSeq(a, b []uint64) bool {
