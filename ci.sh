@@ -3,7 +3,9 @@
 # parallel search is only trustworthy raced, so -race is not optional
 # here. Short mode (the default) trims the end-to-end determinism suite
 # to its two fastest benchmark programs; run `./ci.sh -full` for the
-# complete matrix.
+# complete matrix. After the tests, the pad daemon is exercised for
+# real: serve on an ephemeral port, submit a benchmark over HTTP, and
+# require the report to match the edgar CLI byte-for-byte.
 set -eu
 cd "$(dirname "$0")"
 
@@ -13,3 +15,42 @@ if [ "${1:-}" = "-full" ]; then
 else
 	go test -race -count=1 -short ./...
 fi
+
+# --- compaction-service end-to-end check -------------------------------
+# The service deliberately omits the wall-clock suffix from its reports
+# (cached responses must be byte-identical to fresh ones), so the CLI
+# output is normalized with sed before diffing.
+TMP=$(mktemp -d)
+PAD_PID=""
+cleanup() {
+	[ -n "$PAD_PID" ] && kill "$PAD_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/pad" ./cmd/pad
+go build -o "$TMP/edgar" ./cmd/edgar
+
+"$TMP/pad" serve -addr 127.0.0.1:0 -addr-file "$TMP/addr" 2>"$TMP/pad.log" &
+PAD_PID=$!
+i=0
+while [ ! -s "$TMP/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "ci.sh: pad never wrote its address" >&2
+		cat "$TMP/pad.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+ADDR=$(cat "$TMP/addr")
+
+"$TMP/pad" submit -addr "$ADDR" internal/bench/programs/crc.mc >"$TMP/service.report"
+"$TMP/edgar" -verify=false internal/bench/programs/crc.mc |
+	sed 's/ rounds, .*/ rounds/' >"$TMP/cli.report"
+diff "$TMP/service.report" "$TMP/cli.report"
+
+kill -TERM "$PAD_PID"
+wait "$PAD_PID"
+PAD_PID=""
+echo "ci.sh: service report matches CLI"

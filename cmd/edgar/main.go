@@ -37,6 +37,10 @@ func main() {
 	verify := flag.Bool("verify", true, "run before/after and compare behaviour")
 	dump := flag.Bool("dump", false, "print the optimized assembly")
 	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintln(os.Stderr, "edgar: -workers must be non-negative")
+		os.Exit(2)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: edgar [flags] file.mc")
 		os.Exit(2)

@@ -1,0 +1,193 @@
+// pad is the compaction-as-a-service binary: a daemon serving the
+// internal/service HTTP API, and a client that submits one file to a
+// running daemon and prints the savings report.
+//
+// Usage:
+//
+//	pad serve [-addr host:port] [-addr-file path] [-job-workers n]
+//	          [-mine-workers n] [-queue n] [-cache n]
+//	pad submit [-addr host:port] [-miner edgar|dgspan|sfx|edgar-canon]
+//	           [-asm] [-O] [-schedule] [-minsup n] [-maxfrag n]
+//	           [-maxrounds n] [-maxpatterns n] [-greedy-mis] [-json]
+//	           file.mc
+//
+// serve binds addr (use port 0 for an ephemeral port), optionally
+// writes the bound address to -addr-file for scripts to discover, and
+// shuts down gracefully on SIGINT/SIGTERM — in-flight jobs drain first.
+// submit mirrors cmd/edgar's flags and prints the same report lines
+// (minus the wall-clock suffix, which the service deliberately omits so
+// cached responses are byte-identical to fresh ones).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"graphpa/internal/service"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "serve":
+		serve(os.Args[2:])
+	case "submit":
+		submit(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pad serve [flags] | pad submit [flags] file.mc")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pad:", err)
+	os.Exit(1)
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("pad serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8347", "listen address (port 0 = ephemeral)")
+	addrFile := fs.String("addr-file", "", "write the bound address here once listening")
+	jobWorkers := fs.Int("job-workers", 0, "jobs mined concurrently (0 = derive from cores)")
+	mineWorkers := fs.Int("mine-workers", 0, "parallel mining width per job (0 = derive)")
+	queueDepth := fs.Int("queue", 0, "pending-job queue depth (0 = default 64)")
+	cacheEntries := fs.Int("cache", 0, "result-cache entries (0 = default 128)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: pad serve [flags]")
+		os.Exit(2)
+	}
+	if *jobWorkers < 0 || *mineWorkers < 0 || *queueDepth < 0 || *cacheEntries < 0 {
+		fmt.Fprintln(os.Stderr, "pad serve: flags must be non-negative")
+		os.Exit(2)
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	svc := service.New(service.Config{
+		JobWorkers:   *jobWorkers,
+		MineWorkers:  *mineWorkers,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+		Logger:       logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	logger.Info("listening", "addr", bound)
+
+	httpServer := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpServer.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fatal(err)
+	}
+	logger.Info("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(shutCtx); err != nil {
+		logger.Error("http shutdown", "err", err)
+	}
+	if err := svc.Shutdown(shutCtx); err != nil {
+		logger.Error("drain", "err", err)
+	}
+}
+
+func submit(args []string) {
+	fs := flag.NewFlagSet("pad submit", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8347", "daemon address")
+	miner := fs.String("miner", "edgar", "sfx | dgspan | edgar | edgar-canon")
+	asmIn := fs.Bool("asm", false, "input is assembly (must define _start; no runtime linked)")
+	optimizeIR := fs.Bool("O", true, "compile with the IR optimizer (inlining, folding)")
+	schedule := fs.Bool("schedule", true, "compile with the list scheduler")
+	maxRounds := fs.Int("maxrounds", 0, "bound mine/extract rounds (0 = fixpoint)")
+	minSup := fs.Int("minsup", 0, "minimum fragment frequency (default 2)")
+	maxFrag := fs.Int("maxfrag", 0, "maximum fragment size in instructions (default 8)")
+	maxPatterns := fs.Int("maxpatterns", 0, "bound mined patterns per round (default 100000)")
+	greedyMIS := fs.Bool("greedy-mis", false, "use greedy instead of exact independent sets")
+	rawJSON := fs.Bool("json", false, "print the raw JSON response instead of the report")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pad submit [flags] file.mc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	req := service.CompactRequest{
+		Source:  string(src),
+		Asm:     *asmIn,
+		Compile: &service.CompileOptions{Optimize: *optimizeIR, Schedule: *schedule},
+		Optimize: service.OptimizeOptions{
+			Miner:       *miner,
+			MinSupport:  *minSup,
+			MaxFragment: *maxFrag,
+			MaxRounds:   *maxRounds,
+			MaxPatterns: *maxPatterns,
+			GreedyMIS:   *greedyMIS,
+		},
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := http.Post("http://"+*addr+"/v1/compact", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(respBody, &eb) == nil && eb.Error != "" {
+			fatal(fmt.Errorf("%s: %s", resp.Status, eb.Error))
+		}
+		fatal(errors.New(resp.Status))
+	}
+	if *rawJSON {
+		os.Stdout.Write(respBody)
+		return
+	}
+	var cr service.CompactResponse
+	if err := json.Unmarshal(respBody, &cr); err != nil {
+		fatal(err)
+	}
+	fmt.Print(cr.Summary)
+}

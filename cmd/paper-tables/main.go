@@ -31,6 +31,10 @@ func main() {
 	noverify := flag.Bool("noverify", false, "skip differential behaviour checks")
 	verbose := flag.Bool("v", false, "log per-program progress to stderr")
 	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintln(os.Stderr, "paper-tables: -workers must be non-negative")
+		os.Exit(2)
+	}
 
 	names := bench.Names
 	if *programs != "" {

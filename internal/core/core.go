@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"graphpa/internal/asm"
@@ -66,11 +67,22 @@ func MinerByName(name string) (pa.Miner, error) {
 // Optimize runs post-link-time procedural abstraction on an image and
 // returns the result together with the re-linked optimized image.
 func Optimize(img *link.Image, miner pa.Miner, opts pa.Options) (*pa.Result, *link.Image, error) {
+	return OptimizeContext(context.Background(), img, miner, opts)
+}
+
+// OptimizeContext is Optimize under a cancellation context: when ctx is
+// cancelled the mining run is abandoned and ctx's error returned — the
+// contract the compaction service relies on to drop work for
+// disconnected clients.
+func OptimizeContext(ctx context.Context, img *link.Image, miner pa.Miner, opts pa.Options) (*pa.Result, *link.Image, error) {
 	prog, err := loader.Load(img)
 	if err != nil {
 		return nil, nil, err
 	}
-	res := pa.Optimize(prog, miner, opts)
+	res, err := pa.OptimizeContext(ctx, prog, miner, opts)
+	if err != nil {
+		return nil, nil, err
+	}
 	out, err := res.Program.Relink()
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: relink after PA: %w", err)

@@ -1,0 +1,87 @@
+package link
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// linkRich builds an image exercising every encoded field: text with a
+// literal pool (relocations), data words with symbol references, strings
+// and a BSS-style gap.
+func linkRich(t *testing.T) *Image {
+	t.Helper()
+	u := mustParse(t, `
+_start:
+	ldr r0, =table
+	ldr r1, =65536
+	add r0, r0, r1
+	mov r0, #0
+	swi 0
+	.pool
+helper:
+	mov pc, lr
+
+.data
+table:
+	.word 1
+	.word helper
+msg:
+	.asciz "hi"
+scratch:
+	.space 8
+`)
+	img, err := Link(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Relocs) == 0 {
+		t.Fatal("test image has no relocations; encoding coverage lost")
+	}
+	return img
+}
+
+func TestImageEncodeDecodeRoundTrip(t *testing.T) {
+	img := linkRich(t)
+	enc := img.Encode()
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(img, got) {
+		t.Fatalf("round trip diverged:\noriginal: %+v\ndecoded:  %+v", img, got)
+	}
+	// Encoding is stable: re-encoding the decoded image is byte-identical.
+	if !bytes.Equal(enc, got.Encode()) {
+		t.Fatal("re-encoding the decoded image produced different bytes")
+	}
+}
+
+func TestImageHashStable(t *testing.T) {
+	a, b := linkRich(t), linkRich(t)
+	if a.Hash() != b.Hash() {
+		t.Fatal("two identical link runs hash differently")
+	}
+	// Any content change must move the hash.
+	b.Words[0]++
+	if a.Hash() == b.Hash() {
+		t.Fatal("hash ignored a word change")
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	img := linkRich(t)
+	enc := img.Encode()
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("NOPE"), enc[4:]...),
+		"truncated": enc[:len(enc)-3],
+		"trailing":  append(append([]byte{}, enc...), 0),
+		"short hdr": enc[:10],
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: Decode accepted corrupt input", name)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package pa
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"graphpa/internal/cfg"
+	"graphpa/internal/dfg"
+)
+
+// dupHeavySrc builds an assembly program with n near-identical
+// reordered arithmetic blocks — a dense frequent-fragment lattice for
+// the cancellation tests.
+func dupHeavySrc(n int) string {
+	var b strings.Builder
+	b.WriteString("_start:\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "\tbl f%d\n", i)
+	}
+	b.WriteString("\tmov r0, #0\n\tswi 0\n")
+	for i := 0; i < n; i++ {
+		// Same dependence structure in every function, with the two
+		// independent chains interleaved differently per parity so the
+		// duplication is reordered, not textual.
+		fmt.Fprintf(&b, "f%d:\n", i)
+		if i%2 == 0 {
+			b.WriteString("\tadd r1, r1, #1\n\teor r2, r2, r1\n\tadd r3, r3, #2\n\teor r4, r4, r3\n")
+		} else {
+			b.WriteString("\tadd r3, r3, #2\n\tadd r1, r1, #1\n\teor r4, r4, r3\n\teor r2, r2, r1\n")
+		}
+		b.WriteString("\tadd r5, r5, r2\n\tadd r6, r6, r4\n\teor r7, r5, r6\n\tmov pc, lr\n")
+	}
+	return b.String()
+}
+
+func TestOptimizeContextCancelledBeforeStart(t *testing.T) {
+	prog := loadSrc(t, dupHeavySrc(4))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := OptimizeContext(ctx, prog, &GraphMiner{Embedding: true}, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run returned a partial Result")
+	}
+}
+
+// blockingMiner parks inside FindCandidates until the run's context is
+// cancelled, then returns a truncated candidate list — modelling a miner
+// caught mid-search. The driver must discard it and report the
+// cancellation, never apply it.
+type blockingMiner struct {
+	started chan struct{}
+	junk    []*Candidate
+}
+
+func (m *blockingMiner) Name() string { return "blocking" }
+
+func (m *blockingMiner) FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts Options) []*Candidate {
+	close(m.started)
+	<-opts.Context().Done()
+	return m.junk
+}
+
+func TestOptimizeContextCancelMidMine(t *testing.T) {
+	prog := loadSrc(t, dupHeavySrc(4))
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &blockingMiner{started: make(chan struct{})}
+	go func() {
+		<-m.started
+		cancel()
+	}()
+	done := make(chan struct{})
+	var res *Result
+	var err error
+	go func() {
+		res, err = OptimizeContext(ctx, prog, m, Options{})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancellation did not abort the mining round")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run returned a partial Result")
+	}
+}
+
+// TestFindCandidatesCollapsesWhenCancelled: a cancelled context turns the
+// graph miner's pruning policy into "cut everything", so the lattice walk
+// degenerates to (at most) its sequence seeds instead of running on.
+func TestFindCandidatesCollapsesWhenCancelled(t *testing.T) {
+	prog := loadSrc(t, dupHeavySrc(24))
+	view := cfg.Build(prog)
+	summaries := CallSummaries(view)
+	graphs := make([]*dfg.Graph, len(view.Blocks))
+	for i, b := range view.Blocks {
+		graphs[i] = dfg.Build(b, summaries)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := Options{MaxPatterns: 100_000_000, MaxNodes: 12, ctx: ctx}
+	done := make(chan struct{})
+	go func() {
+		(&GraphMiner{Embedding: true}).FindCandidates(view, graphs, opts)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled FindCandidates kept mining")
+	}
+}
+
+// TestOptimizeIdenticalWithBackgroundContext pins the refactor: plain
+// Optimize and OptimizeContext(Background) are the same computation.
+func TestOptimizeIdenticalWithBackgroundContext(t *testing.T) {
+	progA := loadSrc(t, dupHeavySrc(6))
+	progB := loadSrc(t, dupHeavySrc(6))
+	a := Optimize(progA, &GraphMiner{Embedding: true}, Options{})
+	b, err := OptimizeContext(context.Background(), progB, &GraphMiner{Embedding: true}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Before != b.Before || a.After != b.After || a.Rounds != b.Rounds ||
+		len(a.Extractions) != len(b.Extractions) {
+		t.Fatalf("diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.Extractions {
+		if a.Extractions[i] != b.Extractions[i] {
+			t.Fatalf("extraction %d diverged: %+v vs %+v", i, a.Extractions[i], b.Extractions[i])
+		}
+	}
+}

@@ -48,6 +48,20 @@ type Options struct {
 	// identical results — the parallel search replays deterministically —
 	// so only wall clock changes.
 	Workers int
+
+	// ctx carries the cancellation context of an OptimizeContext run.
+	// Only the driver sets it; miners read it through Context.
+	ctx context.Context
+}
+
+// Context returns the cancellation context of the run the options belong
+// to (context.Background for plain Optimize). Miners consult it to
+// abandon a search whose result will be discarded anyway.
+func (o Options) Context() context.Context {
+	if o.ctx == nil {
+		return context.Background()
+	}
+	return o.ctx
 }
 
 func (o Options) workers() int {
@@ -142,6 +156,22 @@ func (r *Result) Calls() int { return len(r.Extractions) - r.CrossJumps() }
 // until no fragment shrinks the program (or MaxRounds is hit). The input
 // program is not modified; the optimized program is in Result.Program.
 func Optimize(prog *loader.Program, m Miner, opts Options) *Result {
+	res, err := OptimizeContext(context.Background(), prog, m, opts)
+	if err != nil {
+		// Unreachable: the background context never cancels and that is
+		// the only error source.
+		panic(err)
+	}
+	return res
+}
+
+// OptimizeContext is Optimize under a cancellation context: the run is
+// abandoned — returning ctx.Err(), never a partial Result — when ctx is
+// cancelled. Cancellation is observed between rounds, inside the parallel
+// dependence-graph build, and by the graph miners at every lattice
+// subtree, so even a single long mining round aborts promptly.
+func OptimizeContext(ctx context.Context, prog *loader.Program, m Miner, opts Options) (*Result, error) {
+	opts.ctx = ctx
 	start := time.Now()
 	res := &Result{Miner: m.Name(), Before: prog.CountInstrs()}
 
@@ -149,6 +179,9 @@ func Optimize(prog *loader.Program, m Miner, opts Options) *Result {
 	used := usedNames(prog)
 	counter := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if opts.MaxRounds > 0 && res.Rounds >= opts.MaxRounds {
 			break
 		}
@@ -158,10 +191,13 @@ func Optimize(prog *loader.Program, m Miner, opts Options) *Result {
 		if w := opts.workers(); w > 1 {
 			// Per-block graph construction is independent; indexed writes
 			// keep the result order-identical to the serial loop.
-			if err := par.Do(context.Background(), w, len(view.Blocks), func(_ context.Context, i int) error {
+			if err := par.Do(ctx, w, len(view.Blocks), func(_ context.Context, i int) error {
 				graphs[i] = dfg.Build(view.Blocks[i], summaries)
 				return nil
 			}); err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
 				panic(err) // workers return no errors; panics re-raise in par.Do
 			}
 		} else {
@@ -170,6 +206,12 @@ func Optimize(prog *loader.Program, m Miner, opts Options) *Result {
 			}
 		}
 		cands := m.FindCandidates(view, graphs, opts)
+		if err := ctx.Err(); err != nil {
+			// A cancelled miner may have returned a truncated candidate
+			// list; applying it would make cancellation observable in the
+			// output.
+			return nil, err
+		}
 		applied := 0
 		usedBlocks := map[*cfg.Block]bool{}
 		for _, cand := range cands {
@@ -220,7 +262,7 @@ func Optimize(prog *loader.Program, m Miner, opts Options) *Result {
 	res.Program = cur
 	res.After = cur.CountInstrs()
 	res.Duration = time.Since(start)
-	return res
+	return res, nil
 }
 
 func usedNames(prog *loader.Program) map[string]bool {

@@ -246,12 +246,18 @@ func (m *GraphMiner) FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts
 		s.kept.add(c)
 	}
 	maxK := opts.maxNodes()
+	ctx := opts.Context()
 	// Benefit-bound pruning: no descendant (support can only fall, size
 	// is capped at maxK) can beat the incumbent best candidate. The same
 	// policies serve the authoritative search and, in parallel mode, the
 	// speculation workers — the latter just see fresher-or-staler bounds
 	// through the search lock, which costs fallback work, never output.
+	// A cancelled run prunes everything: the driver discards the
+	// candidate list, so collapsing the walk is the fastest sound exit.
 	prune := func(p *mining.Pattern) bool {
+		if ctx.Err() != nil {
+			return true
+		}
 		b := s.bounds()
 		return b.haveBest && fragUB(maxK, p.Support) <= b.best
 	}

@@ -1,0 +1,168 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func mkResult(s string) *result {
+	return &result{body: []byte(s), report: s, miner: "edgar", saved: 1}
+}
+
+func fill(t *testing.T, c *resultCache, key, val string) {
+	t.Helper()
+	v, status, err := c.do(context.Background(), key, func() (*result, error) {
+		return mkResult(val), nil
+	})
+	if err != nil || status != statusMiss || string(v.body) != val {
+		t.Fatalf("fill %s: %v %v %s", key, err, status, v.body)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	fill(t, c, "a", "A")
+	fill(t, c, "b", "B")
+	if _, ok := c.get("a"); !ok { // refresh a: b is now the eviction victim
+		t.Fatal("a missing")
+	}
+	fill(t, c, "c", "C")
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction despite being least recently used")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	cc := c.counters()
+	if cc.Evictions != 1 || cc.Entries != 2 {
+		t.Fatalf("evictions=%d entries=%d, want 1 and 2", cc.Evictions, cc.Entries)
+	}
+}
+
+func TestCacheComputeErrorNotCached(t *testing.T) {
+	c := newResultCache(2)
+	boom := errors.New("boom")
+	if _, _, err := c.do(context.Background(), "k", func() (*result, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, ok := c.get("k"); ok {
+		t.Fatal("failed computation was cached")
+	}
+	// A later attempt recomputes and succeeds.
+	fill(t, c, "k", "V")
+}
+
+// TestCacheOwnerCancelWaiterAdopts: when the submission that owns an
+// in-flight mine is cancelled, a waiter on the same key must not fail —
+// it retries and becomes the new owner.
+func TestCacheOwnerCancelWaiterAdopts(t *testing.T) {
+	c := newResultCache(2)
+	ownerCtx, cancelOwner := context.WithCancel(context.Background())
+	ownerIn := make(chan struct{})
+	ownerOut := make(chan error, 1)
+	go func() {
+		_, _, err := c.do(ownerCtx, "k", func() (*result, error) {
+			close(ownerIn)
+			<-ownerCtx.Done()
+			return nil, ownerCtx.Err()
+		})
+		ownerOut <- err
+	}()
+	<-ownerIn
+
+	waiterOut := make(chan *result, 1)
+	go func() {
+		v, _, err := c.do(context.Background(), "k", func() (*result, error) {
+			return mkResult("adopted"), nil
+		})
+		if err != nil {
+			t.Errorf("waiter failed: %v", err)
+		}
+		waiterOut <- v
+	}()
+	// Wait until the waiter has actually joined the flight before
+	// killing the owner.
+	deadline := time.Now().Add(30 * time.Second)
+	for c.counters().Dedups == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelOwner()
+
+	if err := <-ownerOut; !errors.Is(err, context.Canceled) {
+		t.Fatalf("owner err = %v", err)
+	}
+	select {
+	case v := <-waiterOut:
+		if !bytes.Equal(v.body, []byte("adopted")) {
+			t.Fatalf("waiter got %q", v.body)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("waiter hung after owner cancellation")
+	}
+	if v, ok := c.get("k"); !ok || !bytes.Equal(v.body, []byte("adopted")) {
+		t.Fatal("adopted result not cached")
+	}
+}
+
+// TestCacheCancelledWaiter: a waiter whose own context dies stops
+// waiting with that error while the owner finishes normally.
+func TestCacheCancelledWaiter(t *testing.T) {
+	c := newResultCache(2)
+	release := make(chan struct{})
+	ownerIn := make(chan struct{})
+	go func() {
+		_, _, _ = c.do(context.Background(), "k", func() (*result, error) {
+			close(ownerIn)
+			<-release
+			return mkResult("V"), nil
+		})
+	}()
+	<-ownerIn
+
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	waiterOut := make(chan error, 1)
+	go func() {
+		_, _, err := c.do(waiterCtx, "k", func() (*result, error) {
+			t.Error("waiter must never compute")
+			return nil, nil
+		})
+		waiterOut <- err
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for c.counters().Dedups == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelWaiter()
+	if err := <-waiterOut; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v", err)
+	}
+	close(release)
+	// Owner's result still lands in the cache.
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		if v, ok := c.get("k"); ok {
+			if !bytes.Equal(v.body, []byte("V")) {
+				t.Fatalf("cached %q", v.body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("owner result never cached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
