@@ -54,3 +54,15 @@ kill -TERM "$PAD_PID"
 wait "$PAD_PID"
 PAD_PID=""
 echo "ci.sh: service report matches CLI"
+
+# --- benchmark-record smoke --------------------------------------------
+# The JSON benchmark harness must keep producing records the committed
+# baseline schema can be compared against; two fast programs suffice as
+# a smoke test (the full record is regenerated with paper-tables
+# -bench-json across the whole suite, see README).
+go build -o "$TMP/paper-tables" ./cmd/paper-tables
+"$TMP/paper-tables" -only timings -programs crc,dijkstra -miners edgar \
+	-noverify -bench-json "$TMP/bench.json" >/dev/null
+grep -q '"total_wall_ms"' "$TMP/bench.json"
+grep -q '"name": "crc"' "$TMP/bench.json"
+echo "ci.sh: benchmark record smoke passed"

@@ -6,7 +6,7 @@
 //
 //	edgar [-miner edgar|dgspan|sfx|edgar-canon] [-schedule] [-maxrounds n]
 //	      [-minsup n] [-maxfrag n] [-greedy-mis] [-workers n] [-verify]
-//	      [-dump] file.mc
+//	      [-roundstats] [-dump] file.mc
 //
 // The paper's pipeline (§2.1): decompile, reconstruct labels, split into
 // basic blocks, build data-flow graphs, mine, extract, repeat.
@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"graphpa/internal/codegen"
 	"graphpa/internal/core"
@@ -35,6 +36,7 @@ func main() {
 	greedyMIS := flag.Bool("greedy-mis", false, "use greedy instead of exact independent sets")
 	workers := flag.Int("workers", 0, "parallel width (0 = all cores, 1 = serial); results are identical at any width")
 	verify := flag.Bool("verify", true, "run before/after and compare behaviour")
+	roundStats := flag.Bool("roundstats", false, "print the per-round timing and cache breakdown")
 	dump := flag.Bool("dump", false, "print the optimized assembly")
 	flag.Parse()
 	if *workers < 0 {
@@ -78,6 +80,9 @@ func main() {
 		fmt.Printf("  %-8s %-10s size=%d occs=%d benefit=%d\n",
 			e.Name, e.Method, e.Size, e.Occs, e.Benefit)
 	}
+	if *roundStats {
+		printRoundStats(res.RoundStats)
+	}
 	if *verify {
 		if err := core.VerifyEquivalent(img, out, nil); err != nil {
 			fatal(fmt.Errorf("VERIFICATION FAILED: %w", err))
@@ -90,6 +95,32 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(prog.String())
+	}
+}
+
+// printRoundStats renders the per-round breakdown recorded by the
+// driver: phase wall clocks, dependence-graph cache effectiveness,
+// summary-fixpoint scope, and lattice fast-forwarding. The last row is
+// the fixpoint probe (the round that found nothing left).
+func printRoundStats(stats []pa.RoundStat) {
+	if len(stats) == 0 {
+		return
+	}
+	fmt.Printf("per-round breakdown (blocks reused/rebound/rebuilt; summaries resolved/changed)\n")
+	fmt.Printf("%5s %10s %10s %10s %10s %10s | %-16s %-11s %10s %8s\n",
+		"round", "cfg", "sums", "dfg", "mine", "apply", "blocks r/rb/b", "sums r/c", "ff-visits", "extract")
+	for _, st := range stats {
+		fmt.Printf("%5d %10s %10s %10s %10s %10s | %-16s %-11s %10d %8d\n",
+			st.Round,
+			st.CFGBuild.Round(time.Microsecond),
+			st.Summaries.Round(time.Microsecond),
+			st.DFGBuild.Round(time.Microsecond),
+			st.Mine.Round(time.Millisecond),
+			st.Apply.Round(time.Microsecond),
+			fmt.Sprintf("%d/%d/%d", st.BlocksReused, st.BlocksRebound, st.BlocksRebuilt),
+			fmt.Sprintf("%d/%d", st.SummariesRecomputed, st.SummariesChanged),
+			st.VisitsSaved,
+			st.Extractions)
 	}
 }
 

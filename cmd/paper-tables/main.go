@@ -8,7 +8,7 @@
 //
 //	paper-tables [-only table1|table2|table3|fig11|fig12|timings]
 //	             [-miners sfx,dgspan,edgar] [-maxfrag n] [-workers n]
-//	             [-noverify]
+//	             [-noverify] [-bench-json file] [-bench-baseline file]
 package main
 
 import (
@@ -29,6 +29,8 @@ func main() {
 	maxPatterns := flag.Int("maxpatterns", 0, "per-round mining budget (default 100000)")
 	workers := flag.Int("workers", 0, "parallel width (0 = all cores, 1 = serial); tables are identical at any width")
 	noverify := flag.Bool("noverify", false, "skip differential behaviour checks")
+	benchJSON := flag.String("bench-json", "", "write a machine-readable benchmark record to this file")
+	benchBase := flag.String("bench-baseline", "", "compare wall clocks against a committed benchmark record")
 	verbose := flag.Bool("v", false, "log per-program progress to stderr")
 	flag.Parse()
 	if *workers < 0 {
@@ -68,6 +70,27 @@ func main() {
 	ev, err := bench.Evaluate(ws, list, pa.Options{MaxNodes: *maxFrag, MaxPatterns: *maxPatterns, Workers: *workers}, !*noverify)
 	if err != nil {
 		fatal(err)
+	}
+	if *benchJSON != "" || *benchBase != "" {
+		doc := bench.BenchJSON(ev, list)
+		if *benchJSON != "" {
+			if err := doc.WriteFile(*benchJSON); err != nil {
+				fatal(err)
+			}
+		}
+		if *benchBase != "" {
+			base, err := bench.ReadBenchJSON(*benchBase)
+			if err != nil {
+				fatal(err)
+			}
+			perRun, total := bench.CompareBench(doc, base)
+			fmt.Printf("Benchmark wall clock vs %s (ratio < 1 is faster)\n", *benchBase)
+			for _, k := range bench.BenchKeys(perRun) {
+				fmt.Printf("%-18s %6.2fx\n", k, perRun[k])
+			}
+			fmt.Printf("%-18s %6.2fx\n", "total", total)
+			fmt.Println()
+		}
 	}
 	switch *only {
 	case "table1":

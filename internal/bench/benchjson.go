@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+)
+
+// This file emits the machine-readable benchmark record (BENCH_*.json at
+// the repo root). The schema is append-only: committed baselines from
+// earlier revisions must keep loading, so fields are never renamed or
+// repurposed.
+
+// BenchRow is one (program, miner) optimization run.
+type BenchRow struct {
+	Name        string  `json:"name"`
+	Miner       string  `json:"miner"`
+	Before      int     `json:"before"`
+	After       int     `json:"after"`
+	Saved       int     `json:"saved"`
+	Rounds      int     `json:"rounds"`
+	Extractions int     `json:"extractions"`
+	WallMS      float64 `json:"wall_ms"`
+}
+
+// BenchDoc is a full benchmark record.
+type BenchDoc struct {
+	Workers  int        `json:"workers"`
+	Miners   []string   `json:"miners"`
+	Programs []BenchRow `json:"programs"`
+	// TotalWallMS sums the per-run wall clocks (the serial-equivalent
+	// cost), so records taken at different harness widths stay
+	// comparable.
+	TotalWallMS float64 `json:"total_wall_ms"`
+}
+
+// BenchJSON collapses an Evaluation into the benchmark record, rows
+// ordered by miner then program (the evaluation's workload order).
+func BenchJSON(ev *Evaluation, miners []string) *BenchDoc {
+	d := &BenchDoc{Workers: ev.Workers, Miners: append([]string(nil), miners...)}
+	for _, mn := range miners {
+		for _, w := range ev.Workloads {
+			r, ok := ev.Results[w.Name][mn]
+			if !ok {
+				continue
+			}
+			d.Programs = append(d.Programs, BenchRow{
+				Name:        w.Name,
+				Miner:       mn,
+				Before:      r.Before,
+				After:       r.After,
+				Saved:       r.Saved(),
+				Rounds:      r.Rounds,
+				Extractions: len(r.Extractions),
+				WallMS:      float64(r.Duration.Microseconds()) / 1000,
+			})
+			d.TotalWallMS += float64(r.Duration.Microseconds()) / 1000
+		}
+	}
+	return d
+}
+
+// WriteFile writes the record as indented JSON.
+func (d *BenchDoc) WriteFile(path string) error {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchJSON loads a committed benchmark record.
+func ReadBenchJSON(path string) (*BenchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d BenchDoc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// CompareBench summarises d against a baseline: per-program wall-clock
+// ratios and the total ratio, for runs present in both (matched by
+// name+miner). Ratio < 1 means d is faster.
+func CompareBench(d, base *BenchDoc) (perRun map[string]float64, total float64) {
+	baseBy := map[string]BenchRow{}
+	for _, r := range base.Programs {
+		baseBy[r.Name+"/"+r.Miner] = r
+	}
+	perRun = map[string]float64{}
+	var sum, baseSum float64
+	for _, r := range d.Programs {
+		b, ok := baseBy[r.Name+"/"+r.Miner]
+		if !ok || b.WallMS <= 0 {
+			continue
+		}
+		perRun[r.Name+"/"+r.Miner] = r.WallMS / b.WallMS
+		sum += r.WallMS
+		baseSum += b.WallMS
+	}
+	if baseSum > 0 {
+		total = sum / baseSum
+	}
+	return perRun, total
+}
+
+// BenchKeys returns perRun's keys sorted, for stable rendering.
+func BenchKeys(perRun map[string]float64) []string {
+	keys := make([]string, 0, len(perRun))
+	for k := range perRun {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -52,40 +52,155 @@ func endsBlock(in *arm.Instr) bool {
 	return false
 }
 
+// splitBlocks partitions one function's flat code (labels as LABEL
+// pseudo-instructions) into basic blocks. IDs are assigned by the caller
+// (Renumber); the partition depends only on the code.
+func splitBlocks(fn *Func, code []arm.Instr) []*Block {
+	var out []*Block
+	cur := &Block{Fn: fn}
+	flush := func() {
+		if len(cur.Labels) == 0 && len(cur.Instrs) == 0 {
+			return
+		}
+		out = append(out, cur)
+		cur = &Block{Fn: fn}
+	}
+	for i := range code {
+		in := code[i]
+		if in.Op == arm.LABEL {
+			if len(cur.Instrs) > 0 {
+				flush()
+			}
+			cur.Labels = append(cur.Labels, in.Target)
+			continue
+		}
+		cur.Instrs = append(cur.Instrs, in)
+		if endsBlock(&in) {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// flatten renders one function's blocks back to flat code, the inverse of
+// splitBlocks' partitioning: splitBlocks(flatten(fn)) reproduces a split
+// function's block structure exactly.
+func flatten(fn *Func) []arm.Instr {
+	var code []arm.Instr
+	for _, b := range fn.Blocks {
+		for _, l := range b.Labels {
+			lbl := arm.NewInstr(arm.LABEL)
+			lbl.Target = l
+			code = append(code, lbl)
+		}
+		code = append(code, b.Instrs...)
+	}
+	return code
+}
+
 // Build splits a loaded program into basic blocks.
 func Build(prog *loader.Program) *Program {
 	out := &Program{Data: prog}
-	id := 0
 	for _, lf := range prog.Funcs {
 		fn := &Func{Name: lf.Name, LRSaved: lf.LRSaved}
-		cur := &Block{ID: id, Fn: fn}
-		flush := func() {
-			if len(cur.Labels) == 0 && len(cur.Instrs) == 0 {
-				return
-			}
-			fn.Blocks = append(fn.Blocks, cur)
-			out.Blocks = append(out.Blocks, cur)
-			id++
-			cur = &Block{ID: id, Fn: fn}
-		}
-		for i := range lf.Code {
-			in := lf.Code[i]
-			if in.Op == arm.LABEL {
-				if len(cur.Instrs) > 0 {
-					flush()
-				}
-				cur.Labels = append(cur.Labels, in.Target)
-				continue
-			}
-			cur.Instrs = append(cur.Instrs, in)
-			if endsBlock(&in) {
-				flush()
-			}
-		}
-		flush()
+		fn.Blocks = splitBlocks(fn, lf.Code)
 		out.Funcs = append(out.Funcs, fn)
 	}
+	out.Renumber()
 	return out
+}
+
+// Renumber rebuilds p.Blocks as the concatenation of every function's
+// blocks in layout order and reassigns sequential IDs. Build's output
+// always satisfies this layout; rewriters that insert or remove blocks
+// call it (directly or via Resplit) to restore the invariant.
+func (p *Program) Renumber() {
+	p.Blocks = p.Blocks[:0]
+	for _, fn := range p.Funcs {
+		for _, b := range fn.Blocks {
+			b.ID = len(p.Blocks)
+			p.Blocks = append(p.Blocks, b)
+		}
+	}
+}
+
+// Resplit re-derives the block structure of the dirty functions from
+// their (possibly rewritten) instruction lists and renumbers the whole
+// program. The result is structurally identical to
+// Build(Reassemble(p)) — same functions, same block partition, same IDs —
+// but every untouched *Func and *Block keeps its identity, so per-block
+// caches keyed by pointer stay valid across extraction rounds. Only IDs
+// may change on clean blocks (earlier functions growing or shrinking
+// shift the numbering).
+func (p *Program) Resplit(dirty map[*Func]bool) {
+	for _, fn := range p.Funcs {
+		if !dirty[fn] {
+			continue
+		}
+		fn.Blocks = reuseBlocks(fn.Blocks, splitBlocks(fn, flatten(fn)))
+	}
+	p.Renumber()
+}
+
+// reuseBlocks substitutes the function's previous *Block objects into a
+// fresh re-split wherever labels and instruction content are identical.
+// A rewrite only changes the blocks it touches, so most of a dirty
+// function's re-split is byte-identical to its previous partition; keeping
+// those blocks' identity keeps every downstream pointer-keyed cache (and
+// anything anchored to those caches' values) valid across the round.
+// Identical twins are matched in layout order; since both are
+// byte-identical this only affects which pointer survives, never content.
+func reuseBlocks(old, nb []*Block) []*Block {
+	byKey := map[uint64][]*Block{}
+	for _, b := range old {
+		k := b.contentKey()
+		byKey[k] = append(byKey[k], b)
+	}
+	for i, b := range nb {
+		k := b.contentKey()
+		q := byKey[k]
+		for j, ob := range q {
+			if sameBlockContent(ob, b) {
+				nb[i] = ob
+				byKey[k] = append(q[:j:j], q[j+1:]...)
+				break
+			}
+		}
+	}
+	return nb
+}
+
+// contentKey hashes the block's labels and full instruction content.
+func (b *Block) contentKey() uint64 {
+	h := fnv.New64a()
+	for _, l := range b.Labels {
+		fmt.Fprintf(h, "L%s|", l)
+	}
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		fmt.Fprintf(h, "%d~%d~%t~%d~%d~%d~%d~%d~%d~%d~%t~%d~%s|",
+			in.Op, in.Cond, in.SetS, in.Rd, in.Rn, in.Rm, in.Ra,
+			in.Shift, in.ShAmt, in.Imm, in.HasImm, in.Reglist, in.Target)
+	}
+	return h.Sum64()
+}
+
+func sameBlockContent(a, b *Block) bool {
+	if len(a.Labels) != len(b.Labels) || len(a.Instrs) != len(b.Instrs) {
+		return false
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			return false
+		}
+	}
+	for i := range a.Instrs {
+		if a.Instrs[i] != b.Instrs[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Reassemble converts the (possibly rewritten) blocks back into a loader
@@ -93,15 +208,7 @@ func Build(prog *loader.Program) *Program {
 func Reassemble(p *Program) *loader.Program {
 	out := &loader.Program{Data: p.Data.Data}
 	for _, fn := range p.Funcs {
-		lf := &loader.Function{Name: fn.Name, LRSaved: fn.LRSaved}
-		for _, b := range fn.Blocks {
-			for _, l := range b.Labels {
-				lbl := arm.NewInstr(arm.LABEL)
-				lbl.Target = l
-				lf.Code = append(lf.Code, lbl)
-			}
-			lf.Code = append(lf.Code, b.Instrs...)
-		}
+		lf := &loader.Function{Name: fn.Name, LRSaved: fn.LRSaved, Code: flatten(fn)}
 		out.Funcs = append(out.Funcs, lf)
 	}
 	return out

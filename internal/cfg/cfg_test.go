@@ -144,3 +144,70 @@ func ins(s string) arm.Instr {
 	}
 	return u.Text[0]
 }
+
+func TestResplitPreservesBlockIdentity(t *testing.T) {
+	p := Build(loadProgram(t, blockSrc))
+	main := p.Funcs[1]
+	if len(main.Blocks) != 3 {
+		t.Fatalf("main blocks = %d, want 3", len(main.Blocks))
+	}
+	before := append([]*Block(nil), p.Blocks...)
+
+	// A resplit of an unchanged (but dirty-marked) function must keep
+	// every block object: pointer-keyed caches stay valid.
+	p.Resplit(map[*Func]bool{main: true})
+	for i, b := range p.Blocks {
+		if b != before[i] {
+			t.Fatalf("block %d replaced by a content-identical resplit", i)
+		}
+	}
+
+	// Rewrite one block the way extraction does: install a fresh
+	// instruction slice with one changed instruction.
+	b0 := main.Blocks[0]
+	fresh := append([]arm.Instr(nil), b0.Instrs...)
+	fresh[2].Imm = 6 // mov r1, #5 -> #6
+	b0.Instrs = fresh
+	p.Resplit(map[*Func]bool{main: true})
+
+	// Untouched blocks keep their identity; the rewritten block keeps its
+	// object too (it matches its own current content), carrying the fresh
+	// slice so slice-identity caches see the change.
+	if main.Blocks[0] != b0 {
+		t.Errorf("rewritten block lost its object identity")
+	}
+	if &main.Blocks[0].Instrs[0] != &fresh[0] {
+		t.Errorf("rewritten block lost its fresh instruction slice")
+	}
+	if main.Blocks[1] != before[2] || main.Blocks[2] != before[3] {
+		t.Errorf("untouched blocks of the dirty function were replaced")
+	}
+	if p.Funcs[0].Blocks[0] != before[0] {
+		t.Errorf("block of a clean function was replaced")
+	}
+
+	// The result must be structurally identical to a full rebuild.
+	rb := Build(Reassemble(p))
+	if len(rb.Blocks) != len(p.Blocks) {
+		t.Fatalf("resplit blocks = %d, rebuild = %d", len(p.Blocks), len(rb.Blocks))
+	}
+	for i, b := range p.Blocks {
+		r := rb.Blocks[i]
+		if b.ID != i || r.ID != i {
+			t.Errorf("block %d: IDs %d vs %d", i, b.ID, r.ID)
+		}
+		if len(b.Labels) != len(r.Labels) || len(b.Instrs) != len(r.Instrs) {
+			t.Fatalf("block %d: shape differs from full rebuild", i)
+		}
+		for j := range b.Labels {
+			if b.Labels[j] != r.Labels[j] {
+				t.Errorf("block %d label %d: %q vs %q", i, j, b.Labels[j], r.Labels[j])
+			}
+		}
+		for j := range b.Instrs {
+			if b.Instrs[j] != r.Instrs[j] {
+				t.Errorf("block %d instr %d differs from full rebuild", i, j)
+			}
+		}
+	}
+}

@@ -65,6 +65,8 @@ type Graph struct {
 
 	succ [][]int // adjacency by node
 	pred [][]int
+
+	labels []string // MemoLabels cache; nil until filled
 }
 
 // Build constructs the dependence graph of a block.
@@ -181,7 +183,38 @@ func (g *Graph) N() int { return len(g.Block.Instrs) }
 
 // NodeLabel returns the miner's node label: the canonical instruction
 // text (strict identity matching, paper §3.5).
-func (g *Graph) NodeLabel(i int) string { return g.Block.Instrs[i].String() }
+func (g *Graph) NodeLabel(i int) string {
+	if g.labels != nil {
+		return g.labels[i]
+	}
+	return g.Block.Instrs[i].String()
+}
+
+// MemoLabels renders and stores every node label once. The cross-round
+// graph cache calls it at insert time — before the graph is shared with
+// concurrent mining phases — turning every later NodeLabel into a
+// race-free array read instead of a fresh render per round.
+func (g *Graph) MemoLabels() {
+	if g.labels != nil {
+		return
+	}
+	ls := make([]string, g.N())
+	for i := range ls {
+		ls[i] = g.Block.Instrs[i].String()
+	}
+	g.labels = ls
+}
+
+// Rebind returns a copy of g attached to block b, sharing the edge,
+// adjacency and label structure. b must carry exactly the instructions g
+// was built from, under call summaries matching those consumed by the
+// build; the cross-round graph cache uses it when a function re-split
+// left a block's content intact but allocated a fresh *cfg.Block.
+func (g *Graph) Rebind(b *cfg.Block) *Graph {
+	ng := *g
+	ng.Block = b
+	return &ng
+}
 
 // Succs returns the direct successors of node i (shared slice; do not
 // modify).

@@ -107,6 +107,16 @@ type Config struct {
 	// is nil, PruneSubtree and ViableCount are called concurrently and
 	// must be safe for concurrent use.
 	Workers int
+	// Checkpoint, when non-nil, may fast-forward whole lattice subtrees
+	// recorded by an earlier equivalent walk (see Checkpointer). All its
+	// methods run on the authoritative goroutine only.
+	Checkpoint Checkpointer
+	// Minimal, when non-nil, replaces Code.IsMinimal for the canonical-
+	// form test. Minimality is a pure function of the code, so callers
+	// use this to memoise it across runs over overlapping lattices. Must
+	// agree exactly with Code.IsMinimal and, when Workers > 1, be safe
+	// for concurrent use (speculation workers consult it).
+	Minimal func(Code) bool
 	// NewSpeculator, when non-nil, supplies per-worker callbacks for the
 	// speculative phase of the parallel search. Speculation callbacks may
 	// consult shared incumbent state (under their own locking) and may
@@ -115,6 +125,13 @@ type Config struct {
 	// correctness never depends on what speculation decides, only the
 	// amount of replay fallback work does.
 	NewSpeculator func() *Speculator
+}
+
+func (c Config) minimal(code Code) bool {
+	if c.Minimal != nil {
+		return c.Minimal(code)
+	}
+	return code.IsMinimal()
 }
 
 func (c Config) exactLimit() int {
@@ -309,7 +326,8 @@ func (mn *miner) pattern(code Code, embs []*Embedding) *Pattern {
 }
 
 // dfs is the serial search step: build the pattern, check frequency,
-// then visit and descend.
+// then visit and descend (or fast-forward the whole subtree through the
+// checkpointer).
 func (mn *miner) dfs(code Code, embs []*Embedding) {
 	if mn.aborted {
 		return
@@ -318,9 +336,7 @@ func (mn *miner) dfs(code Code, embs []*Embedding) {
 	if p.Support < mn.cfg.MinSupport {
 		return
 	}
-	if mn.step(p) {
-		mn.expand(code, embs)
-	}
+	mn.visitFrequent(p, func() { mn.expand(code, embs) })
 }
 
 // step visits a frequent pattern and, unless a bound stops it, expands
@@ -362,7 +378,7 @@ func (mn *miner) expand(code Code, embs []*Embedding) {
 	}
 	for _, k := range kids {
 		child := append(append(Code{}, code...), k.t)
-		if !child.IsMinimal() {
+		if !mn.cfg.minimal(child) {
 			continue
 		}
 		mn.dfs(child, k.embs)

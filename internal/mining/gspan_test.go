@@ -316,55 +316,25 @@ func TestNoDuplicatePatterns(t *testing.T) {
 	g2.Freeze()
 
 	seen := map[string]bool{}
+	foundDiamond := false
 	Mine([]*Graph{g, g2}, Config{MinSupport: 2}, func(p *Pattern) {
 		k := p.Code.Key()
 		if seen[k] {
-			t.Errorf("pattern reported twice: %s", k)
+			t.Errorf("pattern reported twice: %s", p.Code)
 		}
 		seen[k] = true
+		if p.Code.NumNodes() == 4 {
+			foundDiamond = true
+		}
 	})
 	if len(seen) == 0 {
 		t.Fatal("nothing mined")
 	}
 	// The full diamond must be among the results (it appears in both
 	// graphs).
-	foundDiamond := false
-	for k := range seen {
-		p := parseNodeCount(k)
-		if p == 4 {
-			foundDiamond = true
-		}
-	}
 	if !foundDiamond {
 		t.Error("4-node diamond not found")
 	}
-}
-
-func parseNodeCount(codeKey string) int {
-	// count distinct indices by reusing Code parsing is overkill; the
-	// max J in "(i,j,...)" tuples + 1 equals the node count for codes
-	// produced here. Cheap scan:
-	max := 0
-	depth := 0
-	num := 0
-	field := 0
-	for _, r := range codeKey {
-		switch {
-		case r == '(':
-			depth, num, field = 1, 0, 0
-		case r == ',' && depth == 1 && field < 2:
-			if num > max {
-				max = num
-			}
-			num = 0
-			field++
-		case r >= '0' && r <= '9' && depth == 1 && field < 2:
-			num = num*10 + int(r-'0')
-		case r == ')':
-			depth = 0
-		}
-	}
-	return max + 1
 }
 
 // TestMultiEdgeSupport: parallel edges with different labels must be

@@ -1,6 +1,9 @@
 package mining
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+)
 
 // This file computes maximum sets of non-overlapping embeddings (paper
 // §3.4): the nodes of the collision graph are a pattern's embeddings, two
@@ -46,15 +49,7 @@ func (b bitset) empty() bool {
 func (b bitset) count() int {
 	n := 0
 	for _, w := range b {
-		n += popcount64(w)
-	}
-	return n
-}
-
-func popcount64(w uint64) int {
-	n := 0
-	for ; w != 0; w &= w - 1 {
-		n++
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
@@ -63,7 +58,7 @@ func popcount64(w uint64) int {
 func (b bitset) forEach(f func(int)) {
 	for wi, w := range b {
 		for w != 0 {
-			f(wi*64 + trailing(w&-w))
+			f(wi*64 + bits.TrailingZeros64(w))
 			w &= w - 1
 		}
 	}
@@ -73,19 +68,10 @@ func (b bitset) forEach(f func(int)) {
 func (b bitset) first() int {
 	for wi, w := range b {
 		if w != 0 {
-			return wi*64 + trailing(w&-w)
+			return wi*64 + bits.TrailingZeros64(w)
 		}
 	}
 	return -1
-}
-
-func trailing(w uint64) int {
-	n := 0
-	for w&1 == 0 {
-		w >>= 1
-		n++
-	}
-	return n
 }
 
 // maxClique finds a maximum clique in the graph given by adjacency

@@ -41,6 +41,12 @@ type Speculator struct {
 	PruneSubtree func(*Pattern) bool
 	// ViableCount advises on materialising an extension group.
 	ViableCount func(count int) bool
+	// SkipSubtree advises that the subtree below p is already covered by
+	// the caller's cross-run checkpoint, so the authoritative replay will
+	// likely fast-forward it; the speculator then records nothing below
+	// p. Purely advisory: a wrong answer costs fallback work, never
+	// output.
+	SkipSubtree func(*Pattern) bool
 }
 
 // specNode records one speculatively-explored lattice node.
@@ -168,6 +174,9 @@ func (s *speculator) mine(code Code, embs []*Embedding) *specNode {
 	if s.sp.PruneSubtree != nil && s.sp.PruneSubtree(p) {
 		return n
 	}
+	if s.sp.SkipSubtree != nil && s.sp.SkipSubtree(p) {
+		return n
+	}
 	groups := s.mn.extendGroups(code, embs)
 	n.expanded = true
 	n.exts = make([]specExt, len(groups))
@@ -181,7 +190,7 @@ func (s *speculator) mine(code Code, embs []*Embedding) *specNode {
 			} else {
 				se.embs = cembs
 				child := append(append(Code{}, code...), g.t)
-				if child.IsMinimal() {
+				if s.mn.cfg.minimal(child) {
 					se.minimal = true
 					if s.budgetLeft() {
 						se.child = s.mine(child, cembs)
@@ -207,9 +216,14 @@ func (mn *miner) replay(n *specNode) {
 	if p.Support < mn.cfg.MinSupport {
 		return
 	}
-	if !mn.step(p) {
-		return
-	}
+	mn.visitFrequent(p, func() { mn.replayExpand(n) })
+}
+
+// replayExpand is replay's descent below one recorded node: re-check
+// group viability against the authoritative state and walk the recorded
+// children, falling back to live mining on any speculation gap.
+func (mn *miner) replayExpand(n *specNode) {
+	p := n.p
 	if !n.expanded {
 		mn.expand(p.Code, p.Embeddings)
 		return

@@ -1,0 +1,53 @@
+package pa
+
+import "testing"
+
+// The incumbent list's order is part of the mined output (the driver
+// applies candidates in list order), so its tie-break is load-bearing:
+// equal benefits must keep discovery order, or two runs of the same
+// search would extract in different orders.
+func TestCandListTieBreakEarlierDiscoveryWins(t *testing.T) {
+	a := &Candidate{Benefit: 5}
+	b := &Candidate{Benefit: 5}
+	c := &Candidate{Benefit: 7}
+	d := &Candidate{Benefit: 5}
+
+	cl := candList{limit: 4}
+	for _, x := range []*Candidate{a, b, c, d} {
+		cl.add(x)
+	}
+	want := []*Candidate{c, a, b, d}
+	if len(cl.cands) != len(want) {
+		t.Fatalf("kept %d candidates, want %d", len(cl.cands), len(want))
+	}
+	for i, w := range want {
+		if cl.cands[i] != w {
+			t.Fatalf("cands[%d]: got benefit %d (wrong object), want the candidate added %dth",
+				i, cl.cands[i].Benefit, i)
+		}
+	}
+
+	// Over the limit, the weakest (and among equals, latest-discovered)
+	// entry falls off the end.
+	cl2 := candList{limit: 3}
+	for _, x := range []*Candidate{a, b, c, d} {
+		cl2.add(x)
+	}
+	want2 := []*Candidate{c, a, b}
+	for i, w := range want2 {
+		if cl2.cands[i] != w {
+			t.Fatalf("limited cands[%d] is the wrong object", i)
+		}
+	}
+	if len(cl2.cands) != 3 {
+		t.Fatalf("limit not enforced: kept %d", len(cl2.cands))
+	}
+
+	// An equal-benefit candidate arriving later never displaces an
+	// earlier one from a full list.
+	e := &Candidate{Benefit: 7}
+	cl2.add(e)
+	if cl2.cands[0] != c || cl2.cands[1] != e {
+		t.Fatalf("late equal-benefit candidate must sort after the earlier one")
+	}
+}

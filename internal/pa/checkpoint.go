@@ -1,0 +1,436 @@
+package pa
+
+import (
+	"math"
+	"sync"
+
+	"graphpa/internal/dfg"
+	"graphpa/internal/mining"
+)
+
+// This file carries whole lattice subtrees across extraction rounds.
+// Most of a round's mining time re-walks subtrees over blocks the last
+// extraction never touched; the walk of such a subtree — which patterns
+// are visited, in what order, and which candidates are admitted — is a
+// deterministic function of (a) the embeddings' graphs and (b) the
+// incumbent candidate bounds read by the branch-and-bound policies. The
+// checkpointer records both per subtree on the authoritative walk:
+//
+//   - The footprint: every embedding with its owning dependence-graph
+//     object. Graph objects are only reused across rounds when their
+//     block content and consumed summaries are unchanged (graphCache), so
+//     object identity proves content identity.
+//   - The bounds dependence. Subtrees that admit no candidate read the
+//     incumbents only through threshold comparisons "value <= best?" /
+//     "value <= minBen?"; each observed comparison narrows a half-open
+//     validity region [lo, hi) for best and minBen within which every
+//     decision reproduces. Subtrees that DO admit candidates change the
+//     bounds mid-walk; they are recorded in exact mode — valid only when
+//     the entire incumbent benefit vector at entry matches — because
+//     then the interior bounds evolve identically too.
+//
+// A later round's walk reaching the same DFS code fast-forwards the
+// subtree when footprint and bounds validate: it replays the recorded
+// admissions and charges the recorded visit count against MaxPatterns
+// (refusing when the recorded subtree would overrun the budget, since a
+// truncated walk behaves differently from a replayed one). Any failed
+// check falls back to live mining of that subtree — the correctness
+// fallback; fast-forwarding only ever changes how much work is done,
+// never the visit sequence or the mined output.
+
+// ckMaxDepth bounds how deep (in DFS-code edges) subtree records are
+// kept. Shallow roots dominate the payoff — a validated shallow record
+// replays its entire subtree, and the per-pattern memos of the few
+// shallow patterns cover the expensive wide frontier — while recording
+// every deep pattern of an exploding walk costs far more in allocation
+// and GC-scanned live memory than the occasional deep hit returns.
+// Notes from deeper patterns still narrow the open shallow records, so
+// gating loses coverage, never correctness.
+const ckMaxDepth = 4
+
+// latticeRec is one recorded subtree, keyed by its root's DFS code
+// (Code.Key is injective, so the key alone identifies the code).
+type latticeRec struct {
+	graphs []*dfg.Graph        // per-embedding owning graph at record time
+	embs   []*mining.Embedding // root embeddings at record time
+	safe   []bool              // CallSafe of each graph's function at record time
+
+	entryHaveBest bool
+	entryFull     bool
+	exact         bool  // admissions inside: valid only for an identical entry vector
+	entryBens     []int // incumbent benefit vector at entry
+
+	bestLo, bestHi int // non-exact validity: bestLo <= best < bestHi
+	minLo, minHi   int // and minLo <= minBen < minHi
+
+	visits int
+	adds   []*Candidate // admissions, in walk order
+
+	// Per-pattern memo of the root visit's pure by-products, under the
+	// same threshold-independence contract as patMemo: a non-nil cand is
+	// exact for every admission threshold, a nil cand stands for every
+	// threshold >= candThr. Unlike the subtree replay these only need the
+	// footprint to validate, not the bounds regions, so they keep paying
+	// off after an extraction shifts the incumbent trajectory.
+	cand         *Candidate
+	candThr      int
+	haveCand     bool
+	disjoint     []int // DgSpan independent set, as root-embedding indices
+	haveDisjoint bool
+}
+
+// latticeMemo is the cross-round checkpoint store. The authoritative
+// walk writes it; concurrent speculation workers read it (SkipSubtree),
+// hence the RWMutex.
+type latticeMemo struct {
+	mu   sync.RWMutex
+	recs map[string]*latticeRec // by Code.Key()
+}
+
+func newLatticeMemo() *latticeMemo {
+	return &latticeMemo{recs: map[string]*latticeRec{}}
+}
+
+func (m *latticeMemo) get(key string) *latticeRec {
+	m.mu.RLock()
+	rec := m.recs[key]
+	m.mu.RUnlock()
+	return rec
+}
+
+func (m *latticeMemo) put(key string, rec *latticeRec) {
+	m.mu.Lock()
+	m.recs[key] = rec
+	m.mu.Unlock()
+}
+
+// sweep drops records anchored to dependence graphs that are no longer
+// live: a dead graph object never reappears, so such records can never
+// validate again.
+func (m *latticeMemo) sweep(live map[*dfg.Graph]bool) {
+	m.mu.Lock()
+	for k, rec := range m.recs {
+		for _, g := range rec.graphs {
+			if !live[g] {
+				delete(m.recs, k)
+				break
+			}
+		}
+	}
+	m.mu.Unlock()
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// recBuilder is one open (Begin'd, not yet End'd) subtree record.
+type recBuilder struct {
+	rec      *latticeRec
+	p        *mining.Pattern // the subtree's root pattern
+	key      string          // the root code's Key(), computed once
+	logStart int             // admissions log length at Begin
+	exact    bool            // an admission happened inside
+}
+
+// entrySnap is one coherent read of the incumbent list's benefit vector.
+type entrySnap struct {
+	bens     []int
+	haveBest bool
+	best     int
+	full     bool
+	minBen   int
+}
+
+// checkpointer implements mining.Checkpointer for one FindCandidates
+// run: it records subtrees of the authoritative walk into the cross-
+// round memo and fast-forwards subtrees the memo already covers. All
+// methods except covered run on the authoritative goroutine only.
+type checkpointer struct {
+	s    *search
+	memo *latticeMemo
+	byID map[int]*dfg.Graph
+	safe map[*dfg.Graph]bool // CallSafe of each graph's function this round
+
+	builders []*recBuilder // open records, innermost last
+	log      []*Candidate  // admissions in walk order
+
+	// The footprint-valid record FastForward last found for a pattern it
+	// could not fully replay (bounds or budget refused): the visit that
+	// follows reuses the record's per-pattern memo through patRec.
+	lastFor *mining.Pattern
+	lastRec *latticeRec
+
+	// The key FastForward computed for its pattern, reused by the Begin
+	// that immediately follows a refused fast-forward.
+	lastKeyFor *mining.Pattern
+	lastKey    string
+
+	hits  int
+	saved int
+}
+
+func (ck *checkpointer) snapshot() entrySnap {
+	ck.s.mu.Lock()
+	defer ck.s.mu.Unlock()
+	kept := &ck.s.kept
+	sn := entrySnap{bens: make([]int, len(kept.cands))}
+	for i, c := range kept.cands {
+		sn.bens[i] = c.Benefit
+	}
+	if len(sn.bens) > 0 {
+		sn.haveBest = true
+		sn.best = sn.bens[0]
+	}
+	if len(sn.bens) >= kept.limit {
+		sn.full = true
+		sn.minBen = sn.bens[len(sn.bens)-1]
+	}
+	return sn
+}
+
+// footprintOK verifies the subtree's graphs are the recorded objects and
+// the root embeddings are unchanged. Graph-object identity implies
+// content identity (graphCache), and every pattern below the root embeds
+// into a subset of the root's graphs, so the whole subtree's inputs are
+// pinned. Embedding node/edge indices are content-relative and block IDs
+// enter the walk only through order — which renumbering preserves — so
+// index equality is the full condition.
+func (ck *checkpointer) footprintOK(rec *latticeRec, p *mining.Pattern) bool {
+	if len(p.Embeddings) != len(rec.embs) {
+		return false
+	}
+	for i, e := range p.Embeddings {
+		g := ck.byID[e.GID]
+		if g != rec.graphs[i] || ck.safe[g] != rec.safe[i] {
+			// Same graph object but drifted call-safety still invalidates:
+			// CallSafe is a whole-function property baked into the mining
+			// graph's edge pruning and the candidate's occurrence filter.
+			return false
+		}
+		re := rec.embs[i]
+		if !intsEqual(e.Nodes, re.Nodes) || !intsEqual(e.Edges, re.Edges) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ck *checkpointer) validFor(rec *latticeRec, sn entrySnap) bool {
+	if rec.exact {
+		return intsEqual(sn.bens, rec.entryBens)
+	}
+	if sn.haveBest != rec.entryHaveBest || sn.full != rec.entryFull {
+		return false
+	}
+	if sn.haveBest && (sn.best < rec.bestLo || sn.best >= rec.bestHi) {
+		return false
+	}
+	return sn.minBen >= rec.minLo && sn.minBen < rec.minHi
+}
+
+// FastForward implements mining.Checkpointer.
+func (ck *checkpointer) FastForward(p *mining.Pattern, remaining int) (int, bool) {
+	if len(p.Code) > ckMaxDepth {
+		return 0, false
+	}
+	key := p.Code.Key()
+	ck.lastKeyFor, ck.lastKey = p, key
+	rec := ck.memo.get(key)
+	if rec == nil {
+		return 0, false
+	}
+	if !ck.footprintOK(rec, p) {
+		return 0, false
+	}
+	// The footprint holds even if the replay below is refused: the visit
+	// that follows can still reuse the record's per-pattern memo.
+	ck.lastFor, ck.lastRec = p, rec
+	if remaining >= 0 && rec.visits > remaining {
+		// The budget would truncate inside this subtree; a replay cannot
+		// reproduce a truncated walk.
+		return 0, false
+	}
+	if !ck.validFor(rec, ck.snapshot()) {
+		return 0, false
+	}
+	for _, c := range rec.adds {
+		ck.s.add(c) // runs noteAdd: enclosing open records turn exact
+	}
+	if !rec.exact {
+		// The skipped subtree's bounds dependence becomes part of every
+		// enclosing record still in region mode.
+		for _, rb := range ck.builders {
+			if rb.exact {
+				continue
+			}
+			r := rb.rec
+			if rec.bestLo > r.bestLo {
+				r.bestLo = rec.bestLo
+			}
+			if rec.bestHi < r.bestHi {
+				r.bestHi = rec.bestHi
+			}
+			if rec.minLo > r.minLo {
+				r.minLo = rec.minLo
+			}
+			if rec.minHi < r.minHi {
+				r.minHi = rec.minHi
+			}
+		}
+	}
+	ck.hits++
+	ck.saved += rec.visits
+	return rec.visits, true
+}
+
+// Begin implements mining.Checkpointer.
+func (ck *checkpointer) Begin(p *mining.Pattern) any {
+	if len(p.Code) > ckMaxDepth {
+		return nil // deeper subtrees are not recorded (ckMaxDepth)
+	}
+	key := ck.lastKey
+	if ck.lastKeyFor != p {
+		key = p.Code.Key()
+	}
+	sn := ck.snapshot()
+	// Embeddings are uniquely owned by the pattern object (the search
+	// builds fresh ones per visit and never mutates them after), so the
+	// record can reference them without copying.
+	rec := &latticeRec{
+		graphs:        make([]*dfg.Graph, len(p.Embeddings)),
+		embs:          p.Embeddings,
+		safe:          make([]bool, len(p.Embeddings)),
+		entryHaveBest: sn.haveBest,
+		entryFull:     sn.full,
+		entryBens:     sn.bens,
+		bestLo:        math.MinInt,
+		bestHi:        math.MaxInt,
+		minLo:         math.MinInt,
+		minHi:         math.MaxInt,
+	}
+	for i, e := range p.Embeddings {
+		g := ck.byID[e.GID]
+		rec.graphs[i] = g
+		rec.safe[i] = ck.safe[g]
+	}
+	rb := &recBuilder{rec: rec, p: p, key: key, logStart: len(ck.log)}
+	ck.builders = append(ck.builders, rb)
+	return rb
+}
+
+// End implements mining.Checkpointer.
+func (ck *checkpointer) End(token any, visits int, truncated bool) {
+	rb := token.(*recBuilder)
+	ck.builders = ck.builders[:len(ck.builders)-1]
+	if truncated {
+		return // the walk did not finish this subtree; unusable
+	}
+	rec := rb.rec
+	rec.visits = visits
+	rec.adds = append([]*Candidate(nil), ck.log[rb.logStart:]...)
+	rec.exact = rb.exact
+	ck.memo.put(rb.key, rec)
+}
+
+// patRec returns the footprint-valid previous-round record of p, if
+// FastForward found one it could not fully replay. Only valid during p's
+// own visit (each pattern object is visited exactly once).
+func (ck *checkpointer) patRec(p *mining.Pattern) *latticeRec {
+	if ck.lastFor == p {
+		return ck.lastRec
+	}
+	return nil
+}
+
+// noteCand stores the visit's candidate outcome into p's own open
+// record, carrying the patMemo-style threshold contract across rounds.
+// Under depth gating the innermost open record may belong to a shallow
+// ancestor rather than p, so the builder identity is checked.
+func (ck *checkpointer) noteCand(p *mining.Pattern, c *Candidate, thr int) {
+	if len(ck.builders) == 0 {
+		return
+	}
+	rb := ck.builders[len(ck.builders)-1]
+	if rb.p != p {
+		return
+	}
+	rb.rec.cand, rb.rec.candThr, rb.rec.haveCand = c, thr, true
+}
+
+// noteDisjoint stores the DgSpan independent set (as root-embedding
+// indices) into p's own open record.
+func (ck *checkpointer) noteDisjoint(p *mining.Pattern, idx []int) {
+	if len(ck.builders) == 0 {
+		return
+	}
+	rb := ck.builders[len(ck.builders)-1]
+	if rb.p != p {
+		return
+	}
+	rb.rec.disjoint, rb.rec.haveDisjoint = idx, true
+}
+
+// covered is the speculation-side advisory check behind
+// Speculator.SkipSubtree: the memo probably fast-forwards this subtree,
+// so speculating below it is wasted work. Reads only immutable record
+// state and the (read-only) byID map; safe for concurrent use.
+func (ck *checkpointer) covered(p *mining.Pattern) bool {
+	if len(p.Code) > ckMaxDepth {
+		return false
+	}
+	rec := ck.memo.get(p.Code.Key())
+	return rec != nil && ck.footprintOK(rec, p)
+}
+
+// noteAdd logs an authoritative candidate admission: every open record
+// contains it and must switch to exact-entry validation.
+func (ck *checkpointer) noteAdd(c *Candidate) {
+	ck.log = append(ck.log, c)
+	for _, rb := range ck.builders {
+		rb.exact = true
+	}
+}
+
+// noteBest records an authoritative comparison against the incumbent
+// best benefit: le reports whether v <= best held. Open region-mode
+// records narrow their validity region so the comparison reproduces.
+func (ck *checkpointer) noteBest(v int, le bool) {
+	for _, rb := range ck.builders {
+		if rb.exact {
+			continue
+		}
+		if le {
+			if v > rb.rec.bestLo {
+				rb.rec.bestLo = v
+			}
+		} else if v < rb.rec.bestHi {
+			rb.rec.bestHi = v
+		}
+	}
+}
+
+// noteMin is noteBest for comparisons against the admission threshold
+// minBen (the weakest kept benefit when the list is full, else 0).
+func (ck *checkpointer) noteMin(v int, le bool) {
+	for _, rb := range ck.builders {
+		if rb.exact {
+			continue
+		}
+		if le {
+			if v > rb.rec.minLo {
+				rb.rec.minLo = v
+			}
+		} else if v < rb.rec.minHi {
+			rb.rec.minHi = v
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"graphpa/internal/arm"
 	"graphpa/internal/cfg"
 	"graphpa/internal/dfg"
 	"graphpa/internal/loader"
@@ -48,10 +49,19 @@ type Options struct {
 	// identical results — the parallel search replays deterministically —
 	// so only wall clock changes.
 	Workers int
+	// NoIncremental disables all cross-round reuse (dirty-set CFG
+	// resplitting, summary and dependence-graph caching, lattice
+	// checkpointing) and reverts to the rebuild-everything loop. The
+	// output is byte-identical either way — this is the kill switch and
+	// the reference the differential tests compare against.
+	NoIncremental bool
 
 	// ctx carries the cancellation context of an OptimizeContext run.
 	// Only the driver sets it; miners read it through Context.
 	ctx context.Context
+	// inc hands the round's incremental caches to the miner. Only the
+	// incremental driver sets it.
+	inc *incMining
 }
 
 // Context returns the cancellation context of the run the options belong
@@ -123,6 +133,36 @@ type Extraction struct {
 	Benefit int
 }
 
+// RoundStat is the per-round timing and cache-effectiveness breakdown of
+// an optimization run. The final entry is the fixpoint probe — the round
+// that mined and found nothing left to extract.
+type RoundStat struct {
+	Round int // 1-based
+
+	CFGBuild  time.Duration // block (re)splitting and renumbering
+	Summaries time.Duration // call-summary fixpoint
+	DFGBuild  time.Duration // dependence-graph construction
+	Mine      time.Duration // candidate mining
+	Apply     time.Duration // extraction rewrites
+
+	Blocks        int // blocks analysed this round
+	BlocksReused  int // dependence graphs reused object-identically
+	BlocksRebound int // reused by content under a fresh block object
+	BlocksRebuilt int // built from scratch
+	// RebuiltClean counts rebuilds of blocks in untouched functions with
+	// no summary drift — over-invalidation; stays 0 when the dirty-set
+	// rules are exact.
+	RebuiltClean int
+
+	SummariesRecomputed int // functions re-solved by the summary fixpoint
+	SummariesChanged    int // of those, how many actually changed
+
+	MemoHits    int // lattice subtrees fast-forwarded
+	VisitsSaved int // pattern visits those subtrees would have cost
+
+	Extractions int // rewrites applied this round
+}
+
 // Result summarises an optimization run.
 type Result struct {
 	Miner       string
@@ -130,6 +170,7 @@ type Result struct {
 	After       int
 	Rounds      int
 	Extractions []Extraction
+	RoundStats  []RoundStat
 	Program     *loader.Program
 	Duration    time.Duration
 }
@@ -170,6 +211,15 @@ func Optimize(prog *loader.Program, m Miner, opts Options) *Result {
 // cancelled. Cancellation is observed between rounds, inside the parallel
 // dependence-graph build, and by the graph miners at every lattice
 // subtree, so even a single long mining round aborts promptly.
+//
+// By default rounds after the first run incrementally: the program view
+// is kept alive across rounds, only functions the previous extraction
+// rewrote are re-split, the summary fixpoint re-solves only the
+// reverse-call-graph closure of those functions, dependence graphs are
+// reused wherever block content and consumed summaries are unchanged,
+// and the lattice search fast-forwards recorded subtrees over untouched
+// blocks. All reuse is equivalence-gated, so the result is byte-identical
+// to Options.NoIncremental (which reverts to full rebuilds every round).
 func OptimizeContext(ctx context.Context, prog *loader.Program, m Miner, opts Options) (*Result, error) {
 	opts.ctx = ctx
 	start := time.Now()
@@ -178,6 +228,11 @@ func OptimizeContext(ctx context.Context, prog *loader.Program, m Miner, opts Op
 	cur := prog
 	used := usedNames(prog)
 	counter := 0
+	incremental := !opts.NoIncremental
+	var view *cfg.Program
+	var st *incState
+	var dirty map[*cfg.Func]bool // functions rewritten by the last round
+	anyApplied := false
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -185,34 +240,65 @@ func OptimizeContext(ctx context.Context, prog *loader.Program, m Miner, opts Op
 		if opts.MaxRounds > 0 && res.Rounds >= opts.MaxRounds {
 			break
 		}
-		view := cfg.Build(cur)
-		summaries := CallSummaries(view)
-		graphs := make([]*dfg.Graph, len(view.Blocks))
-		if w := opts.workers(); w > 1 {
-			// Per-block graph construction is independent; indexed writes
-			// keep the result order-identical to the serial loop.
-			if err := par.Do(ctx, w, len(view.Blocks), func(_ context.Context, i int) error {
-				graphs[i] = dfg.Build(view.Blocks[i], summaries)
-				return nil
-			}); err != nil {
-				if ctx.Err() != nil {
-					return nil, ctx.Err()
-				}
-				panic(err) // workers return no errors; panics re-raise in par.Do
+		stat := RoundStat{Round: len(res.RoundStats) + 1}
+
+		t0 := time.Now()
+		if incremental {
+			if view == nil {
+				view = cfg.Build(cur)
+				st = newIncState()
+			} else {
+				view.Resplit(dirty)
 			}
 		} else {
-			for i, b := range view.Blocks {
-				graphs[i] = dfg.Build(b, summaries)
-			}
+			view = cfg.Build(cur)
 		}
+		stat.CFGBuild = time.Since(t0)
+		stat.Blocks = len(view.Blocks)
+
+		t0 = time.Now()
+		var summaries map[string]arm.Effects
+		if incremental {
+			summaries = st.updateSummaries(view, dirty, &stat)
+		} else {
+			summaries = CallSummaries(view)
+			stat.SummariesRecomputed = len(view.Funcs)
+			stat.SummariesChanged = len(view.Funcs)
+		}
+		stat.Summaries = time.Since(t0)
+
+		t0 = time.Now()
+		var graphs []*dfg.Graph
+		if incremental {
+			g, err := st.buildGraphs(ctx, view, summaries, dirty, opts, &stat)
+			if err != nil {
+				return nil, err
+			}
+			graphs = g
+			st.beginMining(graphs, &stat)
+			opts.inc = &st.m
+		} else {
+			g, err := buildGraphsFull(ctx, view, summaries, opts)
+			if err != nil {
+				return nil, err
+			}
+			graphs = g
+			stat.BlocksRebuilt = len(graphs)
+		}
+		stat.DFGBuild = time.Since(t0)
+
+		t0 = time.Now()
 		cands := m.FindCandidates(view, graphs, opts)
+		stat.Mine = time.Since(t0)
 		if err := ctx.Err(); err != nil {
 			// A cancelled miner may have returned a truncated candidate
 			// list; applying it would make cancellation observable in the
 			// output.
 			return nil, err
 		}
+		t0 = time.Now()
 		applied := 0
+		dirty = map[*cfg.Func]bool{}
 		usedBlocks := map[*cfg.Block]bool{}
 		for _, cand := range cands {
 			if cand == nil || cand.Benefit <= 0 {
@@ -243,7 +329,9 @@ func OptimizeContext(ctx context.Context, prog *loader.Program, m Miner, opts Op
 				}
 			}
 			used[name] = true
-			Apply(view, cand, name)
+			for fn := range Apply(view, cand, name) {
+				dirty[fn] = true
+			}
 			applied++
 			res.Extractions = append(res.Extractions, Extraction{
 				Name:    name,
@@ -253,16 +341,51 @@ func OptimizeContext(ctx context.Context, prog *loader.Program, m Miner, opts Op
 				Benefit: cand.Benefit,
 			})
 		}
+		stat.Apply = time.Since(t0)
+		stat.Extractions = applied
+		res.RoundStats = append(res.RoundStats, stat)
 		if applied == 0 {
 			break
 		}
+		anyApplied = true
 		res.Rounds++
+		if !incremental {
+			cur = cfg.Reassemble(view)
+		}
+	}
+	if incremental && anyApplied {
+		// Resplit preserves flattened content exactly, so one final
+		// reassembly of the long-lived view equals the per-round
+		// reassemble/rebuild chain of the non-incremental loop.
 		cur = cfg.Reassemble(view)
 	}
 	res.Program = cur
 	res.After = cur.CountInstrs()
 	res.Duration = time.Since(start)
 	return res, nil
+}
+
+// buildGraphsFull is the non-incremental per-round dependence-graph
+// build: every block from scratch, in parallel when configured (indexed
+// writes keep the result order-identical to the serial loop).
+func buildGraphsFull(ctx context.Context, view *cfg.Program, summaries map[string]arm.Effects, opts Options) ([]*dfg.Graph, error) {
+	graphs := make([]*dfg.Graph, len(view.Blocks))
+	if w := opts.workers(); w > 1 {
+		if err := par.Do(ctx, w, len(view.Blocks), func(_ context.Context, i int) error {
+			graphs[i] = dfg.Build(view.Blocks[i], summaries)
+			return nil
+		}); err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			panic(err) // workers return no errors; panics re-raise in par.Do
+		}
+	} else {
+		for i, b := range view.Blocks {
+			graphs[i] = dfg.Build(b, summaries)
+		}
+	}
+	return graphs, nil
 }
 
 func usedNames(prog *loader.Program) map[string]bool {

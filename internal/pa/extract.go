@@ -9,18 +9,27 @@ import (
 
 // Apply rewrites the program view according to the candidate, using name
 // for the new procedure (call extraction) or merge label (cross jump).
-// The view's Funcs are updated in place; callers must rebuild blocks and
-// dependence graphs (cfg.Build / dfg.Build) before further analysis.
-func Apply(view *cfg.Program, cand *Candidate, name string) {
+// The view's Funcs are updated in place; callers must re-split rewritten
+// functions and rebuild dependence graphs (cfg.Resplit / dfg.Build)
+// before further analysis. The returned set holds every function whose
+// blocks were touched — the occurrence owners plus, for call extraction,
+// the newly created procedure — which is exactly the dirty set the
+// incremental driver needs.
+func Apply(view *cfg.Program, cand *Candidate, name string) map[*cfg.Func]bool {
+	dirty := map[*cfg.Func]bool{}
+	for _, occ := range cand.Occs {
+		dirty[occ.Block.Fn] = true
+	}
 	switch cand.Method {
 	case MethodCall:
-		applyCall(view, cand, name)
+		dirty[applyCall(view, cand, name)] = true
 	case MethodCrossJump:
 		applyCrossJump(view, cand, name)
 	}
+	return dirty
 }
 
-func applyCall(view *cfg.Program, cand *Candidate, name string) {
+func applyCall(view *cfg.Program, cand *Candidate, name string) *cfg.Func {
 	body := FragmentBody(cand.Occs[0].Graph, cand.Occs[0].Nodes)
 	ret := arm.NewInstr(arm.BX)
 	ret.Rm = arm.LR
@@ -59,6 +68,7 @@ func applyCall(view *cfg.Program, cand *Candidate, name string) {
 		}
 		b.Instrs = newInstrs
 	}
+	return nf
 }
 
 func applyCrossJump(view *cfg.Program, cand *Candidate, name string) {

@@ -1,0 +1,89 @@
+package pa
+
+import (
+	"testing"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/cfg"
+)
+
+// The incremental summary fixpoint must agree with a from-scratch solve
+// after any edit, including one that changes a callee's footprint deep in
+// the call graph (the change must propagate to every transitive caller).
+func TestIncrementalSummariesMatchFull(t *testing.T) {
+	prog := loadSrc(t, `
+_start:
+	bl top
+	bl other
+	swi 0
+top:
+	push {r4, lr}
+	bl mid
+	pop {r4, pc}
+mid:
+	push {r4, lr}
+	bl leaf
+	pop {r4, pc}
+leaf:
+	add r6, r5, #10
+	bx lr
+other:
+	mov r3, #7
+	bx lr
+`)
+	view := cfg.Build(prog)
+	st := newIncState()
+	stat := &RoundStat{}
+	got := st.updateSummaries(view, nil, stat)
+	want := decorateSummaries(rawSummaries(view, nil, nil))
+	compareSummaries(t, "initial", got, want)
+
+	// Edit leaf: it now also writes r7. Every transitive caller's summary
+	// changes; other's must not be recomputed.
+	var leaf *cfg.Func
+	for _, fn := range view.Funcs {
+		if fn.Name == "leaf" {
+			leaf = fn
+		}
+	}
+	b := leaf.Blocks[0]
+	fresh := append([]arm.Instr(nil), b.Instrs...)
+	mov := arm.NewInstr(arm.MOV)
+	mov.Rd = arm.R7
+	mov.Imm = 1
+	mov.HasImm = true
+	fresh = append([]arm.Instr{mov}, fresh...)
+	b.Instrs = fresh
+	view.Resplit(map[*cfg.Func]bool{leaf: true})
+
+	stat = &RoundStat{}
+	got = st.updateSummaries(view, map[*cfg.Func]bool{leaf: true}, stat)
+	want = decorateSummaries(rawSummaries(view, nil, nil))
+	compareSummaries(t, "after edit", got, want)
+
+	if !got["top"].Writes.Has(arm.R7) {
+		t.Error("leaf's new write must propagate to its transitive caller top")
+	}
+	// leaf, mid, top, _start form the reverse-call-graph closure of the
+	// edit; "other" is outside it and must be pinned, not re-solved.
+	if stat.SummariesRecomputed >= len(view.Funcs) {
+		t.Errorf("recomputed %d of %d functions; the closure excludes at least one",
+			stat.SummariesRecomputed, len(view.Funcs))
+	}
+}
+
+func compareSummaries(t *testing.T, when string, got, want map[string]arm.Effects) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d summaries, want %d", when, len(got), len(want))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("%s: missing summary for %s", when, name)
+		}
+		if g != w {
+			t.Errorf("%s: summary of %s = %+v, want %+v", when, name, g, w)
+		}
+	}
+}

@@ -38,10 +38,9 @@ func (cl *candList) best() *Candidate {
 }
 
 func (cl *candList) add(c *Candidate) {
-	pos := len(cl.cands)
-	for pos > 0 && cl.cands[pos-1].Benefit < c.Benefit {
-		pos--
-	}
+	// First index whose benefit is strictly below c's: equal-benefit
+	// entries sort before c, so earlier discovery wins ties.
+	pos := sort.Search(len(cl.cands), func(i int) bool { return cl.cands[i].Benefit < c.Benefit })
 	cl.cands = append(cl.cands, nil)
 	copy(cl.cands[pos+1:], cl.cands[pos:])
 	cl.cands[pos] = c
@@ -71,6 +70,10 @@ type search struct {
 	mu   sync.Mutex
 	kept candList
 	memo map[*mining.Pattern]*patMemo // nil in serial mode
+	// ck, when non-nil, records the walk for cross-round fast-forwarding
+	// (checkpoint.go). Its note hooks run on the authoritative goroutine
+	// only; speculation reaches it solely through the advisory covered().
+	ck *checkpointer
 }
 
 // patMemo caches speculative per-pattern work. The candidate entry is
@@ -113,6 +116,9 @@ func (s *search) add(c *Candidate) {
 	s.mu.Lock()
 	s.kept.add(c)
 	s.mu.Unlock()
+	if s.ck != nil {
+		s.ck.noteAdd(c)
+	}
 }
 
 func (s *search) lookup(p *mining.Pattern) *patMemo {
@@ -216,24 +222,55 @@ func MiningGraph(g *dfg.Graph, canonical bool) *mining.Graph {
 
 // FindCandidates implements Miner.
 func (m *GraphMiner) FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts Options) []*Candidate {
+	inc := opts.inc
 	byID := map[int]*dfg.Graph{}
 	var mgs []*mining.Graph
+	var newMG map[*dfg.Graph]mgEntry
+	var safeByGraph map[*dfg.Graph]bool
+	if inc != nil {
+		newMG = make(map[*dfg.Graph]mgEntry, len(graphs))
+		safeByGraph = make(map[*dfg.Graph]bool, len(graphs))
+	}
+	// The call-safety cache is written lazily on miss; speculation workers
+	// and the incremental caches share it, so fill it completely in the
+	// loop below — every occurrence's function owns one of these graphs'
+	// blocks — and it stays read-only for the rest of the round.
+	safe := callSafeCache{}
 	for _, g := range graphs {
 		byID[g.Block.ID] = g
-		mgs = append(mgs, MiningGraph(g, m.CanonicalMatch))
+		callable := safe.get(g.Block.Fn)
+		var mg *mining.Graph
+		if inc != nil {
+			safeByGraph[g] = callable
+			if e, ok := inc.mg[g]; ok && e.callable == callable {
+				// The dependence graph object and the call-safety flag baked
+				// into the mining graph's edge pruning are both unchanged, so
+				// the mining graph is too — only the block ID may have
+				// shifted under renumbering. Copy the frozen graph and
+				// restamp the ID.
+				cp := *e.mg
+				cp.ID = g.Block.ID
+				mg = &cp
+			}
+		}
+		if mg == nil {
+			mg = MiningGraph(g, m.CanonicalMatch)
+		}
+		if inc != nil {
+			newMG[g] = mgEntry{mg: mg, callable: callable}
+		}
+		mgs = append(mgs, mg)
+	}
+	if inc != nil {
+		inc.mg = newMG
 	}
 	workers := opts.workers()
 	s := &search{kept: candList{limit: opts.batch()}}
-	safe := callSafeCache{}
+	if inc != nil {
+		s.ck = &checkpointer{s: s, memo: inc.memo, byID: byID, safe: safeByGraph}
+	}
 	if workers > 1 {
 		s.memo = map[*mining.Pattern]*patMemo{}
-		// The call-safety cache is written lazily on miss; speculation
-		// workers share it, so fill it completely up front — every
-		// occurrence's function owns one of these graphs' blocks — and
-		// it stays read-only for the rest of the round.
-		for _, g := range graphs {
-			safe.get(g.Block.Fn)
-		}
 	}
 	// Seed the incumbent list with contiguous-sequence candidates. With
 	// unbounded fragment size the graph search strictly subsumes the
@@ -268,6 +305,39 @@ func (m *GraphMiner) FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts
 		b := s.bounds()
 		return !b.haveBest || fragUB(maxK, count) > b.best
 	}
+	// The authoritative walk additionally records each bound comparison
+	// into the open checkpoint records (checkpoint.go); the advisory
+	// closures above stay non-recording for the speculation workers.
+	authPrune := prune
+	authViable := viable
+	if s.ck != nil {
+		ck := s.ck
+		authPrune = func(p *mining.Pattern) bool {
+			if ctx.Err() != nil {
+				// Cancellation collapses the walk without noting: the run's
+				// whole incremental state is discarded with the error.
+				return true
+			}
+			b := s.bounds()
+			if !b.haveBest {
+				return false
+			}
+			u := fragUB(maxK, p.Support)
+			pruned := u <= b.best
+			ck.noteBest(u, pruned)
+			return pruned
+		}
+		authViable = func(count int) bool {
+			b := s.bounds()
+			if !b.haveBest {
+				return true
+			}
+			u := fragUB(maxK, count)
+			ok := u > b.best
+			ck.noteBest(u, !ok)
+			return ok
+		}
+	}
 	cfgm := mining.Config{
 		MinSupport:       opts.minSupport(),
 		MaxNodes:         maxK,
@@ -275,17 +345,47 @@ func (m *GraphMiner) FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts
 		GreedyMIS:        opts.GreedyMIS,
 		MaxPatterns:      opts.maxPatterns(),
 		Workers:          workers,
-		PruneSubtree:     prune,
-		ViableCount:      viable,
+		PruneSubtree:     authPrune,
+		ViableCount:      authViable,
 		NewSpeculator: func() *mining.Speculator {
-			return &mining.Speculator{
+			sp := &mining.Speculator{
 				PruneSubtree: prune,
 				ViableCount:  viable,
 				Visit:        func(p *mining.Pattern) { m.speculateVisit(s, byID, maxK, safe, opts, p) },
 			}
+			if s.ck != nil {
+				sp.SkipSubtree = s.ck.covered
+			}
+			return sp
 		},
 	}
+	if s.ck != nil {
+		cfgm.Checkpoint = s.ck
+	}
+	if inc != nil {
+		// Minimality is a pure function of the DFS code and the same codes
+		// are re-enumerated every round, so memoise it across the whole
+		// run. Key() is injective, so a hit is exact.
+		mc := inc.minimal
+		cfgm.Minimal = func(c mining.Code) bool {
+			if len(c) < 3 {
+				// Short codes are cheaper to check than to hash and look up.
+				return c.IsMinimal()
+			}
+			k := c.Key()
+			if v, ok := mc.lookup(k); ok {
+				return v
+			}
+			v := c.IsMinimal()
+			mc.store(k, v)
+			return v
+		}
+	}
 	mining.Mine(mgs, cfgm, func(p *mining.Pattern) { m.visitPattern(s, byID, maxK, safe, opts, p) })
+	if s.ck != nil && inc.stat != nil {
+		inc.stat.MemoHits += s.ck.hits
+		inc.stat.VisitsSaved += s.ck.saved
+	}
 	return s.kept.cands
 }
 
@@ -295,6 +395,18 @@ func (m *GraphMiner) FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts
 // it reuses whatever the speculative phase already computed for this
 // pattern object.
 func (m *GraphMiner) visitPattern(s *search, byID map[int]*dfg.Graph, maxK int, safe callSafeCache, opts Options, p *mining.Pattern) {
+	// noteMin records authoritative comparisons against the admission
+	// threshold for the checkpoint records (no-op without one). Only
+	// threshold-dependent decisions note; everything else in this visitor
+	// is a pure function of the pattern. When the kept list is not full
+	// the threshold is 0 and the comparisons below are decided by the
+	// sign of pattern-derived values, so no note is needed — the
+	// checkpoint's full-flag equality pins that case.
+	noteMin := func(v int, le bool) {
+		if s.ck != nil {
+			s.ck.noteMin(v, le)
+		}
+	}
 	k := p.Code.NumNodes()
 	if k < 2 {
 		return
@@ -307,22 +419,52 @@ func (m *GraphMiner) visitPattern(s *search, byID map[int]*dfg.Graph, maxK int, 
 	}
 	b := s.bounds()
 	if b.full && ubRaw <= b.minBen {
+		noteMin(ubRaw, true)
 		return
 	}
 	mm := s.lookup(p)
+	var rec *latticeRec
+	if s.ck != nil {
+		rec = s.ck.patRec(p)
+	}
+	if (mm == nil || !mm.haveCand) && rec != nil && rec.haveCand {
+		// No same-round speculative result, but a previous round's record
+		// of this pattern passed the footprint check. Its candidate
+		// outcome obeys the same threshold contract as patMemo (the
+		// candidate is a pure function of the pinned embeddings), so
+		// splice it in.
+		syn := patMemo{cand: rec.cand, candThr: rec.candThr, haveCand: true}
+		if mm != nil {
+			syn.disjoint, syn.haveDisjoint = mm.disjoint, mm.haveDisjoint
+		}
+		mm = &syn
+	}
 	if mm != nil && mm.haveCand {
 		if mm.cand != nil {
 			// Occurrence filtering is threshold-independent, so the
 			// speculative candidate is exact; only the admission test
 			// runs against the current incumbents.
+			if s.ck != nil {
+				s.ck.noteCand(p, mm.cand, mm.candThr)
+			}
 			if mm.cand.Benefit > b.minBen {
+				noteMin(mm.cand.Benefit, false)
 				s.add(mm.cand)
+			} else {
+				noteMin(mm.cand.Benefit, true)
 			}
 			return
 		}
 		if b.minBen >= mm.candThr {
 			// Rejected at a threshold the incumbents have since met or
-			// passed: still rejected.
+			// passed: still rejected. (A live build at any threshold in
+			// minBen >= candThr also returns nil, so this note keeps the
+			// outcome reproducible whether or not the memo entry exists
+			// in a replayed round.)
+			if s.ck != nil {
+				s.ck.noteCand(p, nil, mm.candThr)
+			}
+			noteMin(mm.candThr, true)
 			return
 		}
 		// Rejected against a stricter threshold than the current one —
@@ -339,8 +481,27 @@ func (m *GraphMiner) visitPattern(s *search, byID map[int]*dfg.Graph, maxK int, 
 		// found).
 		if mm != nil && mm.haveDisjoint {
 			embs = mm.disjoint
+		} else if rec != nil && rec.haveDisjoint {
+			// The independent set is a pure function of the pinned
+			// embeddings; remap the recorded indices onto this round's
+			// embedding objects.
+			embs = make([]*mining.Embedding, len(rec.disjoint))
+			for i, ix := range rec.disjoint {
+				embs[i] = p.Embeddings[ix]
+			}
 		} else {
 			embs = mining.DisjointEmbeddings(p.Embeddings, mining.Config{GreedyMIS: opts.GreedyMIS})
+		}
+		if s.ck != nil {
+			idx := make(map[*mining.Embedding]int, len(p.Embeddings))
+			for i, e := range p.Embeddings {
+				idx[e] = i
+			}
+			ids := make([]int, len(embs))
+			for i, e := range embs {
+				ids[i] = idx[e]
+			}
+			s.ck.noteDisjoint(p, ids)
 		}
 	}
 	ub := fragUB(k, len(embs))
@@ -349,9 +510,13 @@ func (m *GraphMiner) visitPattern(s *search, byID map[int]*dfg.Graph, maxK int, 
 	}
 	// A candidate is only useful if it beats the weakest kept entry.
 	if ub <= b.minBen {
+		noteMin(ub, true)
 		return
 	}
-	cand := m.buildCandidate(byID, embs, k, safe, b.minBen)
+	cand := m.buildCandidate(byID, embs, k, safe, b.minBen, noteMin)
+	if s.ck != nil {
+		s.ck.noteCand(p, cand, b.minBen)
+	}
 	if cand == nil {
 		return
 	}
@@ -390,7 +555,7 @@ func (m *GraphMiner) speculateVisit(s *search, byID map[int]*dfg.Graph, maxK int
 	if ub <= 0 || ub <= b.minBen {
 		return
 	}
-	cand := m.buildCandidate(byID, embs, k, safe, b.minBen)
+	cand := m.buildCandidate(byID, embs, k, safe, b.minBen, nil)
 	s.memoize(p, func(mm *patMemo) {
 		mm.cand = cand
 		mm.candThr = b.minBen
@@ -403,8 +568,12 @@ func (m *GraphMiner) speculateVisit(s *search, byID map[int]*dfg.Graph, maxK int
 // block terminator are tail-merged, everything else is outlined. minBen
 // is the benefit the candidate must beat to be useful; validation bails
 // out as soon as that becomes impossible (validation — signatures and
-// schedulability — dominates mining time otherwise).
-func (m *GraphMiner) buildCandidate(byID map[int]*dfg.Graph, embs []*mining.Embedding, k int, safe callSafeCache, minBen int) *Candidate {
+// schedulability — dominates mining time otherwise). note, when non-nil,
+// receives the terminal threshold comparison that decided the outcome
+// (checkpoint recording): occurrence filtering is threshold-independent,
+// so the result is cand exactly when its benefit beats minBen — one
+// comparison pins the outcome for a whole threshold region.
+func (m *GraphMiner) buildCandidate(byID map[int]*dfg.Graph, embs []*mining.Embedding, k int, safe callSafeCache, minBen int, note func(v int, le bool)) *Candidate {
 	if len(embs) == 0 {
 		return nil
 	}
@@ -428,8 +597,13 @@ func (m *GraphMiner) buildCandidate(byID map[int]*dfg.Graph, embs []*mining.Embe
 	blFrags := map[*cfg.Block][][]int{}
 	for i, e := range embs {
 		// Bail as soon as even accepting every remaining embedding
-		// cannot beat minBen.
-		if benefit(len(occs)+len(embs)-i) <= minBen {
+		// cannot beat minBen. (The bound only shrinks and stays >= the
+		// final benefit, so for any threshold at or above this value the
+		// outcome is nil too — the single note covers the whole bail.)
+		if v := benefit(len(occs) + len(embs) - i); v <= minBen {
+			if note != nil {
+				note(v, true)
+			}
 			return nil
 		}
 		g := byID[e.GID]
@@ -472,7 +646,15 @@ func (m *GraphMiner) buildCandidate(byID map[int]*dfg.Graph, embs []*mining.Embe
 		occs = append(occs, occ)
 	}
 	b := benefit(len(occs))
-	if len(occs) < 2 || b <= 0 || b <= minBen {
+	if len(occs) < 2 || b <= 0 {
+		// Threshold-independent rejection (minBen is never negative), so
+		// nothing to note.
+		return nil
+	}
+	if note != nil {
+		note(b, b <= minBen)
+	}
+	if b <= minBen {
 		return nil
 	}
 	return &Candidate{Size: k, Occs: occs, Method: methodOf(hasTerm), Benefit: b}

@@ -21,11 +21,47 @@ import (
 // exist in a statically linked image, but be safe) assume the most
 // conservative footprint.
 func CallSummaries(view *cfg.Program) map[string]arm.Effects {
+	return decorateSummaries(rawSummaries(view, nil, nil))
+}
+
+// rawSummaries runs the effect fixpoint and returns the undecorated
+// least-fixpoint values (decorateSummaries adds the unconditional
+// call-site effects consumers see).
+//
+// When recompute is nil every function starts from bottom. Otherwise
+// only the functions in recompute are iterated (from bottom) while every
+// other function is pinned to its value in prev. That is sound — and
+// yields exactly the from-scratch least fixpoint — when the complement
+// of recompute is closed under calls: such functions' equations mention
+// only each other and their own unchanged bodies, so their least-
+// fixpoint values cannot have moved, and the recompute members' least
+// values relative to those constants equal the global ones. The driver
+// guarantees the closure property by recomputing the reverse-call-graph
+// closure of every rewritten function.
+func rawSummaries(view *cfg.Program, prev map[string]arm.Effects, recompute map[string]bool) map[string]arm.Effects {
 	// Most conservative effects: everything.
 	worst := arm.Effects{LoadsMem: true, StoresMem: true, Barrier: true}
 	for r := arm.R0; r <= arm.CPSR; r++ {
 		worst.Reads = worst.Reads.Add(r)
 		worst.Writes = worst.Writes.Add(r)
+	}
+
+	sum := map[string]arm.Effects{}
+	iter := view.Funcs
+	if recompute != nil {
+		iter = iter[:0:0]
+		for _, fn := range view.Funcs {
+			if recompute[fn.Name] {
+				iter = append(iter, fn)
+				sum[fn.Name] = arm.Effects{Barrier: true}
+			} else {
+				sum[fn.Name] = prev[fn.Name]
+			}
+		}
+	} else {
+		for _, fn := range view.Funcs {
+			sum[fn.Name] = arm.Effects{Barrier: true}
+		}
 	}
 
 	// Save/restore discipline: registers a procedure pushes on entry and
@@ -42,19 +78,15 @@ func CallSummaries(view *cfg.Program) map[string]arm.Effects {
 		ok    bool
 	}
 	discOf := map[string]disc{}
-	for _, fn := range view.Funcs {
+	for _, fn := range iter {
 		s, ok := preservedRegs(fn)
 		discOf[fn.Name] = disc{saved: s, ok: ok}
 	}
 
-	sum := map[string]arm.Effects{}
-	for _, fn := range view.Funcs {
-		sum[fn.Name] = arm.Effects{Barrier: true}
-	}
 	changed := true
 	for changed {
 		changed = false
-		for _, fn := range view.Funcs {
+		for _, fn := range iter {
 			d := discOf[fn.Name]
 			cur := sum[fn.Name]
 			next := cur
@@ -99,13 +131,22 @@ func CallSummaries(view *cfg.Program) map[string]arm.Effects {
 			}
 		}
 	}
-	// A call additionally writes lr (the link) no matter the body.
-	for name, e := range sum {
+	return sum
+}
+
+// decorateSummaries adds the effects every call site has regardless of
+// the body: the bl writes lr, and calls act as scheduling barriers. The
+// incremental driver keeps the RAW values across rounds — seeding a
+// later fixpoint from decorated values would not be the least fixpoint —
+// and decorates on the way out.
+func decorateSummaries(raw map[string]arm.Effects) map[string]arm.Effects {
+	out := make(map[string]arm.Effects, len(raw))
+	for name, e := range raw {
 		e.Writes = e.Writes.Add(arm.LR)
 		e.Barrier = true
-		sum[name] = e
+		out[name] = e
 	}
-	return sum
+	return out
 }
 
 // preservedRegs detects the two prologue/epilogue disciplines our code

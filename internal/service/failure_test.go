@@ -111,8 +111,15 @@ func TestQueueFullReturns429(t *testing.T) {
 	}
 
 	// Draining the queue clears the condition: everything accepted
-	// completes and a new submission goes through.
+	// completes and a new submission goes through. The queue slot only
+	// frees once the worker dequeues job 1, so wait for job 1 to reach
+	// the mining hook before submitting again.
 	close(release)
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job 1 never started mining after drain")
+	}
 	if code, _, body := submit(3); code != http.StatusAccepted {
 		t.Fatalf("post-drain submit: status %d: %s", code, body)
 	}
