@@ -16,6 +16,11 @@ else
 	go test -race -count=1 -short ./...
 fi
 
+# Mining microbenchmarks as a smoke test: one iteration each, just to
+# prove the hot-loop harness still compiles and runs. (-short also keeps
+# the heavy same-process layout A/B out of the smoke lane.)
+go test ./internal/mining -run '^$' -bench . -benchtime 1x -short >/dev/null
+
 # --- compaction-service end-to-end check -------------------------------
 # The service deliberately omits the wall-clock suffix from its reports
 # (cached responses must be byte-identical to fresh ones), so the CLI
@@ -62,7 +67,8 @@ echo "ci.sh: service report matches CLI"
 # -bench-json across the whole suite, see README).
 go build -o "$TMP/paper-tables" ./cmd/paper-tables
 "$TMP/paper-tables" -only timings -programs crc,dijkstra -miners edgar \
-	-noverify -bench-json "$TMP/bench.json" >/dev/null
+	-noverify -bench-json "$TMP/bench.json" \
+	-bench-baseline BENCH_edgar.baseline.json >/dev/null
 grep -q '"total_wall_ms"' "$TMP/bench.json"
 grep -q '"name": "crc"' "$TMP/bench.json"
 echo "ci.sh: benchmark record smoke passed"

@@ -6,7 +6,7 @@
 //
 //	edgar [-miner edgar|dgspan|sfx|edgar-canon] [-schedule] [-maxrounds n]
 //	      [-minsup n] [-maxfrag n] [-greedy-mis] [-workers n] [-verify]
-//	      [-roundstats] [-dump] file.mc
+//	      [-roundstats] [-dump] [-cpuprofile file] [-memprofile file] file.mc
 //
 // The paper's pipeline (§2.1): decompile, reconstruct labels, split into
 // basic blocks, build data-flow graphs, mine, extract, repeat.
@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"graphpa/internal/codegen"
@@ -38,6 +40,8 @@ func main() {
 	verify := flag.Bool("verify", true, "run before/after and compare behaviour")
 	roundStats := flag.Bool("roundstats", false, "print the per-round timing and cache breakdown")
 	dump := flag.Bool("dump", false, "print the optimized assembly")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the optimization to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken after optimization) to this file")
 	flag.Parse()
 	if *workers < 0 {
 		fmt.Fprintln(os.Stderr, "edgar: -workers must be non-negative")
@@ -64,6 +68,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
 	res, out, err := core.Optimize(img, m, pa.Options{
 		MaxRounds:  *maxRounds,
 		MinSupport: *minSup,
@@ -71,8 +84,22 @@ func main() {
 		GreedyMIS:  *greedyMIS,
 		Workers:    *workers,
 	})
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
 	fmt.Printf("%s: %d -> %d instructions (saved %d) in %d rounds, %v\n",
 		res.Miner, res.Before, res.After, res.Saved(), res.Rounds, res.Duration)

@@ -48,7 +48,7 @@ func main() {
 	cfgm := mining.Config{MinSupport: 2, EmbeddingSupport: true, MaxNodes: 5}
 	mining.Mine([]*mining.Graph{mg}, cfgm, func(p *mining.Pattern) {
 		fmt.Printf("  %d nodes, %2d embeddings, %d disjoint | %s\n",
-			p.Code.NumNodes(), len(p.Embeddings), len(p.Disjoint), p.Code)
+			p.Code.NumNodes(), p.Embeddings.Len(), len(p.Disjoint), p.Code)
 	})
 
 	fmt.Println("\nGraph-count support (DgSpan view) on the same single block:")

@@ -1,0 +1,76 @@
+package mining
+
+import "testing"
+
+// allocFixture returns a pinned extension group and its parent embedding
+// set from the replicated running example — the fixed fragment the alloc
+// regression tests below measure against. The group aliases the miner's
+// scratch, so callers must not run extendGroups on the miner again.
+func allocFixture(t testing.TB) (*miner, rawGroup, *EmbSet) {
+	graphs := testGraphSets()["replicated"]
+	mn := &miner{
+		cfg:     Config{MinSupport: 2, EmbeddingSupport: true},
+		graphOf: func(i int) *Graph { return graphs[i] },
+	}
+	roots := seedPatterns(graphs)
+	if len(roots) == 0 {
+		t.Fatal("no seed patterns in fixture")
+	}
+	set := roots[0].set
+	groups := mn.extendGroups(Code{roots[0].t}, set)
+	if len(groups) == 0 {
+		t.Fatal("no extension groups in fixture")
+	}
+	return mn, groups[0], set
+}
+
+// TestAllocsOverlaps pins the tentpole invariant: an overlap probe is a
+// word-wise AND over slab-resident bitsets and never allocates.
+func TestAllocsOverlaps(t *testing.T) {
+	_, _, set := allocFixture(t)
+	n := set.Len()
+	if n < 2 {
+		t.Fatalf("fixture set has %d embeddings; want >= 2", n)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		for i := 0; i < n; i++ {
+			set.Overlaps(0, i)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Overlaps allocated %.2f objects per run; want 0", avg)
+	}
+}
+
+// TestAllocsMaterialize pins materialisation to the child set's own
+// storage: the *EmbSet header plus its gids and tup slabs. Dedupe state
+// lives in pooled scratch and must not show up here.
+func TestAllocsMaterialize(t *testing.T) {
+	mn, g, set := allocFixture(t)
+	avg := testing.AllocsPerRun(200, func() {
+		if _, ok := mn.materialize(g, set); !ok {
+			t.Fatal("materialize dropped the fixture group")
+		}
+	})
+	t.Logf("materialize: %.2f allocs/run", avg)
+	if avg > 3 {
+		t.Fatalf("materialize allocated %.2f objects per run; want <= 3 (child set header + 2 slabs)", avg)
+	}
+}
+
+// TestAllocsDisjointIndices pins the MIS front end (the flat core behind
+// DisjointEmbeddings) to result-slice growth only — grouping, dedupe and
+// the clique solver all run out of reused scratch.
+func TestAllocsDisjointIndices(t *testing.T) {
+	_, _, set := allocFixture(t)
+	cfg := Config{EmbeddingSupport: true}
+	if len(DisjointIndices(set, cfg)) == 0 {
+		t.Fatal("fixture has no disjoint embeddings")
+	}
+	var sc misScratch
+	avg := testing.AllocsPerRun(200, func() { disjointIndices(set, cfg, &sc) })
+	t.Logf("disjointIndices: %.2f allocs/run", avg)
+	if avg > 4 {
+		t.Fatalf("disjointIndices allocated %.2f objects per run; want <= 4 (result-slice growth only)", avg)
+	}
+}

@@ -117,6 +117,59 @@ func (c Code) NodeLabels() []string {
 	return out
 }
 
+// nodeLabelsInto is NodeLabels writing into reused storage.
+func (c Code) nodeLabelsInto(dst []string) []string {
+	n := c.NumNodes()
+	if cap(dst) < n {
+		dst = make([]string, n)
+	} else {
+		dst = dst[:n]
+	}
+	for _, t := range c {
+		dst[t.I] = t.LI
+		dst[t.J] = t.LJ
+	}
+	return dst
+}
+
+// rightmostPathInto is RightmostPath writing into reused storage; parent
+// is per-DFS-index scratch (-1 = root or undiscovered).
+func (c Code) rightmostPathInto(path []int, parent []int32) ([]int, []int32) {
+	path = path[:0]
+	if len(c) == 0 {
+		return path, parent
+	}
+	n := c.NumNodes()
+	if cap(parent) < n {
+		parent = make([]int32, n)
+	} else {
+		parent = parent[:n]
+	}
+	for i := range parent {
+		parent[i] = -1
+	}
+	rm := 0
+	for _, t := range c {
+		if t.Forward() {
+			parent[t.J] = int32(t.I)
+			if t.J > rm {
+				rm = t.J
+			}
+		}
+	}
+	for v := rm; ; {
+		path = append(path, v)
+		if parent[v] < 0 {
+			break
+		}
+		v = int(parent[v])
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, parent
+}
+
 // RightmostPath returns the DFS indices on the rightmost path, root
 // first. The rightmost vertex is the last forward-discovered node.
 func (c Code) RightmostPath() []int {
@@ -162,6 +215,39 @@ func (c Code) ToGraph() *Graph {
 	}
 	g.Freeze()
 	return g
+}
+
+// toGraphInto rebuilds c's pattern graph into g, reusing g's storage.
+// Halves are appended in ascending edge index with at most one half per
+// (node, edge) — DFS codes have no self-loops — so every adjacency list
+// comes out already in the order Freeze's sort establishes, without
+// sorting.
+func (c Code) toGraphInto(g *Graph) {
+	g.ID = -1
+	g.Labels = c.nodeLabelsInto(g.Labels)
+	g.Edges = g.Edges[:0]
+	for _, t := range c {
+		if t.Out {
+			g.Edges = append(g.Edges, GEdge{From: t.I, To: t.J, Label: t.LE})
+		} else {
+			g.Edges = append(g.Edges, GEdge{From: t.J, To: t.I, Label: t.LE})
+		}
+	}
+	n := len(g.Labels)
+	if cap(g.adj) < n {
+		na := make([][]half, n)
+		copy(na, g.adj[:cap(g.adj)])
+		g.adj = na
+	} else {
+		g.adj = g.adj[:n]
+	}
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	for i, e := range g.Edges {
+		g.adj[e.From] = append(g.adj[e.From], half{other: e.To, eid: i, out: true, label: e.Label})
+		g.adj[e.To] = append(g.adj[e.To], half{other: e.From, eid: i, out: false, label: e.Label})
+	}
 }
 
 // String renders the code compactly.
@@ -210,30 +296,45 @@ func (c Code) IsMinimal() bool {
 	if len(c) == 0 {
 		return true
 	}
-	p := c.ToGraph()
-	// Simulate building the minimal code of p, step by step. embeddings
-	// are partial isomorphisms of the growing minimal code into p itself.
-	var embs []*Embedding
+	// Simulate building the minimal code of p, step by step. Embeddings
+	// are partial isomorphisms of the growing minimal code into p itself,
+	// held in the pooled miner's seed slab (the test runs once per
+	// candidate child, so none of its scratch — the pattern graph
+	// included — is worth reallocating).
+	mn := minimalPool.Get().(*miner)
+	defer minimalPool.Put(mn)
+	p := &mn.sc.pg
+	c.toGraphInto(p)
+	seed := &mn.sc.seed
+	seed.k, seed.e, seed.n = 2, 1, 0
+	seed.gids, seed.tup = seed.gids[:0], seed.tup[:0]
+	seed.w, seed.bits = 0, nil
 	// Step 0: the minimal first tuple over all edges of p.
 	var best Tuple
+	have := false
 	for v := range p.Labels {
 		for _, h := range p.adj[v] {
 			t := Tuple{I: 0, J: 1, LI: p.Labels[v], LJ: p.Labels[h.other], Out: h.out, LE: h.label}
-			if embs == nil || CompareTuples(t, best) < 0 {
+			if !have || CompareTuples(t, best) < 0 {
 				best = t
-				embs = embs[:0]
+				have = true
+				seed.gids, seed.tup, seed.n = seed.gids[:0], seed.tup[:0], 0
 			}
 			if CompareTuples(t, best) == 0 {
-				embs = append(embs, &Embedding{Nodes: []int{v, h.other}, Edges: []int{h.eid}})
+				seed.gids = append(seed.gids, 0)
+				seed.tup = append(seed.tup, int32(v), int32(h.other), int32(h.eid))
+				seed.n++
 			}
 		}
 	}
 	if CompareTuples(best, c[0]) != 0 {
 		return CompareTuples(c[0], best) <= 0
 	}
-	cur := Code{best}
+	set := seed
+	cur := append(mn.sc.cur[:0], best)
+	defer func() { mn.sc.cur = cur[:0] }()
 	for k := 1; k < len(c); k++ {
-		exts := extendFull(cur, embs, func(int) *Graph { return p })
+		exts := extendFull(mn, cur, set)
 		if len(exts) == 0 {
 			// c has more edges than any extension of the minimal
 			// prefix; cannot happen for a valid code of p.
@@ -248,11 +349,13 @@ func (c Code) IsMinimal() bool {
 		if cmp := CompareTuples(c[k], minT); cmp != 0 {
 			return cmp < 0 // smaller than achievable means not a code of p; treat conservatively
 		}
-		// keep only embeddings achieving the minimum
-		embs = nil
+		// Keep only embeddings achieving the minimum. Tuple equality is
+		// struct identity and groups are unique per tuple, so exactly one
+		// extension matches.
 		for _, e := range exts {
 			if CompareTuples(e.t, minT) == 0 {
-				embs = append(embs, e.embs...)
+				set = e.set
+				break
 			}
 		}
 		cur = append(cur, minT)

@@ -1,72 +1,22 @@
 package mining
 
 import (
-	"sort"
-	"strconv"
+	"slices"
+	"sync"
 )
-
-// Embedding is one occurrence of a pattern in a graph: Nodes[k] is the
-// graph node playing DFS index k, Edges[k] the graph edge realising code
-// tuple k.
-type Embedding struct {
-	GID   int
-	Nodes []int
-	Edges []int
-}
-
-// key identifies an embedding exactly (for deduplication of automorphic
-// rediscoveries).
-func (e *Embedding) key() string {
-	buf := make([]byte, 0, 8+6*(len(e.Nodes)+len(e.Edges)))
-	buf = strconv.AppendInt(buf, int64(e.GID), 10)
-	buf = append(buf, ':')
-	for _, n := range e.Nodes {
-		buf = strconv.AppendInt(buf, int64(n), 10)
-		buf = append(buf, ',')
-	}
-	buf = append(buf, '|')
-	for _, d := range e.Edges {
-		buf = strconv.AppendInt(buf, int64(d), 10)
-		buf = append(buf, ',')
-	}
-	return string(buf)
-}
-
-// NodeSet returns the sorted set of graph nodes covered.
-func (e *Embedding) NodeSet() []int {
-	out := append([]int(nil), e.Nodes...)
-	sort.Ints(out)
-	return out
-}
-
-// Overlaps reports whether two embeddings share a node (they then collide
-// in the collision graph: at most one can be outlined, paper §3.4).
-func (e *Embedding) Overlaps(o *Embedding) bool {
-	if e.GID != o.GID {
-		return false
-	}
-	for _, a := range e.Nodes {
-		for _, b := range o.Nodes {
-			if a == b {
-				return true
-			}
-		}
-	}
-	return false
-}
 
 // Pattern is a frequent fragment.
 type Pattern struct {
 	Code       Code
 	Labels     []string // node labels by DFS index
-	Embeddings []*Embedding
+	Embeddings *EmbSet  // all occurrences, one slab row each
 	// Support is the miner's frequency: number of graphs containing the
 	// pattern for DgSpan, size of a maximum set of non-overlapping
 	// embeddings for Edgar.
 	Support int
-	// Disjoint is a maximum non-overlapping subset of Embeddings
-	// (computed only in embedding-support mode).
-	Disjoint []*Embedding
+	// Disjoint is a maximum non-overlapping subset of Embeddings, as row
+	// indices (computed only in embedding-support mode).
+	Disjoint []int32
 }
 
 // Config controls a mining run.
@@ -143,8 +93,8 @@ func (c Config) exactLimit() int {
 
 // ext is one grouped rightmost extension.
 type ext struct {
-	t    Tuple
-	embs []*Embedding
+	t   Tuple
+	set *EmbSet
 }
 
 // marks is per-graph scratch state for embedding traversal, versioned so
@@ -180,11 +130,13 @@ func (m *marks) useEdge(e int) { m.edgeVer[e] = m.ver }
 
 func (m *marks) edgeUsed(e int) bool { return m.edgeVer[e] == m.ver }
 
-// cand is one not-yet-materialised extension candidate (pass 1).
+// cand is one not-yet-materialised extension candidate (pass 1): the
+// parent embedding's row, the realising graph edge, and the newly mapped
+// node (-1 for backward extensions). Three int32s — no pointers.
 type cand struct {
-	emb     *Embedding
-	eid     int
-	newNode int // -1 for backward extensions
+	emb     int32
+	eid     int32
+	newNode int32
 }
 
 // rawGroup is one tuple-grouped set of extension candidates before
@@ -195,64 +147,123 @@ type rawGroup struct {
 	cands []cand
 }
 
+// scratch is the pooled per-miner scratch state of the walk's inner
+// loop. Every buffer here is dead by the time the walk descends a level
+// (extendGroups output is fully materialised before any child visit), so
+// one instance serves all recursion depths.
+type scratch struct {
+	onPath []bool          // rightmost-path membership by DFS index
+	groups map[Tuple]int32 // tuple -> slot in gl (cleared per extendGroups)
+	gl     []rawGroup      // groups in discovery order
+	spare  [][]cand        // capacity-retaining cand buffers by slot
+	out    []rawGroup      // filtered, sorted extendGroups result
+
+	dedupe map[uint64]int32 // row hash -> first child row with that hash
+	chain  []int32          // next child row with the same hash
+
+	gseen map[int32]struct{} // distinct-graph counting (graph support)
+
+	labels []string // node labels of the current code, by DFS index
+	rmpath []int    // rightmost path of the current code
+	parent []int32  // rightmostPathInto's per-node scratch
+
+	seed EmbSet // IsMinimal's step-0 partial isomorphisms
+	pg   Graph  // IsMinimal's pattern graph, rebuilt in place
+	cur  Code   // IsMinimal's growing minimal-code prefix
+	exts []ext  // extendFull's output buffer
+
+	mis misScratch // independent-set solver scratch
+}
+
 // miner holds one search instance: configuration, per-instance scratch
-// state (the marks arrays — the reason a worker cannot share a miner)
-// and the serial visit bookkeeping.
+// state (the marks and scratch buffers — the reason a worker cannot
+// share a miner) and the serial visit bookkeeping.
 type miner struct {
 	cfg     Config
 	graphOf func(int) *Graph
 	visit   func(*Pattern)
 	visited int
 	aborted bool
-	mk      marks // reused across extendGroups calls
+	mk      marks   // reused across extendGroups calls
+	sc      scratch // reused across all lattice levels
 }
 
-// extendGroups computes all rightmost extensions of (code, embs) grouped
+// extendGroups computes all rightmost extensions of (code, set) grouped
 // by tuple, sorted by tuple order, without materialising child
 // embeddings. Groups whose raw candidate count cannot reach MinSupport
-// are dropped (a config constant, so this is state-independent).
-func (mn *miner) extendGroups(code Code, embs []*Embedding) []rawGroup {
-	rmpath := code.RightmostPath()
+// are dropped (a config constant, so this is state-independent). The
+// returned slice and its cand buffers alias the miner's scratch: they
+// are valid until the next extendGroups call on this miner, and every
+// caller materialises them before descending.
+func (mn *miner) extendGroups(code Code, set *EmbSet) []rawGroup {
+	sc := &mn.sc
+	sc.rmpath, sc.parent = code.rightmostPathInto(sc.rmpath, sc.parent)
+	rmpath := sc.rmpath
 	if len(rmpath) == 0 {
 		return nil
 	}
 	rm := rmpath[len(rmpath)-1]
-	onPath := make(map[int]bool, len(rmpath))
-	for _, v := range rmpath {
-		onPath[v] = true
-	}
-	labels := code.NodeLabels()
+	sc.labels = code.nodeLabelsInto(sc.labels)
+	labels := sc.labels
 	numNodes := len(labels)
+	if cap(sc.onPath) < numNodes {
+		sc.onPath = make([]bool, numNodes)
+	} else {
+		sc.onPath = sc.onPath[:numNodes]
+		clear(sc.onPath)
+	}
+	for _, v := range rmpath {
+		sc.onPath[v] = true
+	}
+	if sc.groups == nil {
+		sc.groups = make(map[Tuple]int32, 32)
+	} else {
+		clear(sc.groups)
+	}
+	sc.gl = sc.gl[:0]
+	add := func(t Tuple, c cand) {
+		slot, ok := sc.groups[t]
+		if !ok {
+			slot = int32(len(sc.gl))
+			sc.groups[t] = slot
+			var buf []cand
+			if int(slot) < len(sc.spare) {
+				buf = sc.spare[slot][:0]
+			}
+			sc.gl = append(sc.gl, rawGroup{t: t, cands: buf})
+		}
+		sc.gl[slot].cands = append(sc.gl[slot].cands, c)
+	}
 
 	// Pass 1: enumerate candidate extensions without materialising
 	// child embeddings.
-	groups := map[Tuple][]cand{}
 	mk := &mn.mk
-	for _, emb := range embs {
-		g := mn.graphOf(emb.GID)
+	for i := 0; i < set.Len(); i++ {
+		g := mn.graphOf(set.GID(i))
 		mk.reset(g)
-		for di, n := range emb.Nodes {
-			mk.mapNode(n, di)
+		nodes := set.Nodes(i)
+		for di, n := range nodes {
+			mk.mapNode(int(n), di)
 		}
-		for _, eid := range emb.Edges {
-			mk.useEdge(eid)
+		for _, eid := range set.Edges(i) {
+			mk.useEdge(int(eid))
 		}
 		// Backward from the rightmost vertex to rightmost-path vertices.
-		vrm := emb.Nodes[rm]
+		vrm := int(nodes[rm])
 		for _, h := range g.adj[vrm] {
 			if mk.edgeUsed(h.eid) {
 				continue
 			}
 			du, ok := mk.nodeDFS(h.other)
-			if !ok || du == rm || !onPath[du] {
+			if !ok || du == rm || !sc.onPath[du] {
 				continue
 			}
 			t := Tuple{I: rm, J: du, LI: labels[rm], LJ: labels[du], Out: h.out, LE: h.label}
-			groups[t] = append(groups[t], cand{emb: emb, eid: h.eid, newNode: -1})
+			add(t, cand{emb: int32(i), eid: int32(h.eid), newNode: -1})
 		}
 		// Forward from every rightmost-path vertex to an unmapped node.
 		for _, w := range rmpath {
-			vw := emb.Nodes[w]
+			vw := int(nodes[w])
 			for _, h := range g.adj[vw] {
 				if mk.edgeUsed(h.eid) {
 					continue
@@ -261,82 +272,172 @@ func (mn *miner) extendGroups(code Code, embs []*Embedding) []rawGroup {
 					continue
 				}
 				t := Tuple{I: w, J: numNodes, LI: labels[w], LJ: g.Labels[h.other], Out: h.out, LE: h.label}
-				groups[t] = append(groups[t], cand{emb: emb, eid: h.eid, newNode: h.other})
+				add(t, cand{emb: int32(i), eid: int32(h.eid), newNode: int32(h.other)})
 			}
 		}
 	}
 
-	out := make([]rawGroup, 0, len(groups))
-	for t, cands := range groups {
-		if len(cands) < mn.cfg.MinSupport {
+	// Retain grown cand buffers for the next call before filtering.
+	for i := range sc.gl {
+		if i < len(sc.spare) {
+			sc.spare[i] = sc.gl[i].cands
+		} else {
+			sc.spare = append(sc.spare, sc.gl[i].cands)
+		}
+	}
+	sc.out = sc.out[:0]
+	for _, g := range sc.gl {
+		if len(g.cands) < mn.cfg.MinSupport {
 			continue
 		}
-		out = append(out, rawGroup{t: t, cands: cands})
+		sc.out = append(sc.out, g)
 	}
-	sort.Slice(out, func(i, j int) bool { return CompareTuples(out[i].t, out[j].t) < 0 })
-	return out
+	slices.SortFunc(sc.out, func(a, b rawGroup) int { return CompareTuples(a.t, b.t) })
+	return sc.out
 }
 
-// materialize is pass 2 for one group: build the child embeddings,
-// deduplicating automorphic rediscoveries. ok is false when
-// deduplication drops the group below MinSupport. Deterministic: the
-// result depends only on the group.
-func (mn *miner) materialize(g rawGroup) (embs []*Embedding, ok bool) {
-	embs = make([]*Embedding, 0, len(g.cands))
-	seen := make(map[string]bool, len(g.cands))
-	for _, c := range g.cands {
-		ne := &Embedding{GID: c.emb.GID}
-		if c.newNode >= 0 {
-			ne.Nodes = append(append(make([]int, 0, len(c.emb.Nodes)+1), c.emb.Nodes...), c.newNode)
-		} else {
-			ne.Nodes = c.emb.Nodes
-		}
-		ne.Edges = append(append(make([]int, 0, len(c.emb.Edges)+1), c.emb.Edges...), c.eid)
-		k := ne.key()
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		embs = append(embs, ne)
+func int32sEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	return embs, len(embs) >= mn.cfg.MinSupport
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// materialize is pass 2 for one group: write the child embeddings into a
+// fresh slab, deduplicating automorphic rediscoveries by 64-bit row hash
+// with exact verification on collision. Each child row is the parent row
+// extended in place — the only allocations are the child set's slabs. ok
+// is false when deduplication drops the group below MinSupport.
+// Deterministic: the result depends only on the group.
+func (mn *miner) materialize(g rawGroup, parent *EmbSet) (set *EmbSet, ok bool) {
+	fwd := g.t.Forward()
+	ck, ce := parent.k, parent.e+1
+	if fwd {
+		ck++
+	}
+	st := ck + ce
+	child := &EmbSet{
+		k:    ck,
+		e:    ce,
+		gids: make([]int32, 0, len(g.cands)),
+		tup:  make([]int32, 0, len(g.cands)*st),
+	}
+	sc := &mn.sc
+	if sc.dedupe == nil {
+		sc.dedupe = make(map[uint64]int32, len(g.cands))
+	} else {
+		clear(sc.dedupe)
+	}
+	if cap(sc.chain) < len(g.cands) {
+		sc.chain = make([]int32, len(g.cands))
+	}
+	chain := sc.chain[:len(g.cands)]
+	for _, c := range g.cands {
+		gid := parent.gids[c.emb]
+		base := len(child.tup)
+		child.tup = append(child.tup, parent.Nodes(int(c.emb))...)
+		if fwd {
+			child.tup = append(child.tup, c.newNode)
+		}
+		child.tup = append(child.tup, parent.Edges(int(c.emb))...)
+		child.tup = append(child.tup, c.eid)
+		row := child.tup[base:]
+		h := hashRow(gid, row)
+		if first, hit := sc.dedupe[h]; hit {
+			dup := false
+			for j := first; j >= 0; j = chain[j] {
+				if child.gids[j] == gid && int32sEqual(child.row(int(j)), row) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				child.tup = child.tup[:base]
+				continue
+			}
+			chain[child.n] = first
+			sc.dedupe[h] = int32(child.n)
+		} else {
+			chain[child.n] = -1
+			sc.dedupe[h] = int32(child.n)
+		}
+		child.gids = append(child.gids, gid)
+		child.n++
+	}
+	return child, child.n >= mn.cfg.MinSupport
+}
+
+// minimalPool holds miners for IsMinimal's minimal-code simulation: the
+// test runs once per candidate child, so its scratch (marks, group
+// buffers, dedupe maps) is pooled rather than reallocated per call.
+var minimalPool = sync.Pool{
+	New: func() any {
+		mn := &miner{cfg: Config{MinSupport: 1}}
+		mn.graphOf = func(int) *Graph { return &mn.sc.pg }
+		return mn
+	},
 }
 
 // extendFull materialises every extension group without frequency or
 // viability filtering — the minimality test simulates minimal-code
-// growth on a single pattern graph and needs them all.
-func extendFull(code Code, embs []*Embedding, graphOf func(int) *Graph) []ext {
-	mn := &miner{cfg: Config{MinSupport: 1}, graphOf: graphOf}
-	groups := mn.extendGroups(code, embs)
-	out := make([]ext, 0, len(groups))
+// growth on a single pattern graph and needs them all. The returned
+// slice aliases the miner's scratch and is valid until the next
+// extendFull call; the materialised sets it points to are not.
+func extendFull(mn *miner, code Code, set *EmbSet) []ext {
+	groups := mn.extendGroups(code, set)
+	out := mn.sc.exts[:0]
 	for _, g := range groups {
-		if cembs, ok := mn.materialize(g); ok {
-			out = append(out, ext{t: g.t, embs: cembs})
+		if cset, ok := mn.materialize(g, set); ok {
+			out = append(out, ext{t: g.t, set: cset})
 		}
 	}
+	mn.sc.exts = out
 	return out
 }
 
-// pattern builds the Pattern for (code, embs) and computes its support
+// pattern builds the Pattern for (code, set) and computes its support
 // (and Disjoint in embedding mode). Pure given the inputs.
-func (mn *miner) pattern(code Code, embs []*Embedding) *Pattern {
-	p := &Pattern{Code: code, Labels: code.NodeLabels(), Embeddings: embs}
-	p.Support = computeSupport(p, mn.cfg)
+func (mn *miner) pattern(code Code, set *EmbSet) *Pattern {
+	p := &Pattern{Code: code, Labels: code.NodeLabels(), Embeddings: set}
+	p.Support = mn.computeSupport(p)
 	return p
+}
+
+// computeSupport fills in Support (and Disjoint in embedding mode).
+func (mn *miner) computeSupport(p *Pattern) int {
+	if !mn.cfg.EmbeddingSupport {
+		sc := &mn.sc
+		if sc.gseen == nil {
+			sc.gseen = make(map[int32]struct{}, 16)
+		} else {
+			clear(sc.gseen)
+		}
+		for _, g := range p.Embeddings.gids {
+			sc.gseen[g] = struct{}{}
+		}
+		return len(sc.gseen)
+	}
+	p.Disjoint = disjointIndices(p.Embeddings, mn.cfg, &mn.sc.mis)
+	return len(p.Disjoint)
 }
 
 // dfs is the serial search step: build the pattern, check frequency,
 // then visit and descend (or fast-forward the whole subtree through the
 // checkpointer).
-func (mn *miner) dfs(code Code, embs []*Embedding) {
+func (mn *miner) dfs(code Code, set *EmbSet) {
 	if mn.aborted {
 		return
 	}
-	p := mn.pattern(code, embs)
+	p := mn.pattern(code, set)
 	if p.Support < mn.cfg.MinSupport {
 		return
 	}
-	mn.visitFrequent(p, func() { mn.expand(code, embs) })
+	mn.visitFrequent(p, func() { mn.expand(code, set) })
 }
 
 // step visits a frequent pattern and, unless a bound stops it, expands
@@ -359,29 +460,30 @@ func (mn *miner) step(p *Pattern) bool {
 }
 
 // expand enumerates, filters and materialises the extensions of (code,
-// embs), then recurses into each minimal child. All viability decisions
+// set), then recurses into each minimal child. All viability decisions
 // happen before any child is visited — the incumbent state a child visit
 // mutates must not influence its siblings' group filtering, exactly as
-// in a monolithic extend-then-loop.
-func (mn *miner) expand(code Code, embs []*Embedding) {
-	groups := mn.extendGroups(code, embs)
+// in a monolithic extend-then-loop. Materialising every kid first also
+// releases the group scratch before the recursion reuses it.
+func (mn *miner) expand(code Code, set *EmbSet) {
+	groups := mn.extendGroups(code, set)
 	kids := make([]ext, 0, len(groups))
 	for _, g := range groups {
 		if mn.cfg.ViableCount != nil && !mn.cfg.ViableCount(len(g.cands)) {
 			continue
 		}
-		cembs, ok := mn.materialize(g)
+		cset, ok := mn.materialize(g, set)
 		if !ok {
 			continue
 		}
-		kids = append(kids, ext{t: g.t, embs: cembs})
+		kids = append(kids, ext{t: g.t, set: cset})
 	}
 	for _, k := range kids {
 		child := append(append(Code{}, code...), k.t)
 		if !mn.cfg.minimal(child) {
 			continue
 		}
-		mn.dfs(child, k.embs)
+		mn.dfs(child, k.set)
 	}
 }
 
@@ -409,14 +511,16 @@ func Mine(graphs []*Graph, cfg Config, visit func(*Pattern)) {
 	}
 	mn := &miner{cfg: cfg, graphOf: graphOf, visit: visit}
 	for _, s := range roots {
-		mn.dfs(Code{s.t}, s.embs)
+		mn.dfs(Code{s.t}, s.set)
 	}
 }
 
 // seedPatterns builds the 1-edge root patterns: one per distinct minimal
-// single-edge tuple, in canonical tuple order.
+// single-edge tuple, in canonical tuple order. Embedding rows are packed
+// straight into per-seed slabs.
 func seedPatterns(graphs []*Graph) []*ext {
-	seeds := map[Tuple]*ext{}
+	// rows accumulates (gid, src-node, dst-node, eid) quads per tuple.
+	seeds := map[Tuple]*[]int32{}
 	for _, g := range graphs {
 		for v := range g.Labels {
 			for _, h := range g.adj[v] {
@@ -426,38 +530,35 @@ func seedPatterns(graphs []*Graph) []*ext {
 				a := Tuple{I: 0, J: 1, LI: g.Labels[v], LJ: g.Labels[h.other], Out: true, LE: h.label}
 				b := Tuple{I: 0, J: 1, LI: g.Labels[h.other], LJ: g.Labels[v], Out: false, LE: h.label}
 				t := a
-				nodes := []int{v, h.other}
+				n0, n1 := v, h.other
 				if CompareTuples(b, a) < 0 {
 					t = b
-					nodes = []int{h.other, v}
+					n0, n1 = h.other, v
 				}
-				s, ok := seeds[t]
+				rows, ok := seeds[t]
 				if !ok {
-					s = &ext{t: t}
-					seeds[t] = s
+					rows = new([]int32)
+					seeds[t] = rows
 				}
-				s.embs = append(s.embs, &Embedding{GID: g.ID, Nodes: nodes, Edges: []int{h.eid}})
+				*rows = append(*rows, int32(g.ID), int32(n0), int32(n1), int32(h.eid))
 			}
 		}
 	}
 	out := make([]*ext, 0, len(seeds))
-	for _, s := range seeds {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return CompareTuples(out[i].t, out[j].t) < 0 })
-	return out
-}
-
-// computeSupport fills in Support (and Disjoint in embedding mode).
-func computeSupport(p *Pattern, cfg Config) int {
-	if !cfg.EmbeddingSupport {
-		gids := map[int]bool{}
-		for _, e := range p.Embeddings {
-			gids[e.GID] = true
+	for t, rows := range seeds {
+		set := &EmbSet{
+			k:    2,
+			e:    1,
+			n:    len(*rows) / 4,
+			gids: make([]int32, 0, len(*rows)/4),
+			tup:  make([]int32, 0, len(*rows)/4*3),
 		}
-		return len(gids)
+		for i := 0; i < len(*rows); i += 4 {
+			set.gids = append(set.gids, (*rows)[i])
+			set.tup = append(set.tup, (*rows)[i+1], (*rows)[i+2], (*rows)[i+3])
+		}
+		out = append(out, &ext{t: t, set: set})
 	}
-	dis := DisjointEmbeddings(p.Embeddings, cfg)
-	p.Disjoint = dis
-	return len(dis)
+	slices.SortFunc(out, func(a, b *ext) int { return CompareTuples(a.t, b.t) })
+	return out
 }

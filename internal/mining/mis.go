@@ -2,7 +2,9 @@ package mining
 
 import (
 	"math/bits"
+	"slices"
 	"sort"
+	"sync"
 )
 
 // This file computes maximum sets of non-overlapping embeddings (paper
@@ -13,6 +15,12 @@ import (
 // an exact colour-bounded branch-and-bound (Kumlander 2004 is a
 // colour-class backtracking search of this family) on the inverted graph,
 // with a greedy fallback above a size threshold.
+//
+// The solver runs once per frequent pattern, so everything it touches —
+// collision adjacency, per-depth candidate sets, colour orders, dedupe
+// tables — lives in a misScratch that is reused across patterns. Overlap
+// tests and colour classes are word-wise bitset operations on the EmbSet's
+// node bitsets; the search itself allocates nothing.
 
 // bitset is a fixed-capacity bit vector.
 type bitset []uint64
@@ -23,6 +31,9 @@ func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
 func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
 func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
 
+// clone and and are the allocating variants, kept for callers that want a
+// fresh set; the solver's hot paths use copy and the in-place andInto/
+// andNotInto below instead.
 func (b bitset) clone() bitset {
 	out := make(bitset, len(b))
 	copy(out, b)
@@ -31,10 +42,22 @@ func (b bitset) clone() bitset {
 
 func (b bitset) and(o bitset) bitset {
 	out := make(bitset, len(b))
-	for i := range b {
-		out[i] = b[i] & o[i]
-	}
+	andInto(out, b, o)
 	return out
+}
+
+// andInto stores a & o into dst without allocating.
+func andInto(dst, a, o bitset) {
+	for i := range dst {
+		dst[i] = a[i] & o[i]
+	}
+}
+
+// andNotInto clears o's bits from b in place (b &^= o).
+func andNotInto(b, o bitset) {
+	for i := range b {
+		b[i] &^= o[i]
+	}
 }
 
 func (b bitset) empty() bool {
@@ -54,16 +77,6 @@ func (b bitset) count() int {
 	return n
 }
 
-// forEach calls f for every set bit in ascending order.
-func (b bitset) forEach(f func(int)) {
-	for wi, w := range b {
-		for w != 0 {
-			f(wi*64 + bits.TrailingZeros64(w))
-			w &= w - 1
-		}
-	}
-}
-
 // first returns the lowest set bit, or -1.
 func (b bitset) first() int {
 	for wi, w := range b {
@@ -74,174 +87,293 @@ func (b bitset) first() int {
 	return -1
 }
 
-// maxClique finds a maximum clique in the graph given by adjacency
-// bitsets, using greedy-colouring bounds (Tomita-style; the same bound
-// family as Kumlander's colour-class backtracking).
-func maxClique(n int, adj []bitset) []int {
-	var best []int
-	cand := newBitset(n)
-	for i := 0; i < n; i++ {
-		cand.set(i)
+// last returns the highest set bit, or -1.
+func (b bitset) last() int {
+	for wi := len(b) - 1; wi >= 0; wi-- {
+		if b[wi] != 0 {
+			return wi*64 + 63 - bits.LeadingZeros64(b[wi])
+		}
 	}
-	var expand func(r []int, p bitset)
-	expand = func(r []int, p bitset) {
+	return -1
+}
+
+func wordsEqual(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// greedyItem is one embedding in the greedy interval-scheduling order.
+type greedyItem struct {
+	row        int32
+	maxN, minN int32
+}
+
+// misScratch is the reusable state of one independent-set computation.
+// One instance serves any number of sequential calls; nothing it holds
+// outlives a call except through the returned index slice (which is
+// always freshly allocated).
+type misScratch struct {
+	keys  []int64 // (gid<<32 | row) grouping keys
+	group []int32 // rows of the gid group being solved
+	uniq  []int32 // group after node-set dedupe
+
+	hmap  map[uint64]int32 // node-set hash -> first uniq slot with it
+	chain []int32          // next uniq slot with the same hash
+
+	items []greedyItem
+
+	// Branch-and-bound state: inverted collision adjacency as views into
+	// one arena, a candidate set per recursion depth, and flat per-depth
+	// colour order/bound arrays (depth d uses [d*n, (d+1)*n)).
+	inv      []bitset
+	invBuf   bitset
+	pstack   bitset
+	order    []int32
+	bound    []int32
+	rbuf     []int32 // current clique
+	best     []int32 // incumbent clique
+	colRem   bitset
+	colAvail bitset
+}
+
+// maxCliqueIdx finds a maximum clique in the n-vertex graph given by
+// adjacency bitsets of w words each, using greedy-colouring bounds
+// (Tomita-style; the same bound family as Kumlander's colour-class
+// backtracking). The result aliases sc.best — callers copy it out before
+// the scratch is reused. The exploration order is exactly the classic
+// recursive formulation's; only the storage is flattened.
+func maxCliqueIdx(n, w int, adj []bitset, sc *misScratch) []int32 {
+	if cap(sc.pstack) < (n+1)*w {
+		sc.pstack = make(bitset, (n+1)*w)
+	}
+	if cap(sc.order) < n*n {
+		sc.order = make([]int32, n*n)
+		sc.bound = make([]int32, n*n)
+	}
+	sc.rbuf = sc.rbuf[:0]
+	sc.best = sc.best[:0]
+	p0 := sc.pstack[:w]
+	clear(p0)
+	for i := 0; i < n; i++ {
+		p0.set(i)
+	}
+	var expand func(depth int)
+	expand = func(depth int) {
+		p := sc.pstack[depth*w : (depth+1)*w]
 		if p.empty() {
-			if len(r) > len(best) {
-				best = append([]int(nil), r...)
+			if len(sc.rbuf) > len(sc.best) {
+				sc.best = append(sc.best[:0], sc.rbuf...)
 			}
 			return
 		}
-		order, bound := colourSort(p, adj)
+		order, bound := colourSort(p, adj, n, w, depth, sc)
 		for i := len(order) - 1; i >= 0; i-- {
-			v := order[i]
-			if len(r)+bound[i] <= len(best) {
+			v := int(order[i])
+			if len(sc.rbuf)+int(bound[i]) <= len(sc.best) {
 				return
 			}
-			expand(append(r, v), p.and(adj[v]))
+			andInto(sc.pstack[(depth+1)*w:(depth+2)*w], p, adj[v])
+			sc.rbuf = append(sc.rbuf, int32(v))
+			expand(depth + 1)
+			sc.rbuf = sc.rbuf[:len(sc.rbuf)-1]
 			p.clear(v)
 		}
 	}
-	expand(nil, cand)
-	return best
+	expand(0)
+	return sc.best
 }
 
 // colourSort greedily colours the candidate set and returns the vertices
-// ordered by colour class, with bound[i] = colour number of order[i]
-// (an upper bound on the clique extension using order[:i+1]).
-func colourSort(p bitset, adj []bitset) (order []int, bound []int) {
-	var verts []int
-	p.forEach(func(v int) { verts = append(verts, v) })
-	remaining := p.clone()
-	colour := 0
-	for len(order) < len(verts) {
+// ordered by colour class, with bound[i] = colour number of order[i] (an
+// upper bound on the clique extension using order[:i+1]). The returned
+// slices alias sc's per-depth arrays and stay valid for the whole loop at
+// that depth.
+func colourSort(p bitset, adj []bitset, n, w, depth int, sc *misScratch) (order, bound []int32) {
+	order = sc.order[depth*n : depth*n : depth*n+n]
+	bound = sc.bound[depth*n : depth*n : depth*n+n]
+	if cap(sc.colRem) < w {
+		sc.colRem = make(bitset, w)
+		sc.colAvail = make(bitset, w)
+	}
+	rem := sc.colRem[:w]
+	copy(rem, p)
+	total := p.count()
+	colour := int32(0)
+	for len(order) < total {
 		colour++
-		avail := remaining.clone()
-		for !avail.empty() {
+		avail := sc.colAvail[:w]
+		copy(avail, rem)
+		for {
 			v := avail.first()
-			order = append(order, v)
+			if v < 0 {
+				break
+			}
+			order = append(order, int32(v))
 			bound = append(bound, colour)
-			remaining.clear(v)
+			rem.clear(v)
 			avail.clear(v)
 			// remove neighbours of v from this colour class
-			for i := range avail {
-				avail[i] &^= adj[v][i]
-			}
+			andNotInto(avail, adj[v])
 		}
 	}
 	return order, bound
 }
 
-// DisjointEmbeddings returns a maximum (or, above the exact-solver size
-// limit, greedily maximal) set of pairwise non-overlapping embeddings.
-// Embeddings are grouped per graph — overlap is only possible within one
-// graph — and solved independently.
+// misPool backs the exported entry points; the miner's hot path owns a
+// misScratch directly.
+var misPool = sync.Pool{New: func() any { return new(misScratch) }}
+
+// DisjointIndices returns a maximum (or, above the exact-solver size
+// limit, greedily maximal) set of pairwise non-overlapping embeddings of
+// s, as row indices.
+func DisjointIndices(s *EmbSet, cfg Config) []int32 {
+	sc := misPool.Get().(*misScratch)
+	out := disjointIndices(s, cfg, sc)
+	misPool.Put(sc)
+	return out
+}
+
+// DisjointEmbeddings is the boxed-embedding wrapper around
+// DisjointIndices, kept for tests and external callers.
 func DisjointEmbeddings(embs []*Embedding, cfg Config) []*Embedding {
-	byGID := map[int][]*Embedding{}
-	var gids []int
-	for _, e := range embs {
-		if _, ok := byGID[e.GID]; !ok {
-			gids = append(gids, e.GID)
-		}
-		byGID[e.GID] = append(byGID[e.GID], e)
-	}
-	sort.Ints(gids)
-
-	var out []*Embedding
-	for _, gid := range gids {
-		group := dedupeByNodeSet(byGID[gid])
-		if cfg.GreedyMIS || len(group) > cfg.exactLimit() {
-			out = append(out, greedyDisjoint(group)...)
-			continue
-		}
-		out = append(out, exactDisjoint(group)...)
-	}
-	return out
-}
-
-// dedupeByNodeSet drops embeddings covering an identical node set
-// (automorphic remappings are interchangeable for extraction).
-func dedupeByNodeSet(group []*Embedding) []*Embedding {
-	seen := map[string]bool{}
-	var out []*Embedding
-	for _, e := range group {
-		k := ""
-		for _, n := range e.NodeSet() {
-			k += itoa(n) + ","
-		}
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		out = append(out, e)
-	}
-	return out
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	i := len(buf)
-	neg := n < 0
-	if neg {
-		n = -n
-	}
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	if neg {
-		i--
-		buf[i] = '-'
-	}
-	return string(buf[i:])
-}
-
-// exactDisjoint computes a maximum independent set of embeddings as a
-// maximum clique in the inverted collision graph.
-func exactDisjoint(group []*Embedding) []*Embedding {
-	n := len(group)
-	if n == 0 {
+	idx := DisjointIndices(NewEmbSet(embs), cfg)
+	if len(idx) == 0 {
 		return nil
 	}
-	if n == 1 {
-		return group
+	out := make([]*Embedding, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, embs[i])
 	}
-	inv := make([]bitset, n)
-	for i := range inv {
-		inv[i] = newBitset(n)
+	return out
+}
+
+// disjointIndices groups embeddings per graph — overlap is only possible
+// within one graph — and solves each group independently, in ascending
+// graph-ID order with original embedding order inside a group (the same
+// sequence the boxed implementation produced).
+func disjointIndices(s *EmbSet, cfg Config, sc *misScratch) []int32 {
+	if s.Len() == 0 {
+		return nil
+	}
+	s.ensureBits()
+	keys := sc.keys[:0]
+	for i := 0; i < s.n; i++ {
+		keys = append(keys, int64(s.gids[i])<<32|int64(uint32(i)))
+	}
+	slices.Sort(keys)
+	sc.keys = keys
+
+	var out []int32
+	for start := 0; start < len(keys); {
+		gid := int32(keys[start] >> 32)
+		end := start
+		sc.group = sc.group[:0]
+		for end < len(keys) && int32(keys[end]>>32) == gid {
+			sc.group = append(sc.group, int32(uint32(keys[end])))
+			end++
+		}
+		start = end
+		uniq := dedupeGroup(s, sc.group, sc)
+		if cfg.GreedyMIS || len(uniq) > cfg.exactLimit() {
+			out = greedyIdx(s, uniq, sc, out)
+		} else {
+			out = exactIdx(s, uniq, sc, out)
+		}
+	}
+	return out
+}
+
+// dedupeGroup drops embeddings covering an identical node set
+// (automorphic remappings are interchangeable for extraction), keeping
+// the first of each. Identity is the node bitset, keyed by 64-bit hash
+// with exact word comparison on collision. The result aliases sc.uniq.
+func dedupeGroup(s *EmbSet, group []int32, sc *misScratch) []int32 {
+	sc.uniq = sc.uniq[:0]
+	if sc.hmap == nil {
+		sc.hmap = make(map[uint64]int32, len(group))
+	} else {
+		clear(sc.hmap)
+	}
+	if cap(sc.chain) < len(group) {
+		sc.chain = make([]int32, len(group))
+	}
+	chain := sc.chain[:len(group)]
+	for _, row := range group {
+		b := s.nodeBits(int(row))
+		h := hashWords(b)
+		if first, ok := sc.hmap[h]; ok {
+			dup := false
+			for j := first; j >= 0; j = chain[j] {
+				if wordsEqual(s.nodeBits(int(sc.uniq[j])), b) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			chain[len(sc.uniq)] = first
+		} else {
+			chain[len(sc.uniq)] = -1
+		}
+		sc.hmap[h] = int32(len(sc.uniq))
+		sc.uniq = append(sc.uniq, row)
+	}
+	return sc.uniq
+}
+
+// exactIdx computes a maximum independent set of one group's embeddings
+// as a maximum clique in the inverted collision graph, appending the
+// chosen rows (ascending) to out.
+func exactIdx(s *EmbSet, group []int32, sc *misScratch, out []int32) []int32 {
+	n := len(group)
+	if n == 1 {
+		return append(out, group[0])
+	}
+	w := (n + 63) / 64
+	if cap(sc.invBuf) < n*w {
+		sc.invBuf = make(bitset, n*w)
+	}
+	buf := sc.invBuf[:n*w]
+	clear(buf)
+	if cap(sc.inv) < n {
+		sc.inv = make([]bitset, n)
+	}
+	inv := sc.inv[:n]
+	for i := 0; i < n; i++ {
+		inv[i] = buf[i*w : (i+1)*w]
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if !group[i].Overlaps(group[j]) {
+			if !s.Overlaps(int(group[i]), int(group[j])) {
 				inv[i].set(j)
 				inv[j].set(i)
 			}
 		}
 	}
-	idx := maxClique(n, inv)
-	sort.Ints(idx)
-	out := make([]*Embedding, 0, len(idx))
+	idx := maxCliqueIdx(n, w, inv, sc)
+	slices.Sort(idx)
 	for _, i := range idx {
 		out = append(out, group[i])
 	}
 	return out
 }
 
-// greedyDisjoint picks embeddings in order of ascending maximum node
-// index (interval-scheduling heuristic: blocks are linear, so finishing
-// early conflicts least).
-func greedyDisjoint(group []*Embedding) []*Embedding {
-	type item struct {
-		e          *Embedding
-		maxN, minN int
+// greedyIdx picks one group's embeddings in order of ascending maximum
+// node index (interval-scheduling heuristic: blocks are linear, so
+// finishing early conflicts least), appending the chosen rows to out.
+func greedyIdx(s *EmbSet, group []int32, sc *misScratch, out []int32) []int32 {
+	if cap(sc.items) < len(group) {
+		sc.items = make([]greedyItem, len(group))
 	}
-	items := make([]item, len(group))
-	for i, e := range group {
-		ns := e.NodeSet()
-		items[i] = item{e: e, minN: ns[0], maxN: ns[len(ns)-1]}
+	items := sc.items[:len(group)]
+	for i, row := range group {
+		b := bitset(s.nodeBits(int(row)))
+		items[i] = greedyItem{row: row, minN: int32(b.first()), maxN: int32(b.last())}
 	}
 	sort.Slice(items, func(a, b int) bool {
 		if items[a].maxN != items[b].maxN {
@@ -249,17 +381,17 @@ func greedyDisjoint(group []*Embedding) []*Embedding {
 		}
 		return items[a].minN < items[b].minN
 	})
-	var out []*Embedding
+	base := len(out)
 	for _, it := range items {
 		ok := true
-		for _, chosen := range out {
-			if it.e.Overlaps(chosen) {
+		for _, chosen := range out[base:] {
+			if s.Overlaps(int(it.row), int(chosen)) {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			out = append(out, it.e)
+			out = append(out, it.row)
 		}
 	}
 	return out

@@ -1,0 +1,80 @@
+package mining
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// oldTrace renders an OldPattern in the exact format trace renders a
+// Pattern, with the disjoint set as row indices, so the two walks can be
+// compared line for line.
+func oldTrace(p *OldPattern) string {
+	idx := make(map[*Embedding]int32, len(p.Embeddings))
+	for i, e := range p.Embeddings {
+		idx[e] = int32(i)
+	}
+	dis := make([]int32, len(p.Disjoint))
+	for i, e := range p.Disjoint {
+		dis[i] = idx[e]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s sup=%d dis=%v;", p.Code.Key(), p.Support, dis)
+	for _, e := range p.Embeddings {
+		fmt.Fprintf(&b, " %d:%v|%v", e.GID, e.Nodes, e.Edges)
+	}
+	return b.String()
+}
+
+func oldMineTrace(graphs []*Graph, cfg Config) []string {
+	var out []string
+	OldMine(graphs, cfg, func(p *OldPattern) { out = append(out, oldTrace(p)) })
+	return out
+}
+
+// TestFlatMatchesBoxedReference: the flat EmbSet walk must reproduce the
+// boxed reference implementation's visit sequence byte for byte — same
+// patterns, same order, same supports, same embedding rows, same
+// disjoint-set indices — across support modes, size caps, MIS variants
+// and budget truncation.
+func TestFlatMatchesBoxedReference(t *testing.T) {
+	configs := map[string]Config{
+		"graph-support":     {MinSupport: 2},
+		"embedding-support": {MinSupport: 2, EmbeddingSupport: true},
+		"capped":            {MinSupport: 2, EmbeddingSupport: true, MaxNodes: 3},
+		"greedy-mis":        {MinSupport: 2, EmbeddingSupport: true, GreedyMIS: true},
+		"tiny-exact-limit":  {MinSupport: 2, EmbeddingSupport: true, MISExactLimit: 2},
+		"budget":            {MinSupport: 2, EmbeddingSupport: true, MaxPatterns: 9},
+	}
+	for gname, graphs := range testGraphSets() {
+		for cname, cfg := range configs {
+			want := oldMineTrace(graphs, cfg)
+			got := mineTrace(graphs, cfg)
+			assertSameTrace(t, gname+"/"+cname, want, got)
+		}
+	}
+}
+
+// TestFlatMatchesBoxedRandom drives the same differential over random
+// DAGs, where automorphic rediscoveries, dedupe collisions and mixed
+// group shapes are far denser than in the handwritten sets.
+func TestFlatMatchesBoxedRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	nodeLabels := []string{"a", "b", "c"}
+	edgeLabels := []string{"x", "y"}
+	for trial := 0; trial < 30; trial++ {
+		var graphs []*Graph
+		for i := 0; i < 3; i++ {
+			graphs = append(graphs, randDAG(r, i, 5+r.Intn(6), 6+r.Intn(10), nodeLabels, edgeLabels))
+		}
+		for _, cfg := range []Config{
+			{MinSupport: 2, MaxNodes: 5, EmbeddingSupport: true, MaxPatterns: 3000},
+			{MinSupport: 2, MaxNodes: 4, MaxPatterns: 3000},
+		} {
+			want := oldMineTrace(graphs, cfg)
+			got := mineTrace(graphs, cfg)
+			assertSameTrace(t, fmt.Sprintf("trial%d/emb=%v", trial, cfg.EmbeddingSupport), want, got)
+		}
+	}
+}

@@ -60,12 +60,12 @@ type specNode struct {
 // (sorted) order extendGroups produces.
 type specExt struct {
 	t            Tuple
-	rawCount     int          // pass-1 candidate count (state-independent)
-	materialized bool         // pass 2 was run during speculation
-	dropped      bool         // materialised but deduplication fell below MinSupport
-	minimal      bool         // child code passed the minimal-DFS-code test
-	embs         []*Embedding // child embeddings (materialised, not dropped)
-	child        *specNode    // recorded subtree (minimal children, unless speculation stopped)
+	rawCount     int       // pass-1 candidate count (state-independent)
+	materialized bool      // pass 2 was run during speculation
+	dropped      bool      // materialised but deduplication fell below MinSupport
+	minimal      bool      // child code passed the minimal-DFS-code test
+	set          *EmbSet   // child embeddings (materialised, not dropped)
+	child        *specNode // recorded subtree (minimal children, unless speculation stopped)
 }
 
 // errAbort signals MaxPatterns truncation out of the ordered fan-in.
@@ -79,7 +79,7 @@ func mineParallel(graphOf func(int) *Graph, roots []*ext, cfg Config, visit func
 	err := par.OrderedMap(context.Background(), cfg.Workers, len(roots),
 		func(ctx context.Context, i int) (*specNode, error) {
 			s := newSpeculator(ctx, cfg, graphOf, budget)
-			return s.mine(Code{roots[i].t}, roots[i].embs), nil
+			return s.mine(Code{roots[i].t}, roots[i].set), nil
 		},
 		func(i int, root *specNode) error {
 			auth.replay(root)
@@ -152,9 +152,9 @@ func (s *speculator) budgetLeft() bool {
 	return !s.stopped
 }
 
-// mine explores (code, embs) speculatively, recording what it finds.
-func (s *speculator) mine(code Code, embs []*Embedding) *specNode {
-	p := s.mn.pattern(code, embs)
+// mine explores (code, set) speculatively, recording what it finds.
+func (s *speculator) mine(code Code, set *EmbSet) *specNode {
+	p := s.mn.pattern(code, set)
 	n := &specNode{p: p}
 	if p.Support < s.mn.cfg.MinSupport {
 		return n
@@ -177,28 +177,37 @@ func (s *speculator) mine(code Code, embs []*Embedding) *specNode {
 	if s.sp.SkipSubtree != nil && s.sp.SkipSubtree(p) {
 		return n
 	}
-	groups := s.mn.extendGroups(code, embs)
+	groups := s.mn.extendGroups(code, set)
 	n.expanded = true
 	n.exts = make([]specExt, len(groups))
+	// Phase 1: materialise (and minimality-check) every admitted group
+	// before any descent — groups alias the miner's scratch, which the
+	// recursion below reuses.
 	for gi, g := range groups {
 		se := specExt{t: g.t, rawCount: len(g.cands)}
 		if s.sp.ViableCount == nil || s.sp.ViableCount(len(g.cands)) {
 			se.materialized = true
-			cembs, ok := s.mn.materialize(g)
+			cset, ok := s.mn.materialize(g, set)
 			if !ok {
 				se.dropped = true
 			} else {
-				se.embs = cembs
+				se.set = cset
 				child := append(append(Code{}, code...), g.t)
 				if s.mn.cfg.minimal(child) {
 					se.minimal = true
-					if s.budgetLeft() {
-						se.child = s.mine(child, cembs)
-					}
 				}
 			}
 		}
 		n.exts[gi] = se
+	}
+	// Phase 2: descend into the minimal children. The recursion order is
+	// the serial one; only the scratch reuse forced the split.
+	for gi := range n.exts {
+		se := &n.exts[gi]
+		if se.minimal && s.budgetLeft() {
+			child := append(append(Code{}, code...), se.t)
+			se.child = s.mine(child, se.set)
+		}
 	}
 	return n
 }
@@ -255,7 +264,7 @@ func (mn *miner) replayExpand(n *specNode) {
 			mn.replay(e.child)
 		} else {
 			child := append(append(Code{}, p.Code...), e.t)
-			mn.dfs(child, e.embs)
+			mn.dfs(child, e.set)
 		}
 	}
 }

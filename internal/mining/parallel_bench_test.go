@@ -23,7 +23,7 @@ var rijndael = struct {
 	err    error
 }{}
 
-func rijndaelGraphs(b *testing.B) []*mining.Graph {
+func rijndaelGraphs(b testing.TB) []*mining.Graph {
 	rijndael.once.Do(func() {
 		w, err := bench.Build("rijndael", bench.DefaultCodegen())
 		if err != nil {

@@ -12,9 +12,10 @@ import (
 // their trace sequences are equal.
 func trace(p *Pattern) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s sup=%d dis=%d;", p.Code.Key(), p.Support, len(p.Disjoint))
-	for _, e := range p.Embeddings {
-		fmt.Fprintf(&b, " %s", e.key())
+	fmt.Fprintf(&b, "%s sup=%d dis=%v;", p.Code.Key(), p.Support, p.Disjoint)
+	for i := 0; i < p.Embeddings.Len(); i++ {
+		e := p.Embeddings.Emb(i)
+		fmt.Fprintf(&b, " %d:%v|%v", e.GID, e.Nodes, e.Edges)
 	}
 	return b.String()
 }

@@ -61,7 +61,8 @@ func TestPropertyEmbeddingsAreValid(t *testing.T) {
 				t.Fatalf("trial %d: non-canonical pattern reported: %s", trial, key)
 			}
 			pg := p.Code.ToGraph()
-			for _, emb := range p.Embeddings {
+			for i := 0; i < p.Embeddings.Len(); i++ {
+				emb := p.Embeddings.Emb(i)
 				g := byID[emb.GID]
 				validateEmbedding(t, trial, pg, g, emb)
 			}
@@ -69,7 +70,7 @@ func TestPropertyEmbeddingsAreValid(t *testing.T) {
 			// subset of all embeddings.
 			for i := 0; i < len(p.Disjoint); i++ {
 				for j := i + 1; j < len(p.Disjoint); j++ {
-					if p.Disjoint[i].Overlaps(p.Disjoint[j]) {
+					if p.Embeddings.Overlaps(int(p.Disjoint[i]), int(p.Disjoint[j])) {
 						t.Fatalf("trial %d: disjoint set overlaps", trial)
 					}
 				}
@@ -84,7 +85,7 @@ func TestPropertyEmbeddingsAreValid(t *testing.T) {
 	}
 }
 
-func validateEmbedding(t *testing.T, trial int, pat, g *Graph, emb *Embedding) {
+func validateEmbedding(t *testing.T, trial int, pat, g *Graph, emb Embedding) {
 	t.Helper()
 	if len(emb.Nodes) != len(pat.Labels) || len(emb.Edges) != len(pat.Edges) {
 		t.Fatalf("trial %d: embedding arity mismatch", trial)
@@ -131,8 +132,8 @@ func TestPropertySupportMatchesBruteForce(t *testing.T) {
 		}
 		Mine(graphs, Config{MinSupport: 2, MaxNodes: 3, MaxPatterns: 2000}, func(p *Pattern) {
 			gids := map[int]bool{}
-			for _, e := range p.Embeddings {
-				gids[e.GID] = true
+			for i := 0; i < p.Embeddings.Len(); i++ {
+				gids[p.Embeddings.GID(i)] = true
 			}
 			if p.Support != len(gids) {
 				t.Fatalf("trial %d: support %d != distinct graphs %d", trial, p.Support, len(gids))

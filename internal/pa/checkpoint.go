@@ -51,9 +51,9 @@ const ckMaxDepth = 4
 // latticeRec is one recorded subtree, keyed by its root's DFS code
 // (Code.Key is injective, so the key alone identifies the code).
 type latticeRec struct {
-	graphs []*dfg.Graph        // per-embedding owning graph at record time
-	embs   []*mining.Embedding // root embeddings at record time
-	safe   []bool              // CallSafe of each graph's function at record time
+	graphs []*dfg.Graph   // per-embedding owning graph at record time
+	embs   *mining.EmbSet // root embeddings at record time (flat slabs)
+	safe   []bool         // CallSafe of each graph's function at record time
 
 	entryHaveBest bool
 	entryFull     bool
@@ -75,7 +75,7 @@ type latticeRec struct {
 	cand         *Candidate
 	candThr      int
 	haveCand     bool
-	disjoint     []int // DgSpan independent set, as root-embedding indices
+	disjoint     []int32 // DgSpan independent set, as root-embedding rows
 	haveDisjoint bool
 }
 
@@ -205,19 +205,15 @@ func (ck *checkpointer) snapshot() entrySnap {
 // enter the walk only through order — which renumbering preserves — so
 // index equality is the full condition.
 func (ck *checkpointer) footprintOK(rec *latticeRec, p *mining.Pattern) bool {
-	if len(p.Embeddings) != len(rec.embs) {
+	if !p.Embeddings.EqualData(rec.embs) {
 		return false
 	}
-	for i, e := range p.Embeddings {
-		g := ck.byID[e.GID]
+	for i := 0; i < p.Embeddings.Len(); i++ {
+		g := ck.byID[p.Embeddings.GID(i)]
 		if g != rec.graphs[i] || ck.safe[g] != rec.safe[i] {
 			// Same graph object but drifted call-safety still invalidates:
 			// CallSafe is a whole-function property baked into the mining
 			// graph's edge pruning and the candidate's occurrence filter.
-			return false
-		}
-		re := rec.embs[i]
-		if !intsEqual(e.Nodes, re.Nodes) || !intsEqual(e.Edges, re.Edges) {
 			return false
 		}
 	}
@@ -302,13 +298,15 @@ func (ck *checkpointer) Begin(p *mining.Pattern) any {
 		key = p.Code.Key()
 	}
 	sn := ck.snapshot()
-	// Embeddings are uniquely owned by the pattern object (the search
-	// builds fresh ones per visit and never mutates them after), so the
-	// record can reference them without copying.
+	// The embedding set is uniquely owned by the pattern object (the
+	// search builds fresh slabs per visit and never mutates them after),
+	// so the record pins it without copying — and since the slabs are
+	// pointer-free, the retained record costs the GC nothing to scan.
+	n := p.Embeddings.Len()
 	rec := &latticeRec{
-		graphs:        make([]*dfg.Graph, len(p.Embeddings)),
+		graphs:        make([]*dfg.Graph, n),
 		embs:          p.Embeddings,
-		safe:          make([]bool, len(p.Embeddings)),
+		safe:          make([]bool, n),
 		entryHaveBest: sn.haveBest,
 		entryFull:     sn.full,
 		entryBens:     sn.bens,
@@ -317,8 +315,8 @@ func (ck *checkpointer) Begin(p *mining.Pattern) any {
 		minLo:         math.MinInt,
 		minHi:         math.MaxInt,
 	}
-	for i, e := range p.Embeddings {
-		g := ck.byID[e.GID]
+	for i := 0; i < n; i++ {
+		g := ck.byID[p.Embeddings.GID(i)]
 		rec.graphs[i] = g
 		rec.safe[i] = ck.safe[g]
 	}
@@ -367,8 +365,8 @@ func (ck *checkpointer) noteCand(p *mining.Pattern, c *Candidate, thr int) {
 }
 
 // noteDisjoint stores the DgSpan independent set (as root-embedding
-// indices) into p's own open record.
-func (ck *checkpointer) noteDisjoint(p *mining.Pattern, idx []int) {
+// rows) into p's own open record.
+func (ck *checkpointer) noteDisjoint(p *mining.Pattern, idx []int32) {
 	if len(ck.builders) == 0 {
 		return
 	}

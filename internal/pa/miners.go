@@ -82,7 +82,7 @@ type search struct {
 // threshold, and nil built at threshold thr stands for every threshold
 // >= thr.
 type patMemo struct {
-	disjoint     []*mining.Embedding // DgSpan-mode independent set
+	disjoint     []int32 // DgSpan-mode independent set (embedding rows)
 	haveDisjoint bool
 	cand         *Candidate // validated candidate (nil = rejected)
 	candThr      int        // the bail threshold cand was built against
@@ -413,7 +413,7 @@ func (m *GraphMiner) visitPattern(s *search, byID map[int]*dfg.Graph, maxK int, 
 	}
 	// Cheap gate before any independent-set work: the raw embedding
 	// count bounds every support notion from above.
-	ubRaw := fragUB(k, len(p.Embeddings))
+	ubRaw := fragUB(k, p.Embeddings.Len())
 	if ubRaw <= 0 {
 		return
 	}
@@ -470,7 +470,7 @@ func (m *GraphMiner) visitPattern(s *search, byID map[int]*dfg.Graph, maxK int, 
 		// Rejected against a stricter threshold than the current one —
 		// rebuild live below.
 	}
-	embs := p.Disjoint
+	sel := p.Disjoint
 	if !m.Embedding {
 		// DgSpan's frequency is graph-count (that is p.Support here),
 		// but extraction still outlines every non-overlapping
@@ -480,31 +480,20 @@ func (m *GraphMiner) visitPattern(s *search, byID map[int]*dfg.Graph, maxK int, 
 		// unnoticed", i.e. fragments frequent only there are never
 		// found).
 		if mm != nil && mm.haveDisjoint {
-			embs = mm.disjoint
+			sel = mm.disjoint
 		} else if rec != nil && rec.haveDisjoint {
 			// The independent set is a pure function of the pinned
-			// embeddings; remap the recorded indices onto this round's
-			// embedding objects.
-			embs = make([]*mining.Embedding, len(rec.disjoint))
-			for i, ix := range rec.disjoint {
-				embs[i] = p.Embeddings[ix]
-			}
+			// embeddings, and embedding rows are stable across the
+			// footprint check, so the recorded indices apply directly.
+			sel = rec.disjoint
 		} else {
-			embs = mining.DisjointEmbeddings(p.Embeddings, mining.Config{GreedyMIS: opts.GreedyMIS})
+			sel = mining.DisjointIndices(p.Embeddings, mining.Config{GreedyMIS: opts.GreedyMIS})
 		}
 		if s.ck != nil {
-			idx := make(map[*mining.Embedding]int, len(p.Embeddings))
-			for i, e := range p.Embeddings {
-				idx[e] = i
-			}
-			ids := make([]int, len(embs))
-			for i, e := range embs {
-				ids[i] = idx[e]
-			}
-			s.ck.noteDisjoint(p, ids)
+			s.ck.noteDisjoint(p, sel)
 		}
 	}
-	ub := fragUB(k, len(embs))
+	ub := fragUB(k, len(sel))
 	if ub <= 0 {
 		return
 	}
@@ -513,7 +502,7 @@ func (m *GraphMiner) visitPattern(s *search, byID map[int]*dfg.Graph, maxK int, 
 		noteMin(ub, true)
 		return
 	}
-	cand := m.buildCandidate(byID, embs, k, safe, b.minBen, noteMin)
+	cand := m.buildCandidate(byID, p.Embeddings, sel, k, safe, b.minBen, noteMin)
 	if s.ck != nil {
 		s.ck.noteCand(p, cand, b.minBen)
 	}
@@ -533,7 +522,7 @@ func (m *GraphMiner) speculateVisit(s *search, byID map[int]*dfg.Graph, maxK int
 	if k < 2 {
 		return
 	}
-	ubRaw := fragUB(k, len(p.Embeddings))
+	ubRaw := fragUB(k, p.Embeddings.Len())
 	if ubRaw <= 0 {
 		return
 	}
@@ -543,19 +532,19 @@ func (m *GraphMiner) speculateVisit(s *search, byID map[int]*dfg.Graph, maxK int
 		// at least as early; nothing worth precomputing.
 		return
 	}
-	embs := p.Disjoint
+	sel := p.Disjoint
 	if !m.Embedding {
-		embs = mining.DisjointEmbeddings(p.Embeddings, mining.Config{GreedyMIS: opts.GreedyMIS})
+		sel = mining.DisjointIndices(p.Embeddings, mining.Config{GreedyMIS: opts.GreedyMIS})
 		s.memoize(p, func(mm *patMemo) {
-			mm.disjoint = embs
+			mm.disjoint = sel
 			mm.haveDisjoint = true
 		})
 	}
-	ub := fragUB(k, len(embs))
+	ub := fragUB(k, len(sel))
 	if ub <= 0 || ub <= b.minBen {
 		return
 	}
-	cand := m.buildCandidate(byID, embs, k, safe, b.minBen, nil)
+	cand := m.buildCandidate(byID, p.Embeddings, sel, k, safe, b.minBen, nil)
 	s.memoize(p, func(mm *patMemo) {
 		mm.cand = cand
 		mm.candThr = b.minBen
@@ -573,12 +562,23 @@ func (m *GraphMiner) speculateVisit(s *search, byID map[int]*dfg.Graph, maxK int
 // (checkpoint recording): occurrence filtering is threshold-independent,
 // so the result is cand exactly when its benefit beats minBen — one
 // comparison pins the outcome for a whole threshold region.
-func (m *GraphMiner) buildCandidate(byID map[int]*dfg.Graph, embs []*mining.Embedding, k int, safe callSafeCache, minBen int, note func(v int, le bool)) *Candidate {
-	if len(embs) == 0 {
+func (m *GraphMiner) buildCandidate(byID map[int]*dfg.Graph, set *mining.EmbSet, sel []int32, k int, safe callSafeCache, minBen int, note func(v int, le bool)) *Candidate {
+	if len(sel) == 0 {
 		return nil
 	}
-	first := byID[embs[0].GID]
-	firstOcc := Occurrence{Block: first.Block, Graph: first, Nodes: sortedNodes(embs[0].Nodes), DFS: embs[0].Nodes}
+	// dfsOf boxes one slab row's nodes in DFS order (the occurrence
+	// retains it, so it cannot alias the slab).
+	dfsOf := func(row int32) []int {
+		ns := set.Nodes(int(row))
+		out := make([]int, len(ns))
+		for i, v := range ns {
+			out[i] = int(v)
+		}
+		return out
+	}
+	first := byID[set.GID(int(sel[0]))]
+	firstDFS := dfsOf(sel[0])
+	firstOcc := Occurrence{Block: first.Block, Graph: first, Nodes: sortedNodes(firstDFS), DFS: firstDFS}
 	hasTerm := containsTerminator(first, firstOcc.Nodes)
 
 	// Embeddings must agree on their full induced dependence structure
@@ -595,19 +595,20 @@ func (m *GraphMiner) buildCandidate(byID map[int]*dfg.Graph, embs []*mining.Embe
 
 	var occs []Occurrence
 	blFrags := map[*cfg.Block][][]int{}
-	for i, e := range embs {
+	for i, row := range sel {
 		// Bail as soon as even accepting every remaining embedding
 		// cannot beat minBen. (The bound only shrinks and stays >= the
 		// final benefit, so for any threshold at or above this value the
 		// outcome is nil too — the single note covers the whole bail.)
-		if v := benefit(len(occs) + len(embs) - i); v <= minBen {
+		if v := benefit(len(occs) + len(sel) - i); v <= minBen {
 			if note != nil {
 				note(v, true)
 			}
 			return nil
 		}
-		g := byID[e.GID]
-		occ := Occurrence{Block: g.Block, Graph: g, Nodes: sortedNodes(e.Nodes), DFS: e.Nodes}
+		g := byID[set.GID(int(row))]
+		dfsN := dfsOf(row)
+		occ := Occurrence{Block: g.Block, Graph: g, Nodes: sortedNodes(dfsN), DFS: dfsN}
 		if hasTerm {
 			if !crossJumpExtractable(g, occ.Nodes) {
 				continue
