@@ -64,11 +64,16 @@ echo "ci.sh: service report matches CLI"
 # The JSON benchmark harness must keep producing records the committed
 # baseline schema can be compared against; two fast programs suffice as
 # a smoke test (the full record is regenerated with paper-tables
-# -bench-json across the whole suite, see README).
+# -bench-json across the whole suite, see README). Besides wall clock
+# (reported, not gated — too noisy), paper-tables compares the
+# deterministic lattice visit counts against the committed baseline and
+# exits nonzero when they regress beyond tolerance (>5% on any run, >2%
+# in total), so this step is the search-cost regression gate.
 go build -o "$TMP/paper-tables" ./cmd/paper-tables
 "$TMP/paper-tables" -only timings -programs crc,dijkstra -miners edgar \
 	-noverify -bench-json "$TMP/bench.json" \
 	-bench-baseline BENCH_edgar.baseline.json >/dev/null
 grep -q '"total_wall_ms"' "$TMP/bench.json"
 grep -q '"name": "crc"' "$TMP/bench.json"
-echo "ci.sh: benchmark record smoke passed"
+grep -q '"visits"' "$TMP/bench.json"
+echo "ci.sh: benchmark record and visit-count gate passed"

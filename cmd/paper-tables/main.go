@@ -90,6 +90,27 @@ func main() {
 			}
 			fmt.Printf("%-18s %6.2fx\n", "total", total)
 			fmt.Println()
+			// Lattice visits are deterministic, so unlike wall clock they
+			// gate hard: any per-run regression beyond 5% (or 2% in total)
+			// against a baseline that recorded them fails the run.
+			if vRun, vTotal, ok := bench.CompareVisits(doc, base); ok {
+				fmt.Printf("Lattice visits vs %s (ratio < 1 visits fewer)\n", *benchBase)
+				bad := false
+				for _, k := range bench.BenchKeys(vRun) {
+					fmt.Printf("%-18s %6.2fx\n", k, vRun[k])
+					if vRun[k] > 1.05 {
+						bad = true
+					}
+				}
+				fmt.Printf("%-18s %6.2fx\n", "total", vTotal)
+				fmt.Println()
+				if vTotal > 1.02 {
+					bad = true
+				}
+				if bad {
+					fatal(fmt.Errorf("lattice visit count regressed vs %s (per-run tolerance 5%%, total 2%%)", *benchBase))
+				}
+			}
 		}
 	}
 	switch *only {

@@ -21,6 +21,11 @@ type BenchRow struct {
 	Rounds      int     `json:"rounds"`
 	Extractions int     `json:"extractions"`
 	WallMS      float64 `json:"wall_ms"`
+	// Visits counts lattice patterns the miner visited across all rounds
+	// — the wall-clock-independent cost metric the search-order
+	// regression gate compares (wall clock is too noisy for CI). Zero in
+	// records predating the field and for the SFX miner.
+	Visits int `json:"visits,omitempty"`
 }
 
 // BenchDoc is a full benchmark record.
@@ -32,6 +37,8 @@ type BenchDoc struct {
 	// cost), so records taken at different harness widths stay
 	// comparable.
 	TotalWallMS float64 `json:"total_wall_ms"`
+	// TotalVisits sums the per-run lattice visit counts.
+	TotalVisits int `json:"total_visits,omitempty"`
 }
 
 // BenchJSON collapses an Evaluation into the benchmark record, rows
@@ -44,6 +51,10 @@ func BenchJSON(ev *Evaluation, miners []string) *BenchDoc {
 			if !ok {
 				continue
 			}
+			visits := 0
+			for _, rs := range r.RoundStats {
+				visits += rs.Visits
+			}
 			d.Programs = append(d.Programs, BenchRow{
 				Name:        w.Name,
 				Miner:       mn,
@@ -53,8 +64,10 @@ func BenchJSON(ev *Evaluation, miners []string) *BenchDoc {
 				Rounds:      r.Rounds,
 				Extractions: len(r.Extractions),
 				WallMS:      float64(r.Duration.Microseconds()) / 1000,
+				Visits:      visits,
 			})
 			d.TotalWallMS += float64(r.Duration.Microseconds()) / 1000
+			d.TotalVisits += visits
 		}
 	}
 	return d
@@ -105,6 +118,36 @@ func CompareBench(d, base *BenchDoc) (perRun map[string]float64, total float64) 
 		total = sum / baseSum
 	}
 	return perRun, total
+}
+
+// CompareVisits summarises d's lattice visit counts against a baseline,
+// for runs present in both with nonzero baseline visits (matched by
+// name+miner). Unlike wall clock, visits are deterministic — identical
+// across worker widths, driver modes and machines — so the ratios can
+// gate CI at a tight tolerance. Ratio < 1 means d visits fewer nodes.
+// ok reports whether the baseline carried visit counts at all (records
+// predating the field compare as absent, not as regressions).
+func CompareVisits(d, base *BenchDoc) (perRun map[string]float64, total float64, ok bool) {
+	baseBy := map[string]BenchRow{}
+	for _, r := range base.Programs {
+		baseBy[r.Name+"/"+r.Miner] = r
+	}
+	perRun = map[string]float64{}
+	var sum, baseSum float64
+	for _, r := range d.Programs {
+		b, found := baseBy[r.Name+"/"+r.Miner]
+		if !found || b.Visits <= 0 {
+			continue
+		}
+		perRun[r.Name+"/"+r.Miner] = float64(r.Visits) / float64(b.Visits)
+		sum += float64(r.Visits)
+		baseSum += float64(b.Visits)
+	}
+	if baseSum > 0 {
+		total = sum / baseSum
+		ok = true
+	}
+	return perRun, total, ok
 }
 
 // BenchKeys returns perRun's keys sorted, for stable rendering.

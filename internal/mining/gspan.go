@@ -50,6 +50,24 @@ type Config struct {
 	// prune groups whose optimistic benefit cannot matter. Must be
 	// monotone (viable(c) implies viable(c+1)).
 	ViableCount func(count int) bool
+	// Lexicographic forces the classic gSpan sibling order: children are
+	// visited in ascending DFS-code tuple order. By default (false) the
+	// walk is benefit-directed: materialised siblings are visited in
+	// descending order of their misUpperBound (an admissible bound on the
+	// extractable-embedding count of the child's whole subtree), with the
+	// tuple order as a deterministic tie-break, so high-payoff subtrees
+	// raise the caller's incumbent before the long tail is walked. Both
+	// orders visit the same pattern set absent pruning; callers whose
+	// PruneSubtree/PruneChild policies are admissible and strict get
+	// identical final incumbents either way.
+	Lexicographic bool
+	// PruneChild, when non-nil, is consulted immediately before each
+	// child descent with the child's materialised embedding set and its
+	// misUpperBound. Returning true skips the child: its pattern is never
+	// built, visited or counted. Unlike ViableCount it runs between
+	// sibling descents, so it observes incumbent state raised by earlier
+	// siblings — the branch-and-bound half of the benefit-directed walk.
+	PruneChild func(set *EmbSet, bound int) bool
 	// Workers > 1 mines seed subtrees speculatively on that many
 	// goroutines and replays them deterministically (see parallel.go);
 	// the visit sequence is identical to the serial search. Workers <= 1
@@ -91,10 +109,29 @@ func (c Config) exactLimit() int {
 	return c.MISExactLimit
 }
 
-// ext is one grouped rightmost extension.
+// needBounds reports whether the walk computes misUpperBound per child:
+// either the sibling order is benefit-directed or a PruneChild policy
+// wants the bound.
+func (c Config) needBounds() bool {
+	return !c.Lexicographic || c.PruneChild != nil
+}
+
+// ext is one grouped rightmost extension. bound is the child's
+// misUpperBound, filled only when Config.needBounds.
 type ext struct {
-	t   Tuple
-	set *EmbSet
+	t     Tuple
+	set   *EmbSet
+	bound int
+}
+
+// cmpExt is the benefit-directed sibling order: descending bound, then
+// canonical tuple order. Tuples are unique within a sibling group, so the
+// order is total and independent of sort stability.
+func cmpExt(a, b ext) int {
+	if a.bound != b.bound {
+		return b.bound - a.bound
+	}
+	return CompareTuples(a.t, b.t)
 }
 
 // marks is per-graph scratch state for embedding traversal, versioned so
@@ -460,11 +497,15 @@ func (mn *miner) step(p *Pattern) bool {
 }
 
 // expand enumerates, filters and materialises the extensions of (code,
-// set), then recurses into each minimal child. All viability decisions
-// happen before any child is visited — the incumbent state a child visit
-// mutates must not influence its siblings' group filtering, exactly as
-// in a monolithic extend-then-loop. Materialising every kid first also
-// releases the group scratch before the recursion reuses it.
+// set), then recurses into each minimal child. Group viability and
+// materialisation happen before any child is visited — the incumbent
+// state a child visit mutates must not influence its siblings' group
+// filtering, exactly as in a monolithic extend-then-loop. Materialising
+// every kid first also releases the group scratch before the recursion
+// reuses it. Only two things happen between sibling descents, and both
+// are deliberate: the benefit-directed order (bounds are pure functions
+// of the child sets) and PruneChild, which exists precisely to see the
+// incumbent raised by earlier siblings.
 func (mn *miner) expand(code Code, set *EmbSet) {
 	groups := mn.extendGroups(code, set)
 	kids := make([]ext, 0, len(groups))
@@ -478,7 +519,18 @@ func (mn *miner) expand(code Code, set *EmbSet) {
 		}
 		kids = append(kids, ext{t: g.t, set: cset})
 	}
+	if mn.cfg.needBounds() {
+		for i := range kids {
+			kids[i].bound = misUpperBound(kids[i].set, &mn.sc.mis)
+		}
+		if !mn.cfg.Lexicographic {
+			slices.SortFunc(kids, cmpExt)
+		}
+	}
 	for _, k := range kids {
+		if mn.cfg.PruneChild != nil && mn.cfg.PruneChild(k.set, k.bound) {
+			continue
+		}
 		child := append(append(Code{}, code...), k.t)
 		if !mn.cfg.minimal(child) {
 			continue
@@ -488,13 +540,16 @@ func (mn *miner) expand(code Code, set *EmbSet) {
 }
 
 // Mine enumerates every frequent pattern with at least one edge, calling
-// visit for each (in canonical DFS-code growth order). The search is
-// complete: every frequent fragment is reported exactly once (via the
-// minimal-DFS-code test). With cfg.Workers > 1 the seed subtrees are
-// mined speculatively in parallel and replayed in order; the visit
-// sequence (patterns, order, truncation point) is identical to the
-// serial search.
-func Mine(graphs []*Graph, cfg Config, visit func(*Pattern)) {
+// visit for each (in canonical DFS-code growth order, benefit-directed
+// among siblings unless cfg.Lexicographic). The search is complete:
+// every frequent fragment is reported exactly once (via the
+// minimal-DFS-code test), except where a PruneChild policy cuts a
+// subtree. With cfg.Workers > 1 the seed subtrees are mined
+// speculatively in parallel and replayed in order; the visit sequence
+// (patterns, order, truncation point) is identical to the serial search.
+// The return value is the number of patterns visited, including visits
+// charged by checkpoint fast-forwards — a deterministic work metric.
+func Mine(graphs []*Graph, cfg Config, visit func(*Pattern)) int {
 	byID := map[int]*Graph{}
 	for _, g := range graphs {
 		if g.adj == nil {
@@ -506,13 +561,13 @@ func Mine(graphs []*Graph, cfg Config, visit func(*Pattern)) {
 	roots := seedPatterns(graphs)
 
 	if cfg.Workers > 1 && len(roots) > 1 {
-		mineParallel(graphOf, roots, cfg, visit)
-		return
+		return mineParallel(graphOf, roots, cfg, visit)
 	}
 	mn := &miner{cfg: cfg, graphOf: graphOf, visit: visit}
 	for _, s := range roots {
 		mn.dfs(Code{s.t}, s.set)
 	}
+	return mn.visited
 }
 
 // seedPatterns builds the 1-edge root patterns: one per distinct minimal

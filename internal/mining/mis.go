@@ -138,6 +138,8 @@ type misScratch struct {
 	best     []int32 // incumbent clique
 	colRem   bitset
 	colAvail bitset
+
+	union bitset // misUpperBound's per-graph node-coverage accumulator
 }
 
 // maxCliqueIdx finds a maximum clique in the n-vertex graph given by
@@ -226,6 +228,65 @@ func colourSort(p bitset, adj []bitset, n, w, depth int, sc *misScratch) (order,
 // misPool backs the exported entry points; the miner's hot path owns a
 // misScratch directly.
 var misPool = sync.Pool{New: func() any { return new(misScratch) }}
+
+// misUpperBound is a cheap admissible upper bound on the size of a
+// maximum set of pairwise non-overlapping embeddings — for s itself and
+// for every descendant pattern in s's lattice subtree. Per graph, any
+// collection of disjoint k-node embeddings draws k distinct nodes each
+// from the union of the group's node sets, so its size is at most
+// floor(|union|/k) (and at most the row count); summing per graph bounds
+// the whole MIS because embeddings never overlap across graphs.
+// Descendants are covered too: each disjoint descendant embedding
+// contains the nodes of the distinct parent row it extends, so a
+// descendant's MIS is no larger than the parent's. Runs in one pass over
+// the rows — no collision graph, no solver.
+func misUpperBound(s *EmbSet, sc *misScratch) int {
+	if s.Len() == 0 || s.k == 0 {
+		return 0
+	}
+	s.ensureBits()
+	keys := sc.keys[:0]
+	for i := 0; i < s.n; i++ {
+		keys = append(keys, int64(s.gids[i])<<32|int64(uint32(i)))
+	}
+	slices.Sort(keys)
+	sc.keys = keys
+
+	if cap(sc.union) < s.w {
+		sc.union = make(bitset, s.w)
+	}
+	un := sc.union[:s.w]
+	total := 0
+	for start := 0; start < len(keys); {
+		gid := int32(keys[start] >> 32)
+		end := start
+		clear(un)
+		for end < len(keys) && int32(keys[end]>>32) == gid {
+			b := s.nodeBits(int(uint32(keys[end])))
+			for w := range un {
+				un[w] |= b[w]
+			}
+			end++
+		}
+		rows := end - start
+		if cov := un.count() / s.k; cov < rows {
+			total += cov
+		} else {
+			total += rows
+		}
+		start = end
+	}
+	return total
+}
+
+// MISUpperBound is the exported wrapper around misUpperBound, for tests
+// and external callers.
+func MISUpperBound(s *EmbSet) int {
+	sc := misPool.Get().(*misScratch)
+	out := misUpperBound(s, sc)
+	misPool.Put(sc)
+	return out
+}
 
 // DisjointIndices returns a maximum (or, above the exact-solver size
 // limit, greedily maximal) set of pairwise non-overlapping embeddings of

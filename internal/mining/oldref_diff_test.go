@@ -39,13 +39,17 @@ func oldMineTrace(graphs []*Graph, cfg Config) []string {
 // disjoint-set indices — across support modes, size caps, MIS variants
 // and budget truncation.
 func TestFlatMatchesBoxedReference(t *testing.T) {
+	// The boxed reference predates the benefit-directed sibling order, so
+	// the flat walk is pinned against it in Lexicographic mode; the
+	// benefit-directed order is differenced against the lexicographic one
+	// at the result level in bestfirst_test.go.
 	configs := map[string]Config{
-		"graph-support":     {MinSupport: 2},
-		"embedding-support": {MinSupport: 2, EmbeddingSupport: true},
-		"capped":            {MinSupport: 2, EmbeddingSupport: true, MaxNodes: 3},
-		"greedy-mis":        {MinSupport: 2, EmbeddingSupport: true, GreedyMIS: true},
-		"tiny-exact-limit":  {MinSupport: 2, EmbeddingSupport: true, MISExactLimit: 2},
-		"budget":            {MinSupport: 2, EmbeddingSupport: true, MaxPatterns: 9},
+		"graph-support":     {MinSupport: 2, Lexicographic: true},
+		"embedding-support": {MinSupport: 2, EmbeddingSupport: true, Lexicographic: true},
+		"capped":            {MinSupport: 2, EmbeddingSupport: true, MaxNodes: 3, Lexicographic: true},
+		"greedy-mis":        {MinSupport: 2, EmbeddingSupport: true, GreedyMIS: true, Lexicographic: true},
+		"tiny-exact-limit":  {MinSupport: 2, EmbeddingSupport: true, MISExactLimit: 2, Lexicographic: true},
+		"budget":            {MinSupport: 2, EmbeddingSupport: true, MaxPatterns: 9, Lexicographic: true},
 	}
 	for gname, graphs := range testGraphSets() {
 		for cname, cfg := range configs {
@@ -69,8 +73,8 @@ func TestFlatMatchesBoxedRandom(t *testing.T) {
 			graphs = append(graphs, randDAG(r, i, 5+r.Intn(6), 6+r.Intn(10), nodeLabels, edgeLabels))
 		}
 		for _, cfg := range []Config{
-			{MinSupport: 2, MaxNodes: 5, EmbeddingSupport: true, MaxPatterns: 3000},
-			{MinSupport: 2, MaxNodes: 4, MaxPatterns: 3000},
+			{MinSupport: 2, MaxNodes: 5, EmbeddingSupport: true, MaxPatterns: 3000, Lexicographic: true},
+			{MinSupport: 2, MaxNodes: 4, MaxPatterns: 3000, Lexicographic: true},
 		} {
 			want := oldMineTrace(graphs, cfg)
 			got := mineTrace(graphs, cfg)

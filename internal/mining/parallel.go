@@ -3,6 +3,7 @@ package mining
 import (
 	"context"
 	"errors"
+	"slices"
 	"sync"
 
 	"graphpa/internal/par"
@@ -41,6 +42,11 @@ type Speculator struct {
 	PruneSubtree func(*Pattern) bool
 	// ViableCount advises on materialising an extension group.
 	ViableCount func(count int) bool
+	// PruneChild advises against descending into a materialised child,
+	// given its embedding set and misUpperBound — the advisory twin of
+	// Config.PruneChild. A stale or aggressive answer costs replay
+	// fallback work, never output.
+	PruneChild func(set *EmbSet, bound int) bool
 	// SkipSubtree advises that the subtree below p is already covered by
 	// the caller's cross-run checkpoint, so the authoritative replay will
 	// likely fast-forward it; the speculator then records nothing below
@@ -56,16 +62,38 @@ type specNode struct {
 	exts     []specExt
 }
 
-// specExt records one extension group of an expanded node, in the same
-// (sorted) order extendGroups produces.
+// specExt records one extension group of an expanded node, in the order
+// the serial walk would descend them: benefit-directed (bound desc, then
+// tuple) among the materialised groups by default, pure tuple order under
+// Config.Lexicographic. Bounds are pure functions of the child sets, so
+// speculation and the serial walk compute identical orders.
 type specExt struct {
 	t            Tuple
 	rawCount     int       // pass-1 candidate count (state-independent)
 	materialized bool      // pass 2 was run during speculation
 	dropped      bool      // materialised but deduplication fell below MinSupport
 	minimal      bool      // child code passed the minimal-DFS-code test
+	bound        int       // misUpperBound of set (when Config.needBounds)
 	set          *EmbSet   // child embeddings (materialised, not dropped)
 	child        *specNode // recorded subtree (minimal children, unless speculation stopped)
+}
+
+// cmpSpecExt orders a node's recorded extensions the way the serial
+// benefit-directed expand visits its kids: materialised sets by cmpExt,
+// everything without a set (unmaterialised or dropped — entries the
+// serial kid list never contains) after them in tuple order.
+func cmpSpecExt(a, b specExt) int {
+	am, bm := a.set != nil, b.set != nil
+	if am != bm {
+		if am {
+			return -1
+		}
+		return 1
+	}
+	if am && a.bound != b.bound {
+		return b.bound - a.bound
+	}
+	return CompareTuples(a.t, b.t)
 }
 
 // errAbort signals MaxPatterns truncation out of the ordered fan-in.
@@ -73,7 +101,7 @@ var errAbort = errors.New("mining: pattern budget exhausted")
 
 // mineParallel runs the speculate-then-replay pipeline: one producer job
 // per seed subtree, consumed (replayed) in canonical seed order.
-func mineParallel(graphOf func(int) *Graph, roots []*ext, cfg Config, visit func(*Pattern)) {
+func mineParallel(graphOf func(int) *Graph, roots []*ext, cfg Config, visit func(*Pattern)) int {
 	auth := &miner{cfg: cfg, graphOf: graphOf, visit: visit}
 	budget := &specBudget{max: int64(cfg.MaxPatterns)}
 	err := par.OrderedMap(context.Background(), cfg.Workers, len(roots),
@@ -93,6 +121,7 @@ func mineParallel(graphOf func(int) *Graph, roots []*ext, cfg Config, visit func
 		// worker panics re-raise inside OrderedMap.
 		panic(err)
 	}
+	return auth.visited
 }
 
 // specBudget caps total speculative visits across all workers at the
@@ -135,7 +164,7 @@ func newSpeculator(ctx context.Context, cfg Config, graphOf func(int) *Graph, bu
 			s.sp = *sp
 		}
 	} else {
-		s.sp = Speculator{PruneSubtree: cfg.PruneSubtree, ViableCount: cfg.ViableCount}
+		s.sp = Speculator{PruneSubtree: cfg.PruneSubtree, ViableCount: cfg.ViableCount, PruneChild: cfg.PruneChild}
 	}
 	return s
 }
@@ -192,6 +221,9 @@ func (s *speculator) mine(code Code, set *EmbSet) *specNode {
 				se.dropped = true
 			} else {
 				se.set = cset
+				if s.mn.cfg.needBounds() {
+					se.bound = misUpperBound(cset, &s.mn.sc.mis)
+				}
 				child := append(append(Code{}, code...), g.t)
 				if s.mn.cfg.minimal(child) {
 					se.minimal = true
@@ -200,11 +232,22 @@ func (s *speculator) mine(code Code, set *EmbSet) *specNode {
 		}
 		n.exts[gi] = se
 	}
+	// Record the extensions in the order the serial walk descends them,
+	// so replay consumes them front to back. Bounds are pure functions of
+	// the child sets — speculation and replay agree on the order.
+	if !s.mn.cfg.Lexicographic {
+		slices.SortFunc(n.exts, cmpSpecExt)
+	}
 	// Phase 2: descend into the minimal children. The recursion order is
-	// the serial one; only the scratch reuse forced the split.
+	// the serial one; only the scratch reuse forced the split. An
+	// advisory PruneChild skip leaves child nil — if the authoritative
+	// policy disagrees, replay mines that subtree live.
 	for gi := range n.exts {
 		se := &n.exts[gi]
 		if se.minimal && s.budgetLeft() {
+			if s.sp.PruneChild != nil && s.sp.PruneChild(se.set, se.bound) {
+				continue
+			}
 			child := append(append(Code{}, code...), se.t)
 			se.child = s.mine(child, se.set)
 		}
@@ -257,7 +300,16 @@ func (mn *miner) replayExpand(n *specNode) {
 			return
 		}
 		e := &n.exts[i]
-		if !use[i] || e.dropped || !e.minimal {
+		if !use[i] || e.dropped {
+			continue
+		}
+		// Same per-kid sequence as the serial expand: the authoritative
+		// PruneChild fires before the minimality check, so its comparison
+		// trace (which the lattice checkpointer records) is identical.
+		if mn.cfg.PruneChild != nil && mn.cfg.PruneChild(e.set, e.bound) {
+			continue
+		}
+		if !e.minimal {
 			continue
 		}
 		if e.child != nil {

@@ -21,13 +21,13 @@ import (
 //     block content and consumed summaries are unchanged (graphCache), so
 //     object identity proves content identity.
 //   - The bounds dependence. Subtrees that admit no candidate read the
-//     incumbents only through threshold comparisons "value <= best?" /
-//     "value <= minBen?"; each observed comparison narrows a half-open
-//     validity region [lo, hi) for best and minBen within which every
-//     decision reproduces. Subtrees that DO admit candidates change the
-//     bounds mid-walk; they are recorded in exact mode — valid only when
-//     the entire incumbent benefit vector at entry matches — because
-//     then the interior bounds evolve identically too.
+//     incumbent only through threshold comparisons "value < best?"; each
+//     observed comparison narrows a half-open validity region [lo, hi)
+//     for the incumbent benefit within which every decision reproduces.
+//     Subtrees that DO admit candidates move the incumbent mid-walk;
+//     they are recorded in exact mode — valid only when the incumbent
+//     benefit at entry matches — because then the interior bound
+//     trajectory evolves identically too.
 //
 // A later round's walk reaching the same DFS code fast-forwards the
 // subtree when footprint and bounds validate: it replays the recorded
@@ -55,13 +55,10 @@ type latticeRec struct {
 	embs   *mining.EmbSet // root embeddings at record time (flat slabs)
 	safe   []bool         // CallSafe of each graph's function at record time
 
-	entryHaveBest bool
-	entryFull     bool
-	exact         bool  // admissions inside: valid only for an identical entry vector
-	entryBens     []int // incumbent benefit vector at entry
+	exact     bool // admissions inside: valid only for an identical entry incumbent
+	entryBest int  // incumbent benefit at entry
 
 	bestLo, bestHi int // non-exact validity: bestLo <= best < bestHi
-	minLo, minHi   int // and minLo <= minBen < minHi
 
 	visits int
 	adds   []*Candidate // admissions, in walk order
@@ -120,18 +117,6 @@ func (m *latticeMemo) sweep(live map[*dfg.Graph]bool) {
 	m.mu.Unlock()
 }
 
-func intsEqual(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
 // recBuilder is one open (Begin'd, not yet End'd) subtree record.
 type recBuilder struct {
 	rec      *latticeRec
@@ -139,15 +124,6 @@ type recBuilder struct {
 	key      string          // the root code's Key(), computed once
 	logStart int             // admissions log length at Begin
 	exact    bool            // an admission happened inside
-}
-
-// entrySnap is one coherent read of the incumbent list's benefit vector.
-type entrySnap struct {
-	bens     []int
-	haveBest bool
-	best     int
-	full     bool
-	minBen   int
 }
 
 // checkpointer implements mining.Checkpointer for one FindCandidates
@@ -178,23 +154,12 @@ type checkpointer struct {
 	saved int
 }
 
-func (ck *checkpointer) snapshot() entrySnap {
-	ck.s.mu.Lock()
-	defer ck.s.mu.Unlock()
-	kept := &ck.s.kept
-	sn := entrySnap{bens: make([]int, len(kept.cands))}
-	for i, c := range kept.cands {
-		sn.bens[i] = c.Benefit
-	}
-	if len(sn.bens) > 0 {
-		sn.haveBest = true
-		sn.best = sn.bens[0]
-	}
-	if len(sn.bens) >= kept.limit {
-		sn.full = true
-		sn.minBen = sn.bens[len(sn.bens)-1]
-	}
-	return sn
+// snapshot reads the incumbent benefit the bounds state reduces to.
+// (The warm-started floor is part of it: records taken under one floor
+// validate under another only through the region checks, exactly like
+// mid-walk incumbent movement.)
+func (ck *checkpointer) snapshot() int {
+	return ck.s.best()
 }
 
 // footprintOK verifies the subtree's graphs are the recorded objects and
@@ -220,17 +185,15 @@ func (ck *checkpointer) footprintOK(rec *latticeRec, p *mining.Pattern) bool {
 	return true
 }
 
-func (ck *checkpointer) validFor(rec *latticeRec, sn entrySnap) bool {
+func (ck *checkpointer) validFor(rec *latticeRec, best int) bool {
 	if rec.exact {
-		return intsEqual(sn.bens, rec.entryBens)
+		// Admissions inside compare against the moving incumbent, whose
+		// whole trajectory is determined by its entry value (tie-set
+		// membership never feeds back into the walk), so entry equality is
+		// the exact condition.
+		return best == rec.entryBest
 	}
-	if sn.haveBest != rec.entryHaveBest || sn.full != rec.entryFull {
-		return false
-	}
-	if sn.haveBest && (sn.best < rec.bestLo || sn.best >= rec.bestHi) {
-		return false
-	}
-	return sn.minBen >= rec.minLo && sn.minBen < rec.minHi
+	return best >= rec.bestLo && best < rec.bestHi
 }
 
 // FastForward implements mining.Checkpointer.
@@ -259,7 +222,7 @@ func (ck *checkpointer) FastForward(p *mining.Pattern, remaining int) (int, bool
 		return 0, false
 	}
 	for _, c := range rec.adds {
-		ck.s.add(c) // runs noteAdd: enclosing open records turn exact
+		ck.s.admit(c) // runs noteAdd: enclosing open records turn exact
 	}
 	if !rec.exact {
 		// The skipped subtree's bounds dependence becomes part of every
@@ -274,12 +237,6 @@ func (ck *checkpointer) FastForward(p *mining.Pattern, remaining int) (int, bool
 			}
 			if rec.bestHi < r.bestHi {
 				r.bestHi = rec.bestHi
-			}
-			if rec.minLo > r.minLo {
-				r.minLo = rec.minLo
-			}
-			if rec.minHi < r.minHi {
-				r.minHi = rec.minHi
 			}
 		}
 	}
@@ -297,23 +254,18 @@ func (ck *checkpointer) Begin(p *mining.Pattern) any {
 	if ck.lastKeyFor != p {
 		key = p.Code.Key()
 	}
-	sn := ck.snapshot()
 	// The embedding set is uniquely owned by the pattern object (the
 	// search builds fresh slabs per visit and never mutates them after),
 	// so the record pins it without copying — and since the slabs are
 	// pointer-free, the retained record costs the GC nothing to scan.
 	n := p.Embeddings.Len()
 	rec := &latticeRec{
-		graphs:        make([]*dfg.Graph, n),
-		embs:          p.Embeddings,
-		safe:          make([]bool, n),
-		entryHaveBest: sn.haveBest,
-		entryFull:     sn.full,
-		entryBens:     sn.bens,
-		bestLo:        math.MinInt,
-		bestHi:        math.MaxInt,
-		minLo:         math.MinInt,
-		minHi:         math.MaxInt,
+		graphs:    make([]*dfg.Graph, n),
+		embs:      p.Embeddings,
+		safe:      make([]bool, n),
+		entryBest: ck.snapshot(),
+		bestLo:    math.MinInt,
+		bestHi:    math.MaxInt,
 	}
 	for i := 0; i < n; i++ {
 		g := ck.byID[p.Embeddings.GID(i)]
@@ -399,36 +351,20 @@ func (ck *checkpointer) noteAdd(c *Candidate) {
 }
 
 // noteBest records an authoritative comparison against the incumbent
-// best benefit: le reports whether v <= best held. Open region-mode
-// records narrow their validity region so the comparison reproduces.
-func (ck *checkpointer) noteBest(v int, le bool) {
+// benefit: less reports whether v < best held. Open region-mode records
+// narrow their validity region so the comparison reproduces — v < best
+// pins best >= v+1, its negation pins best < v+1.
+func (ck *checkpointer) noteBest(v int, less bool) {
 	for _, rb := range ck.builders {
 		if rb.exact {
 			continue
 		}
-		if le {
-			if v > rb.rec.bestLo {
-				rb.rec.bestLo = v
+		if less {
+			if v+1 > rb.rec.bestLo {
+				rb.rec.bestLo = v + 1
 			}
-		} else if v < rb.rec.bestHi {
-			rb.rec.bestHi = v
-		}
-	}
-}
-
-// noteMin is noteBest for comparisons against the admission threshold
-// minBen (the weakest kept benefit when the list is full, else 0).
-func (ck *checkpointer) noteMin(v int, le bool) {
-	for _, rb := range ck.builders {
-		if rb.exact {
-			continue
-		}
-		if le {
-			if v > rb.rec.minLo {
-				rb.rec.minLo = v
-			}
-		} else if v < rb.rec.minHi {
-			rb.rec.minHi = v
+		} else if v+1 < rb.rec.bestHi {
+			rb.rec.bestHi = v + 1
 		}
 	}
 }

@@ -55,6 +55,14 @@ type Options struct {
 	// output is byte-identical either way — this is the kill switch and
 	// the reference the differential tests compare against.
 	NoIncremental bool
+	// Lexicographic reverts the graph miners' lattice walk to pure
+	// DFS-code sibling order with the legacy support-only subtree bound,
+	// disabling the benefit-directed ordering and the MIS-aware child
+	// pruning. The candidate output is byte-identical either way — this
+	// is the kill switch and the reference arm the search-order
+	// differential tests and A/B benchmarks compare against; it only
+	// changes how many lattice nodes the walk visits (RoundStat.Visits).
+	Lexicographic bool
 
 	// ctx carries the cancellation context of an OptimizeContext run.
 	// Only the driver sets it; miners read it through Context.
@@ -62,6 +70,13 @@ type Options struct {
 	// inc hands the round's incremental caches to the miner. Only the
 	// incremental driver sets it.
 	inc *incMining
+	// carry holds the previous round's surviving candidates in relocatable
+	// form; the miner revalidates them to warm-start its incumbent. Only
+	// the driver sets it (in both incremental and scratch modes — the
+	// stash is content-addressed, so the two modes relocate identically).
+	carry []carryCand
+	// stat, when non-nil, receives per-round miner counters (Visits).
+	stat *RoundStat
 }
 
 // Context returns the cancellation context of the run the options belong
@@ -159,6 +174,14 @@ type RoundStat struct {
 
 	MemoHits    int // lattice subtrees fast-forwarded
 	VisitsSaved int // pattern visits those subtrees would have cost
+
+	// Visits counts frequent lattice nodes the miner actually visited this
+	// round (fast-forwarded checkpoint subtrees are charged as if walked,
+	// so the count is identical across worker widths and incremental
+	// modes; it differs between the benefit-directed and Lexicographic
+	// walks — that difference is the search-order win the benchmarks
+	// track).
+	Visits int
 
 	Extractions int // rewrites applied this round
 }
@@ -288,7 +311,13 @@ func OptimizeContext(ctx context.Context, prog *loader.Program, m Miner, opts Op
 		stat.DFGBuild = time.Since(t0)
 
 		t0 = time.Now()
+		opts.stat = &stat
 		cands := m.FindCandidates(view, graphs, opts)
+		// Stash the returned list for the next round's warm start NOW,
+		// while the view still matches the occurrences (Apply rewrites the
+		// blocks below). Both modes stash: relocation is content-addressed,
+		// so incremental and scratch rounds revalidate identically.
+		opts.carry = stashCarry(view, cands)
 		stat.Mine = time.Since(t0)
 		if err := ctx.Err(); err != nil {
 			// A cancelled miner may have returned a truncated candidate

@@ -23,34 +23,12 @@ type Miner interface {
 	FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts Options) []*Candidate
 }
 
-// candList keeps the best candidates seen, ordered by descending benefit
-// (ties: earlier discovery wins, keeping runs deterministic).
-type candList struct {
-	cands []*Candidate
-	limit int
-}
-
-func (cl *candList) best() *Candidate {
-	if len(cl.cands) == 0 {
-		return nil
-	}
-	return cl.cands[0]
-}
-
-func (cl *candList) add(c *Candidate) {
-	// First index whose benefit is strictly below c's: equal-benefit
-	// entries sort before c, so earlier discovery wins ties.
-	pos := sort.Search(len(cl.cands), func(i int) bool { return cl.cands[i].Benefit < c.Benefit })
-	cl.cands = append(cl.cands, nil)
-	copy(cl.cands[pos+1:], cl.cands[pos:])
-	cl.cands[pos] = c
-	if len(cl.cands) > cl.limit {
-		cl.cands = cl.cands[:cl.limit]
-	}
-}
-
 // fragUB is the optimistic benefit of a k-node fragment with at most m
-// occurrences, whichever extraction mechanism wins.
+// occurrences, whichever extraction mechanism wins. Monotone increasing
+// in both k and m over the useful range (m >= 2), so fragUB(maxK, bound)
+// dominates every candidate any descendant pattern can yield. This is
+// the legacy walk bound, kept for the Lexicographic reference arm; the
+// benefit-directed walk bounds with CallBenefit alone (see newSearch).
 func fragUB(k, m int) int {
 	ub := CallBenefit(k, m)
 	if cb := CrossJumpBenefit(k, m); cb > ub {
@@ -59,21 +37,121 @@ func fragUB(k, m int) int {
 	return ub
 }
 
-// search is the shared state of one FindCandidates run: the incumbent
-// candidate list read by the branch-and-bound policies, plus — in
-// parallel mode — a memo of pure by-products the speculative phase
-// precomputed, keyed by pattern pointer (the replay receives the very
-// *Pattern objects speculation built). All access goes through the
-// mutex: the authoritative replay mutates the incumbents while
-// speculation workers read them for (advisory) pruning bounds.
+// ubTabM is the embedding-count range covered by the search's
+// precomputed fragUB table (satellite of the benefit-directed walk:
+// fragUB is pure, so the hot policies index a flat table instead of
+// recomputing the two benefit polynomials per comparison).
+const ubTabM = 2048
+
+// search is the shared state of one FindCandidates run: the scalar
+// incumbent read by the branch-and-bound policies, plus — in parallel
+// mode — a memo of pure by-products the speculative phase precomputed,
+// keyed by pattern pointer (the replay receives the very *Pattern
+// objects speculation built). All access goes through the mutex: the
+// authoritative replay mutates the incumbent while speculation workers
+// read it for (advisory) pruning bounds.
+//
+// The incumbent is deliberately a single scalar plus its tie set, not a
+// ranked list. With admissible bounds and strictly-less pruning
+// (UB < bestBen), every candidate whose benefit equals the final maximum
+// survives under ANY sibling visit order: each of its ancestors has an
+// upper bound at least that maximum, which never drops below the
+// incumbent. The final (bestBen, ties-as-a-set) is therefore identical
+// between the lexicographic and benefit-directed walks — the property
+// the Result-identity guarantee rests on. A ranked runner-up list has no
+// such invariance (which sub-maximum candidates get built depends on
+// when the bound rises), so runners-up come from the order-invariant
+// warm sources instead (sequence seeds and the previous round's carried
+// candidates, see FindCandidates).
 type search struct {
-	mu   sync.Mutex
-	kept candList
-	memo map[*mining.Pattern]*patMemo // nil in serial mode
+	mu      sync.Mutex
+	bestBen int          // incumbent: highest known admissible benefit (warm-started)
+	ties    []*Candidate // mined candidates with Benefit == bestBen, admission order
+	memo    map[*mining.Pattern]*patMemo // nil in serial mode
 	// ck, when non-nil, records the walk for cross-round fast-forwarding
 	// (checkpoint.go). Its note hooks run on the authoritative goroutine
 	// only; speculation reaches it solely through the advisory covered().
 	ck *checkpointer
+
+	// ub is the walk-bound memo: ub[(k-2)*ubTabM+m] is the optimistic
+	// benefit of a k-node fragment with at most m occurrences, for k in
+	// [2, maxK], m in [0, ubTabM). Built once per run (CallBenefit for
+	// the benefit-directed walk, legacy fragUB for the Lexicographic
+	// reference — see newSearch), then read-only — safe for concurrent
+	// speculation reads.
+	ub    []int
+	bound func(k, m int) int // the table's generator, for out-of-range m
+	maxK  int
+
+	// lastSelFor/lastSelN stash the exact independent-set size computed
+	// by the most recent authoritative visit (DgSpan mode only), so the
+	// subtree prune that immediately follows the visit can bound with the
+	// real extraction count instead of the raw embedding count. Written
+	// and read on the authoritative goroutine only.
+	lastSelFor *mining.Pattern
+	lastSelN   int
+}
+
+// newSearch builds the run's bound table. The graph walk can only yield
+// call extractions: MiningGraph drops every edge touching an instruction
+// that cannot be outlined (terminators, lr traffic, barriers), patterns
+// grow along edges, and k >= 2 — so no mined occurrence ever includes a
+// block terminator and buildCandidate always lands on MethodCall. The
+// benefit-directed walk therefore bounds with CallBenefit alone, which
+// is strictly tighter than fragUB (CrossJumpBenefit exceeds CallBenefit
+// by k+1-m, so support-2 and -3 subtrees that only a tail merge could
+// redeem are cut). Cross-jump candidates are untouched: they come
+// exclusively from the ScanSequences seeds, which bypass the walk. The
+// Lexicographic reference arm keeps the legacy fragUB bound — pruning
+// strictly below EITHER admissible bound preserves the final incumbent
+// tie set, so the two arms still return identical candidates.
+func newSearch(maxK int, lexicographic bool) *search {
+	s := &search{maxK: maxK, ub: make([]int, (maxK-1)*ubTabM), bound: CallBenefit}
+	if lexicographic {
+		s.bound = fragUB
+	}
+	for k := 2; k <= maxK; k++ {
+		row := s.ub[(k-2)*ubTabM:]
+		for m := 0; m < ubTabM; m++ {
+			row[m] = s.bound(k, m)
+		}
+	}
+	return s
+}
+
+// ubm is the memoised walk bound.
+func (s *search) ubm(k, m int) int {
+	if k >= 2 && k <= s.maxK && m >= 0 && m < ubTabM {
+		return s.ub[(k-2)*ubTabM+m]
+	}
+	return s.bound(k, m)
+}
+
+// best reads the incumbent benefit.
+func (s *search) best() int {
+	s.mu.Lock()
+	b := s.bestBen
+	s.mu.Unlock()
+	return b
+}
+
+// admit offers a mined candidate to the incumbent: a strictly better
+// benefit resets the tie set, an equal one joins it, a worse one (only
+// possible for candidates built against a stale threshold) is dropped.
+// Duplicates are allowed — the merge dedupes by canonical key.
+func (s *search) admit(c *Candidate) {
+	s.mu.Lock()
+	if c.Benefit > s.bestBen {
+		s.bestBen = c.Benefit
+		s.ties = s.ties[:0]
+	}
+	if c.Benefit == s.bestBen {
+		s.ties = append(s.ties, c)
+	}
+	s.mu.Unlock()
+	if s.ck != nil {
+		s.ck.noteAdd(c)
+	}
 }
 
 // patMemo caches speculative per-pattern work. The candidate entry is
@@ -87,38 +165,6 @@ type patMemo struct {
 	cand         *Candidate // validated candidate (nil = rejected)
 	candThr      int        // the bail threshold cand was built against
 	haveCand     bool
-}
-
-// boundsSnap is one coherent read of the incumbent state.
-type boundsSnap struct {
-	best     int // highest kept benefit (meaningful when haveBest)
-	haveBest bool
-	minBen   int // benefit a new candidate must beat: weakest kept when full, else 0
-	full     bool
-}
-
-func (s *search) bounds() boundsSnap {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var b boundsSnap
-	if len(s.kept.cands) > 0 {
-		b.best = s.kept.cands[0].Benefit
-		b.haveBest = true
-	}
-	if len(s.kept.cands) >= s.kept.limit {
-		b.full = true
-		b.minBen = s.kept.cands[len(s.kept.cands)-1].Benefit
-	}
-	return b
-}
-
-func (s *search) add(c *Candidate) {
-	s.mu.Lock()
-	s.kept.add(c)
-	s.mu.Unlock()
-	if s.ck != nil {
-		s.ck.noteAdd(c)
-	}
 }
 
 func (s *search) lookup(p *mining.Pattern) *patMemo {
@@ -265,78 +311,111 @@ func (m *GraphMiner) FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts
 		inc.mg = newMG
 	}
 	workers := opts.workers()
-	s := &search{kept: candList{limit: opts.batch()}}
+	maxK := opts.maxNodes()
+	s := newSearch(maxK, opts.Lexicographic)
 	if inc != nil {
 		s.ck = &checkpointer{s: s, memo: inc.memo, byID: byID, safe: safeByGraph}
 	}
 	if workers > 1 {
 		s.memo = map[*mining.Pattern]*patMemo{}
 	}
-	// Seed the incumbent list with contiguous-sequence candidates. With
-	// unbounded fragment size the graph search strictly subsumes the
-	// sequence scan; under the fragment-size cap, seeding restores that
-	// subsumption and gives the benefit-bound pruning a strong incumbent
-	// from the first visited pattern (branch-and-bound with an initial
-	// heuristic solution). DgSpan sees at most one occurrence per block,
-	// consistent with its graph-count support.
-	for _, c := range ScanSequences(graphs, opts, !m.Embedding) {
-		s.kept.add(c)
+	// Warm-start the incumbent — branch-and-bound with an initial
+	// heuristic solution, from two order-invariant sources. Sequence
+	// seeds: with unbounded fragment size the graph search strictly
+	// subsumes the sequence scan; under the fragment-size cap, seeding
+	// restores that subsumption (DgSpan sees at most one occurrence per
+	// block, consistent with its graph-count support). Carried
+	// candidates: the previous round's returned list, revalidated against
+	// the current view — post-extraction rounds start with a real
+	// threshold instead of rediscovering it from zero. Both feed the
+	// merged return list too, so the driver's runner-up supply does not
+	// depend on visit order.
+	seeds := ScanSequences(graphs, opts, !m.Embedding)
+	carried := m.revalidateCarry(view, graphs, opts.carry, safe)
+	warm := make([]*Candidate, 0, len(seeds)+len(carried))
+	warm = append(warm, seeds...)
+	warm = append(warm, carried...)
+	for _, c := range warm {
+		if c.Benefit > s.bestBen {
+			s.bestBen = c.Benefit
+		}
 	}
-	maxK := opts.maxNodes()
 	ctx := opts.Context()
-	// Benefit-bound pruning: no descendant (support can only fall, size
-	// is capped at maxK) can beat the incumbent best candidate. The same
-	// policies serve the authoritative search and, in parallel mode, the
-	// speculation workers — the latter just see fresher-or-staler bounds
-	// through the search lock, which costs fallback work, never output.
+	// Benefit-bound pruning: a subtree is cut only when NO descendant can
+	// match the incumbent (strictly less — ties must survive, they are
+	// the mined output). The advisory closures serve the speculation
+	// workers, which must not touch the authoritative-only lastSel stash
+	// and never note; staleness there costs fallback work, never output.
 	// A cancelled run prunes everything: the driver discards the
 	// candidate list, so collapsing the walk is the fastest sound exit.
+	advBound := func(p *mining.Pattern) int {
+		if m.Embedding {
+			return p.Support // the exact independent-set size
+		}
+		// DgSpan's Support is a graph count, which does NOT bound the
+		// occurrence count; the embedding count does (a descendant's
+		// disjoint embeddings restrict to distinct parent rows).
+		return p.Embeddings.Len()
+	}
+	authBound := func(p *mining.Pattern) int {
+		if m.Embedding {
+			return p.Support
+		}
+		if !opts.Lexicographic && s.lastSelFor == p {
+			// The visit that just ran computed the exact independent set;
+			// bound with the real extraction count. Part of the MIS-aware
+			// tightening, so the legacy reference arm skips it.
+			return s.lastSelN
+		}
+		return p.Embeddings.Len()
+	}
 	prune := func(p *mining.Pattern) bool {
 		if ctx.Err() != nil {
 			return true
 		}
-		b := s.bounds()
-		return b.haveBest && fragUB(maxK, p.Support) <= b.best
+		return s.ubm(maxK, advBound(p)) < s.best()
 	}
 	// Extension groups whose raw candidate count cannot yield a pattern
-	// beating the incumbent are dropped before their embeddings are
+	// matching the incumbent are dropped before their embeddings are
 	// built.
-	viable := func(count int) bool {
-		b := s.bounds()
-		return !b.haveBest || fragUB(maxK, count) > b.best
+	viable := func(count int) bool { return s.ubm(maxK, count) >= s.best() }
+	// pruneChild is the tightened between-siblings bound of the
+	// benefit-directed walk: the mining layer hands it each child's
+	// misUpperBound (admissible for the whole subtree), computed anyway
+	// for the sibling ordering.
+	pruneChild := func(set *mining.EmbSet, bound int) bool {
+		return s.ubm(maxK, bound) < s.best()
 	}
 	// The authoritative walk additionally records each bound comparison
-	// into the open checkpoint records (checkpoint.go); the advisory
-	// closures above stay non-recording for the speculation workers.
-	authPrune := prune
-	authViable := viable
-	if s.ck != nil {
-		ck := s.ck
-		authPrune = func(p *mining.Pattern) bool {
-			if ctx.Err() != nil {
-				// Cancellation collapses the walk without noting: the run's
-				// whole incremental state is discarded with the error.
-				return true
-			}
-			b := s.bounds()
-			if !b.haveBest {
-				return false
-			}
-			u := fragUB(maxK, p.Support)
-			pruned := u <= b.best
-			ck.noteBest(u, pruned)
-			return pruned
+	// into the open checkpoint records (checkpoint.go).
+	authPrune := func(p *mining.Pattern) bool {
+		if ctx.Err() != nil {
+			// Cancellation collapses the walk without noting: the run's
+			// whole incremental state is discarded with the error.
+			return true
 		}
-		authViable = func(count int) bool {
-			b := s.bounds()
-			if !b.haveBest {
-				return true
-			}
-			u := fragUB(maxK, count)
-			ok := u > b.best
-			ck.noteBest(u, !ok)
-			return ok
+		u := s.ubm(maxK, authBound(p))
+		pruned := u < s.best()
+		if s.ck != nil {
+			s.ck.noteBest(u, pruned)
 		}
+		return pruned
+	}
+	authViable := func(count int) bool {
+		u := s.ubm(maxK, count)
+		ok := u >= s.best()
+		if s.ck != nil {
+			s.ck.noteBest(u, !ok)
+		}
+		return ok
+	}
+	authPruneChild := func(set *mining.EmbSet, bound int) bool {
+		u := s.ubm(maxK, bound)
+		pruned := u < s.best()
+		if s.ck != nil {
+			s.ck.noteBest(u, pruned)
+		}
+		return pruned
 	}
 	cfgm := mining.Config{
 		MinSupport:       opts.minSupport(),
@@ -345,6 +424,7 @@ func (m *GraphMiner) FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts
 		GreedyMIS:        opts.GreedyMIS,
 		MaxPatterns:      opts.maxPatterns(),
 		Workers:          workers,
+		Lexicographic:    opts.Lexicographic,
 		PruneSubtree:     authPrune,
 		ViableCount:      authViable,
 		NewSpeculator: func() *mining.Speculator {
@@ -353,11 +433,25 @@ func (m *GraphMiner) FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts
 				ViableCount:  viable,
 				Visit:        func(p *mining.Pattern) { m.speculateVisit(s, byID, maxK, safe, opts, p) },
 			}
+			if !opts.Lexicographic {
+				sp.PruneChild = pruneChild
+			}
 			if s.ck != nil {
 				sp.SkipSubtree = s.ck.covered
 			}
 			return sp
 		},
+	}
+	if !opts.Lexicographic {
+		// The Lexicographic reference arm keeps the old-style walk — the
+		// legacy fragUB support bound (newSearch), subtree and group
+		// pruning only — so the A/B differentials contrast the full
+		// benefit-directed machinery (call-only bound, MIS-aware child
+		// pruning, sibling ordering) against the reference, not just the
+		// sibling permutation. Result identity holds regardless: both
+		// arms prune strictly below an admissible bound, which preserves
+		// the final incumbent tie set (see the search doc).
+		cfgm.PruneChild = authPruneChild
 	}
 	if s.ck != nil {
 		cfgm.Checkpoint = s.ck
@@ -381,12 +475,15 @@ func (m *GraphMiner) FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts
 			return v
 		}
 	}
-	mining.Mine(mgs, cfgm, func(p *mining.Pattern) { m.visitPattern(s, byID, maxK, safe, opts, p) })
+	visits := mining.Mine(mgs, cfgm, func(p *mining.Pattern) { m.visitPattern(s, byID, maxK, safe, opts, p) })
+	if opts.stat != nil {
+		opts.stat.Visits = visits
+	}
 	if s.ck != nil && inc.stat != nil {
 		inc.stat.MemoHits += s.ck.hits
 		inc.stat.VisitsSaved += s.ck.saved
 	}
-	return s.kept.cands
+	return mergeCandidates(opts.batch(), s.ties, warm)
 }
 
 // visitPattern is the authoritative per-pattern visitor: it gates by
@@ -395,16 +492,16 @@ func (m *GraphMiner) FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts
 // it reuses whatever the speculative phase already computed for this
 // pattern object.
 func (m *GraphMiner) visitPattern(s *search, byID map[int]*dfg.Graph, maxK int, safe callSafeCache, opts Options, p *mining.Pattern) {
-	// noteMin records authoritative comparisons against the admission
-	// threshold for the checkpoint records (no-op without one). Only
-	// threshold-dependent decisions note; everything else in this visitor
-	// is a pure function of the pattern. When the kept list is not full
-	// the threshold is 0 and the comparisons below are decided by the
-	// sign of pattern-derived values, so no note is needed — the
-	// checkpoint's full-flag equality pins that case.
-	noteMin := func(v int, le bool) {
+	// noteBest records authoritative comparisons against the incumbent
+	// benefit for the checkpoint records (no-op without one). EVERY
+	// threshold-dependent decision notes, including trivially-passing
+	// ones: a record's validity region must pin each comparison, or a
+	// later round with a different incumbent could replay a walk that
+	// would have decided differently. Everything else in this visitor is
+	// a pure function of the pattern. less reports v < best.
+	noteBest := func(v int, less bool) {
 		if s.ck != nil {
-			s.ck.noteMin(v, le)
+			s.ck.noteBest(v, less)
 		}
 	}
 	k := p.Code.NumNodes()
@@ -412,16 +509,18 @@ func (m *GraphMiner) visitPattern(s *search, byID map[int]*dfg.Graph, maxK int, 
 		return
 	}
 	// Cheap gate before any independent-set work: the raw embedding
-	// count bounds every support notion from above.
-	ubRaw := fragUB(k, p.Embeddings.Len())
+	// count bounds every support notion from above. Strict comparison:
+	// a candidate tying the incumbent is part of the mined output.
+	ubRaw := s.ubm(k, p.Embeddings.Len())
 	if ubRaw <= 0 {
 		return
 	}
-	b := s.bounds()
-	if b.full && ubRaw <= b.minBen {
-		noteMin(ubRaw, true)
+	best := s.best()
+	if ubRaw < best {
+		noteBest(ubRaw, true)
 		return
 	}
+	noteBest(ubRaw, false)
 	mm := s.lookup(p)
 	var rec *latticeRec
 	if s.ck != nil {
@@ -443,30 +542,31 @@ func (m *GraphMiner) visitPattern(s *search, byID map[int]*dfg.Graph, maxK int, 
 		if mm.cand != nil {
 			// Occurrence filtering is threshold-independent, so the
 			// speculative candidate is exact; only the admission test
-			// runs against the current incumbents.
+			// runs against the current incumbent.
 			if s.ck != nil {
 				s.ck.noteCand(p, mm.cand, mm.candThr)
 			}
-			if mm.cand.Benefit > b.minBen {
-				noteMin(mm.cand.Benefit, false)
-				s.add(mm.cand)
+			if mm.cand.Benefit >= best {
+				noteBest(mm.cand.Benefit, false)
+				s.admit(mm.cand)
 			} else {
-				noteMin(mm.cand.Benefit, true)
+				noteBest(mm.cand.Benefit, true)
 			}
 			return
 		}
-		if b.minBen >= mm.candThr {
-			// Rejected at a threshold the incumbents have since met or
-			// passed: still rejected. (A live build at any threshold in
-			// minBen >= candThr also returns nil, so this note keeps the
-			// outcome reproducible whether or not the memo entry exists
-			// in a replayed round.)
+		if best-1 >= mm.candThr {
+			// Rejected at threshold candThr: nil stands for every
+			// threshold >= candThr, and the live threshold best-1 has met
+			// or passed it. (A live build here returns nil too, so this
+			// note keeps the outcome reproducible whether or not the memo
+			// entry exists in a replayed round.)
 			if s.ck != nil {
 				s.ck.noteCand(p, nil, mm.candThr)
 			}
-			noteMin(mm.candThr, true)
+			noteBest(mm.candThr, true)
 			return
 		}
+		noteBest(mm.candThr, false)
 		// Rejected against a stricter threshold than the current one —
 		// rebuild live below.
 	}
@@ -492,24 +592,28 @@ func (m *GraphMiner) visitPattern(s *search, byID map[int]*dfg.Graph, maxK int, 
 		if s.ck != nil {
 			s.ck.noteDisjoint(p, sel)
 		}
+		// Stash the exact extraction count for the subtree prune that
+		// follows this visit: DgSpan's Support is a graph count, useless
+		// as an occurrence bound, but this independent set is exact.
+		s.lastSelFor, s.lastSelN = p, len(sel)
 	}
-	ub := fragUB(k, len(sel))
+	ub := s.ubm(k, len(sel))
 	if ub <= 0 {
 		return
 	}
-	// A candidate is only useful if it beats the weakest kept entry.
-	if ub <= b.minBen {
-		noteMin(ub, true)
+	if ub < best {
+		noteBest(ub, true)
 		return
 	}
-	cand := m.buildCandidate(byID, p.Embeddings, sel, k, safe, b.minBen, noteMin)
+	noteBest(ub, false)
+	cand := m.buildCandidate(byID, p.Embeddings, sel, k, safe, best-1, noteBest)
 	if s.ck != nil {
-		s.ck.noteCand(p, cand, b.minBen)
+		s.ck.noteCand(p, cand, best-1)
 	}
 	if cand == nil {
 		return
 	}
-	s.add(cand)
+	s.admit(cand)
 }
 
 // speculateVisit mirrors visitPattern on a speculation worker: same
@@ -522,13 +626,13 @@ func (m *GraphMiner) speculateVisit(s *search, byID map[int]*dfg.Graph, maxK int
 	if k < 2 {
 		return
 	}
-	ubRaw := fragUB(k, p.Embeddings.Len())
+	ubRaw := s.ubm(k, p.Embeddings.Len())
 	if ubRaw <= 0 {
 		return
 	}
-	b := s.bounds()
-	if b.full && ubRaw <= b.minBen {
-		// The bounds only tighten, so the replay will skip this pattern
+	best := s.best()
+	if ubRaw < best {
+		// The incumbent only rises, so the replay will skip this pattern
 		// at least as early; nothing worth precomputing.
 		return
 	}
@@ -540,14 +644,14 @@ func (m *GraphMiner) speculateVisit(s *search, byID map[int]*dfg.Graph, maxK int
 			mm.haveDisjoint = true
 		})
 	}
-	ub := fragUB(k, len(sel))
-	if ub <= 0 || ub <= b.minBen {
+	ub := s.ubm(k, len(sel))
+	if ub <= 0 || ub < best {
 		return
 	}
-	cand := m.buildCandidate(byID, p.Embeddings, sel, k, safe, b.minBen, nil)
+	cand := m.buildCandidate(byID, p.Embeddings, sel, k, safe, best-1, nil)
 	s.memoize(p, func(mm *patMemo) {
 		mm.cand = cand
-		mm.candThr = b.minBen
+		mm.candThr = best - 1
 		mm.haveCand = true
 	})
 }

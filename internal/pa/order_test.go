@@ -1,0 +1,179 @@
+package pa
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"graphpa/internal/cfg"
+	"graphpa/internal/dfg"
+	"graphpa/internal/loader"
+)
+
+func buildForMining(t *testing.T, prog *loader.Program) (*cfg.Program, []*dfg.Graph) {
+	t.Helper()
+	view := cfg.Build(prog)
+	summaries := CallSummaries(view)
+	graphs := make([]*dfg.Graph, len(view.Blocks))
+	for i, b := range view.Blocks {
+		graphs[i] = dfg.Build(b, summaries)
+	}
+	return view, graphs
+}
+
+// The benefit-directed walk (best-first sibling order, MIS-aware child
+// pruning, warm-started incumbent) must be invisible in the output: the
+// Lexicographic kill switch flips the entire machinery and the Result
+// has to come out byte-identical, at every worker width, in both driver
+// modes. These tests pin that equivalence on small fixed programs; the
+// full-benchmark version lives in the heavy A/B suite.
+
+// orderTestSrc is reorderSrc's shape scaled up: several functions sharing
+// repeated connected fragments, some with reordered consumers, some
+// straddling calls, plus duplicated tails so both extraction methods and
+// several rounds fire.
+const orderTestSrc = `
+_start:
+	bl main
+	swi 0
+main:
+	push {r4, r5, lr}
+	mov r0, #1
+	mov r1, #2
+	mov r2, #3
+	add r0, r0, r1
+	eor r1, r0, #7
+	add r2, r2, r0
+	bl alpha
+	bl beta
+	add r0, r0, r2
+	pop {r4, r5, pc}
+alpha:
+	push {r4, lr}
+	add r0, r0, r1
+	add r2, r2, r0
+	eor r1, r0, #7
+	mov r4, #9
+	orr r3, r4, r0
+	and r12, r3, r1
+	sub r3, r3, #2
+	pop {r4, pc}
+beta:
+	push {r4, lr}
+	add r0, r0, r1
+	eor r1, r0, #7
+	add r2, r2, r0
+	mov r4, #9
+	orr r3, r4, r0
+	and r12, r3, r1
+	sub r3, r3, #2
+	b bt
+bt:
+	add r0, r0, r1
+	eor r1, r0, #7
+	add r2, r2, r0
+	pop {r4, pc}
+gamma:
+	push {r4, lr}
+	mov r4, #9
+	orr r3, r4, r0
+	and r12, r3, r1
+	sub r3, r3, #2
+	add r0, r0, r1
+	eor r1, r0, #7
+	add r2, r2, r0
+	pop {r4, pc}
+`
+
+// fingerprint renders everything Result-identity covers: the optimized
+// program text, the extraction log, and the per-round visit counts.
+func fingerprint(res *Result) string {
+	var b strings.Builder
+	b.WriteString(res.Program.String())
+	fmt.Fprintf(&b, "rounds=%d saved=%d\n", res.Rounds, res.Saved())
+	for _, e := range res.Extractions {
+		fmt.Fprintf(&b, "%s %s k=%d m=%d ben=%d\n", e.Name, e.Method, e.Size, e.Occs, e.Benefit)
+	}
+	return b.String()
+}
+
+func visitTrace(res *Result) []int {
+	var v []int
+	for _, rs := range res.RoundStats {
+		v = append(v, rs.Visits)
+	}
+	return v
+}
+
+func TestOrderInvariantResult(t *testing.T) {
+	srcs := map[string]string{"reorder": reorderSrc, "mixed": orderTestSrc}
+	for sname, src := range srcs {
+		for _, embedding := range []bool{true, false} {
+			miner := &GraphMiner{Embedding: embedding}
+			// Reference arm: lexicographic walk, serial, scratch rebuilds.
+			ref := Optimize(loadSrc(t, src), miner,
+				Options{Lexicographic: true, NoIncremental: true, MaxPatterns: 10_000_000})
+			want := fingerprint(ref)
+			var lexVisits, bfVisits []int
+			for _, lex := range []bool{true, false} {
+				for _, workers := range []int{1, 8} {
+					for _, noInc := range []bool{true, false} {
+						name := fmt.Sprintf("%s/%s/lex=%v/w=%d/noinc=%v", sname, miner.Name(), lex, workers, noInc)
+						res := Optimize(loadSrc(t, src), miner, Options{
+							Lexicographic: lex, Workers: workers, NoIncremental: noInc,
+							MaxPatterns: 10_000_000,
+						})
+						if got := fingerprint(res); got != want {
+							t.Fatalf("%s: Result differs from lexicographic reference\ngot:\n%s\nwant:\n%s", name, got, want)
+						}
+						// Visits must be identical across worker widths and
+						// driver modes within one search order (they differ
+						// BETWEEN orders — that difference is the point).
+						v := visitTrace(res)
+						ref := &lexVisits
+						if !lex {
+							ref = &bfVisits
+						}
+						if *ref == nil {
+							*ref = v
+						} else if fmt.Sprint(v) != fmt.Sprint(*ref) {
+							t.Fatalf("%s: visit trace %v, want %v (must not depend on workers/incremental)", name, v, *ref)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOrderInvariantCandidateList pins the stronger per-round property
+// behind Result identity: FindCandidates itself returns the identical
+// candidate list (keys and benefits) under both sibling orders.
+func TestOrderInvariantCandidateList(t *testing.T) {
+	for sname, src := range map[string]string{"reorder": reorderSrc, "mixed": orderTestSrc} {
+		for _, embedding := range []bool{true, false} {
+			miner := &GraphMiner{Embedding: embedding}
+			var want []string
+			for _, lex := range []bool{true, false} {
+				for _, workers := range []int{1, 8} {
+					prog := loadSrc(t, src)
+					view, graphs := buildForMining(t, prog)
+					opts := Options{Lexicographic: lex, Workers: workers, MaxPatterns: 10_000_000}
+					cands := miner.FindCandidates(view, graphs, opts)
+					var got []string
+					for _, c := range cands {
+						got = append(got, fmt.Sprintf("%s ben=%d", candKey(c), c.Benefit))
+					}
+					if want == nil {
+						want = got
+						continue
+					}
+					if fmt.Sprint(got) != fmt.Sprint(want) {
+						t.Fatalf("%s/%s/lex=%v/w=%d: candidate list differs\ngot:  %v\nwant: %v",
+							sname, miner.Name(), lex, workers, got, want)
+					}
+				}
+			}
+		}
+	}
+}
