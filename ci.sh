@@ -36,19 +36,24 @@ trap cleanup EXIT
 go build -o "$TMP/pad" ./cmd/pad
 go build -o "$TMP/edgar" ./cmd/edgar
 
+# wait_addr ADDR_FILE LOG_FILE: block until pad writes its bound address.
+wait_addr() {
+	i=0
+	while [ ! -s "$1" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "ci.sh: pad never wrote its address" >&2
+			cat "$2" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	cat "$1"
+}
+
 "$TMP/pad" serve -addr 127.0.0.1:0 -addr-file "$TMP/addr" 2>"$TMP/pad.log" &
 PAD_PID=$!
-i=0
-while [ ! -s "$TMP/addr" ]; do
-	i=$((i + 1))
-	if [ "$i" -gt 100 ]; then
-		echo "ci.sh: pad never wrote its address" >&2
-		cat "$TMP/pad.log" >&2
-		exit 1
-	fi
-	sleep 0.1
-done
-ADDR=$(cat "$TMP/addr")
+ADDR=$(wait_addr "$TMP/addr" "$TMP/pad.log")
 
 "$TMP/pad" submit -addr "$ADDR" internal/bench/programs/crc.mc >"$TMP/service.report"
 "$TMP/edgar" -verify=false internal/bench/programs/crc.mc |
@@ -59,6 +64,48 @@ kill -TERM "$PAD_PID"
 wait "$PAD_PID"
 PAD_PID=""
 echo "ci.sh: service report matches CLI"
+
+# --- batch + dictionary warm-start end-to-end --------------------------
+# The same three-program corpus is mined twice against one persistent
+# dictionary, by two separate daemon lifetimes (a restart empties the
+# result cache, so the second run really re-mines). The second run must
+# report dictionary warm-start hits while producing per-program image
+# hashes identical to the first run's — and the first run's outputs are
+# themselves pinned against direct library runs by the Go test suite
+# (TestServiceBatchWarmstart) and against the edgar CLI above.
+mkdir "$TMP/corpus"
+cp internal/bench/programs/crc.mc internal/bench/programs/search.mc \
+	internal/bench/programs/dijkstra.mc "$TMP/corpus/"
+
+"$TMP/pad" serve -addr 127.0.0.1:0 -addr-file "$TMP/addr2" \
+	-dict "$TMP/frag.dict" 2>"$TMP/pad2.log" &
+PAD_PID=$!
+ADDR=$(wait_addr "$TMP/addr2" "$TMP/pad2.log")
+"$TMP/pad" submit -addr "$ADDR" -json -dir "$TMP/corpus" >"$TMP/batch1.json"
+kill -TERM "$PAD_PID"
+wait "$PAD_PID"
+PAD_PID=""
+
+"$TMP/pad" serve -addr 127.0.0.1:0 -addr-file "$TMP/addr3" \
+	-dict "$TMP/frag.dict" 2>"$TMP/pad3.log" &
+PAD_PID=$!
+ADDR=$(wait_addr "$TMP/addr3" "$TMP/pad3.log")
+"$TMP/pad" submit -addr "$ADDR" -json -dir "$TMP/corpus" >"$TMP/batch2.json"
+kill -TERM "$PAD_PID"
+wait "$PAD_PID"
+PAD_PID=""
+
+grep -o '"image_hash":"[0-9a-f]*"' "$TMP/batch1.json" >"$TMP/hashes1"
+grep -o '"image_hash":"[0-9a-f]*"' "$TMP/batch2.json" >"$TMP/hashes2"
+[ -s "$TMP/hashes1" ] || { echo "ci.sh: batch produced no image hashes" >&2; exit 1; }
+diff "$TMP/hashes1" "$TMP/hashes2"
+# The last dict_hits field in the status body is the batch total.
+HITS=$(grep -o '"dict_hits":[0-9]*' "$TMP/batch2.json" | tail -1 | cut -d: -f2)
+if [ -z "$HITS" ] || [ "$HITS" -eq 0 ]; then
+	echo "ci.sh: warm-started batch reported no dictionary hits" >&2
+	exit 1
+fi
+echo "ci.sh: dictionary warm-start reproduces identical images (dict_hits=$HITS)"
 
 # --- benchmark-record smoke --------------------------------------------
 # The JSON benchmark harness must keep producing records the committed

@@ -5,18 +5,25 @@
 // Usage:
 //
 //	pad serve [-addr host:port] [-addr-file path] [-job-workers n]
-//	          [-mine-workers n] [-queue n] [-cache n]
+//	          [-mine-workers n] [-queue n] [-cache n] [-dict path]
 //	pad submit [-addr host:port] [-miner edgar|dgspan|sfx|edgar-canon]
 //	           [-asm] [-O] [-schedule] [-minsup n] [-maxfrag n]
 //	           [-maxrounds n] [-maxpatterns n] [-greedy-mis] [-json]
-//	           file.mc
+//	           file.mc | -dir corpus/
 //
 // serve binds addr (use port 0 for an ephemeral port), optionally
 // writes the bound address to -addr-file for scripts to discover, and
 // shuts down gracefully on SIGINT/SIGTERM — in-flight jobs drain first.
+// -dict opens (or creates) a persistent fragment dictionary there:
+// every mined program warm-starts from it and publishes back to it, so
+// a corpus of related programs mines faster across restarts with
+// byte-identical output.
 // submit mirrors cmd/edgar's flags and prints the same report lines
 // (minus the wall-clock suffix, which the service deliberately omits so
-// cached responses are byte-identical to fresh ones).
+// cached responses are byte-identical to fresh ones). With -dir it packs
+// every .mc and .s file under the directory into one POST /v1/batch
+// submission, polls until the batch settles, and prints a per-program
+// savings table (.s files are submitted as assembly).
 package main
 
 import (
@@ -32,9 +39,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"graphpa/internal/dict"
 	"graphpa/internal/service"
 )
 
@@ -70,6 +80,7 @@ func serve(args []string) {
 	mineWorkers := fs.Int("mine-workers", 0, "parallel mining width per job (0 = derive)")
 	queueDepth := fs.Int("queue", 0, "pending-job queue depth (0 = default 64)")
 	cacheEntries := fs.Int("cache", 0, "result-cache entries (0 = default 128)")
+	dictPath := fs.String("dict", "", "persistent fragment-dictionary file (empty = no dictionary)")
 	_ = fs.Parse(args)
 	if fs.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: pad serve [flags]")
@@ -81,12 +92,21 @@ func serve(args []string) {
 	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	var d *dict.Dict
+	if *dictPath != "" {
+		var err error
+		if d, err = dict.Open(dict.Options{Path: *dictPath, Logger: logger}); err != nil {
+			fatal(err)
+		}
+		logger.Info("dictionary open", "path", *dictPath, "entries", d.Len())
+	}
 	svc := service.New(service.Config{
 		JobWorkers:   *jobWorkers,
 		MineWorkers:  *mineWorkers,
 		QueueDepth:   *queueDepth,
 		CacheEntries: *cacheEntries,
 		Logger:       logger,
+		Dict:         d,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -121,6 +141,12 @@ func serve(args []string) {
 	if err := svc.Shutdown(shutCtx); err != nil {
 		logger.Error("drain", "err", err)
 	}
+	if d != nil {
+		// After the drain: no job can publish once the workers are gone.
+		if err := d.Close(); err != nil {
+			logger.Error("dictionary close", "err", err)
+		}
+	}
 }
 
 func submit(args []string) {
@@ -136,9 +162,27 @@ func submit(args []string) {
 	maxPatterns := fs.Int("maxpatterns", 0, "bound mined patterns per round (default 100000)")
 	greedyMIS := fs.Bool("greedy-mis", false, "use greedy instead of exact independent sets")
 	rawJSON := fs.Bool("json", false, "print the raw JSON response instead of the report")
+	dir := fs.String("dir", "", "submit every .mc/.s file under this directory as one batch")
 	_ = fs.Parse(args)
+	opt := service.OptimizeOptions{
+		Miner:       *miner,
+		MinSupport:  *minSup,
+		MaxFragment: *maxFrag,
+		MaxRounds:   *maxRounds,
+		MaxPatterns: *maxPatterns,
+		GreedyMIS:   *greedyMIS,
+	}
+	co := &service.CompileOptions{Optimize: *optimizeIR, Schedule: *schedule}
+	if *dir != "" {
+		if fs.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: pad submit [flags] -dir corpus/ (no file argument)")
+			os.Exit(2)
+		}
+		submitBatch(*addr, *dir, co, opt, *rawJSON)
+		return
+	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: pad submit [flags] file.mc")
+		fmt.Fprintln(os.Stderr, "usage: pad submit [flags] file.mc | -dir corpus/")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(fs.Arg(0))
@@ -147,17 +191,10 @@ func submit(args []string) {
 	}
 
 	req := service.CompactRequest{
-		Source:  string(src),
-		Asm:     *asmIn,
-		Compile: &service.CompileOptions{Optimize: *optimizeIR, Schedule: *schedule},
-		Optimize: service.OptimizeOptions{
-			Miner:       *miner,
-			MinSupport:  *minSup,
-			MaxFragment: *maxFrag,
-			MaxRounds:   *maxRounds,
-			MaxPatterns: *maxPatterns,
-			GreedyMIS:   *greedyMIS,
-		},
+		Source:   string(src),
+		Asm:      *asmIn,
+		Compile:  co,
+		Optimize: opt,
 	}
 	body, err := json.Marshal(&req)
 	if err != nil {
@@ -190,4 +227,99 @@ func submit(args []string) {
 		fatal(err)
 	}
 	fmt.Print(cr.Summary)
+}
+
+// submitBatch packs the directory's programs into one POST /v1/batch,
+// polls the batch until every program settles, and prints the
+// per-program savings table.
+func submitBatch(addr, dir string, co *service.CompileOptions, opt service.OptimizeOptions, rawJSON bool) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fatal(err)
+	}
+	var req service.BatchRequest
+	req.Compile, req.Optimize = co, opt
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		isAsm := strings.HasSuffix(name, ".s")
+		if !isAsm && !strings.HasSuffix(name, ".mc") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			fatal(err)
+		}
+		req.Programs = append(req.Programs, service.BatchProgram{
+			Name: name, Source: string(src), Asm: isAsm,
+		})
+	}
+	if len(req.Programs) == 0 {
+		fatal(fmt.Errorf("no .mc or .s files in %s", dir))
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	ack, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		fatal(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(ack))))
+	}
+	var accepted struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(ack, &accepted); err != nil {
+		fatal(err)
+	}
+
+	var status service.BatchStatusBody
+	var raw []byte
+	for {
+		r, err := http.Get("http://" + addr + "/v1/batch/" + accepted.ID)
+		if err != nil {
+			fatal(err)
+		}
+		raw, err = io.ReadAll(r.Body)
+		r.Body.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if r.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("%s: %s", r.Status, strings.TrimSpace(string(raw))))
+		}
+		if err := json.Unmarshal(raw, &status); err != nil {
+			fatal(err)
+		}
+		if status.State == "done" {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if rawJSON {
+		os.Stdout.Write(raw)
+	} else {
+		fmt.Printf("%-20s %8s %8s %8s %7s %10s\n", "program", "before", "after", "saved", "cache", "dict_hits")
+		for _, p := range status.Programs {
+			if p.State == "failed" {
+				fmt.Printf("%-20s FAILED: %s\n", p.Name, p.Error)
+				continue
+			}
+			fmt.Printf("%-20s %8d %8d %8d %7s %10d\n",
+				p.Name, p.Before, p.After, p.Saved, p.Cache, p.DictHits)
+		}
+		fmt.Printf("%-20s %8s %8s %8d %7s %10d\n", "total", "", "", status.Totals.Saved, "", status.Totals.DictHits)
+	}
+	if status.Totals.Failed > 0 {
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,139 @@
+// Package dictdiff holds the dictionary warm-start differential over the
+// full benchmark suite. It lives outside internal/bench on purpose: the
+// differential re-optimizes every benchmark three times (dictionary
+// seeding plus both worker widths), and internal/bench already runs
+// close to Go's default 10-minute per-package test timeout on a 1-core
+// host — this package buys the heavy differential its own budget.
+package dictdiff
+
+// The dictionary differential: a pre-populated fragment dictionary may
+// change how much lattice the miner walks, never what it produces. Every
+// benchmark is optimized cold (no dictionary) and warm (dictionary
+// populated by a prior run of the same program) at both worker widths,
+// and the warm images must be byte-identical to the cold ones while the
+// warm walk visits no more patterns than the cold walk.
+//
+// Equality of the visit counts is the expected steady state here, not a
+// failure: the benefit-directed walk converges on the optimum within the
+// first few visits, and on these benchmarks the sequence-scan seeds
+// already floor the incumbent at the dictionary fragment's benefit, so
+// the dictionary floor prunes nothing extra. Where the dictionary floor
+// IS strictly higher (rijndael, sha), the walk truncates at MaxPatterns
+// and the warm result is discarded by design — the fallback replays the
+// cold walk exactly (see TestDictWarmstartTruncationFallback in
+// internal/pa). What this test pins is the hard part: hits > 0 and the
+// inequality never flips.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"graphpa/internal/bench"
+	"graphpa/internal/core"
+	"graphpa/internal/dict"
+	"graphpa/internal/link"
+	"graphpa/internal/pa"
+)
+
+// maxPatterns mirrors internal/bench's deterministic cap: large enough
+// that rijndael and sha truncate non-trivially (exercising the
+// discard-and-fallback path), small enough for CI time.
+const maxPatterns = 30000
+
+func totalVisits(r *pa.Result) int {
+	n := 0
+	for i := range r.RoundStats {
+		n += r.RoundStats[i].Visits
+	}
+	return n
+}
+
+func sameImage(a, b *link.Image) bool {
+	if a.TextWords != b.TextWords || a.Entry != b.Entry || len(a.Words) != len(b.Words) {
+		return false
+	}
+	for i := range a.Words {
+		if a.Words[i] != b.Words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDictWarmstartDifferential(t *testing.T) {
+	names := bench.Names
+	if testing.Short() {
+		names = []string{"crc", "search"}
+	}
+	m, err := core.MinerByName("edgar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyHits := false
+	for _, n := range names {
+		w, err := bench.Build(n, bench.DefaultCodegen())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One cold reference run: W=8 reproduces W=1 byte-for-byte
+		// including RoundStats (pinned by internal/bench's determinism
+		// suite), so both warm widths compare against this one.
+		cold, coldImg, err := core.Optimize(w.Image, m,
+			pa.Options{MaxPatterns: maxPatterns, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := dict.Open(dict.Options{Path: filepath.Join(t.TempDir(), n+".dict")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Populate: a first warm run against the empty dictionary. No
+		// fragments, no floor — it must already match the cold run.
+		seedRes, seedImg, err := core.Optimize(w.Image, m,
+			pa.Options{MaxPatterns: maxPatterns, Workers: 1, Warmstart: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameImage(seedImg, coldImg) {
+			t.Errorf("%s: empty-dictionary run diverges from cold run", n)
+		}
+		if totalVisits(seedRes) != totalVisits(cold) {
+			t.Errorf("%s: empty-dictionary run visited %d patterns, cold visited %d",
+				n, totalVisits(seedRes), totalVisits(cold))
+		}
+
+		for _, workers := range []int{1, 8} {
+			warm, warmImg, err := core.Optimize(w.Image, m,
+				pa.Options{MaxPatterns: maxPatterns, Workers: workers, Warmstart: d})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameImage(warmImg, coldImg) {
+				t.Errorf("%s W=%d: warm image differs from cold image", n, workers)
+				continue
+			}
+			if len(warm.Extractions) != len(cold.Extractions) {
+				t.Errorf("%s W=%d: %d warm extractions vs %d cold",
+					n, workers, len(warm.Extractions), len(cold.Extractions))
+				continue
+			}
+			for i := range warm.Extractions {
+				if warm.Extractions[i] != cold.Extractions[i] {
+					t.Errorf("%s W=%d: extraction %d diverges:\nwarm: %+v\ncold: %+v",
+						n, workers, i, warm.Extractions[i], cold.Extractions[i])
+				}
+			}
+			if warm.DictHits() > 0 {
+				anyHits = true
+			}
+			wv, cv := totalVisits(warm), totalVisits(cold)
+			if wv > cv {
+				t.Errorf("%s W=%d: warm walk visited more than cold: %d > %d", n, workers, wv, cv)
+			}
+		}
+		d.Close()
+	}
+	if !anyHits {
+		t.Error("no benchmark revalidated a single dictionary fragment")
+	}
+}

@@ -1,0 +1,464 @@
+package dict
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"graphpa/internal/link"
+)
+
+// The on-disk form is an append-only log:
+//
+//	header: 8 bytes "GPADICT\x01"
+//	record: u32 payloadLen | payload | 32-byte SHA-256 of payload
+//
+// Appends are the only write path during operation, so a crash leaves at
+// worst a torn final record. Open scans the log, truncates a torn tail,
+// skips any record whose checksum or decoding fails (a warning each),
+// and folds duplicate addresses forward (a later record for the same
+// fragment supersedes the earlier one — that is how benefit updates are
+// made durable without rewriting the file). When the scan drops records
+// (corruption, supersession, eviction overflow) the log is compacted —
+// rewritten from the live index into a temp file and atomically renamed
+// — so the file converges to the index instead of growing unboundedly.
+
+var fileMagic = [8]byte{'G', 'P', 'A', 'D', 'I', 'C', 'T', 1}
+
+const checksumLen = sha256.Size
+
+// maxRecordLen bounds a single record frame; a length prefix beyond it
+// is treated as a torn tail (the frame boundary is unrecoverable).
+const maxRecordLen = 1 << 26
+
+// Options configures Open. The zero value of every field but Path is a
+// sensible default.
+type Options struct {
+	// Path is the log file; created (with its parent directory) if absent.
+	Path string
+	// MaxEntries bounds the dictionary; beyond it the lowest-benefit,
+	// least-recently-used entries are evicted (default 1024).
+	MaxEntries int
+	// MaxSeeds bounds what Seeds returns (default 64).
+	MaxSeeds int
+	// Logger receives recovery and eviction warnings (default: discard).
+	Logger *slog.Logger
+}
+
+func (o Options) maxEntries() int {
+	if o.MaxEntries > 0 {
+		return o.MaxEntries
+	}
+	return 1024
+}
+
+func (o Options) maxSeeds() int {
+	if o.MaxSeeds > 0 {
+		return o.MaxSeeds
+	}
+	return 64
+}
+
+// entry is one live fragment plus its ranking state: seq is a monotonic
+// recency stamp (bumped when the entry is served as a seed or
+// re-published), the LRU half of the eviction order.
+type entry struct {
+	frag Fragment
+	addr string
+	seq  int64
+}
+
+// Stats is a counters snapshot for /stats and /metrics.
+type Stats struct {
+	Entries     int   `json:"entries"`
+	LogBytes    int64 `json:"log_bytes"`
+	Published   int64 `json:"published"`    // new fragments accepted
+	Updated     int64 `json:"updated"`      // benefit/recency bumps of known fragments
+	Evicted     int64 `json:"evicted"`      // entries dropped by the size bound
+	SeedsServed int64 `json:"seeds_served"` // fragments handed out by Seeds
+	Skipped     int64 `json:"skipped"`      // corrupt records skipped on open
+	Compactions int64 `json:"compactions"`
+}
+
+// Dict is the persistent dictionary. Safe for concurrent use.
+type Dict struct {
+	mu   sync.Mutex
+	opts Options
+	log  *slog.Logger
+	f    *os.File
+	size int64 // current log length
+
+	entries map[string]*entry
+	seq     int64
+	dead    int // log records no longer backed by a live entry
+
+	stats Stats
+}
+
+// Open loads (or creates) the dictionary at opts.Path, recovering from a
+// torn tail or corrupt records as described above.
+func Open(opts Options) (*Dict, error) {
+	lg := opts.Logger
+	if lg == nil {
+		lg = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if dir := filepath.Dir(opts.Path); dir != "" && dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("dict: %w", err)
+		}
+	}
+	f, err := os.OpenFile(opts.Path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dict: %w", err)
+	}
+	d := &Dict{opts: opts, log: lg, f: f, entries: map[string]*entry{}}
+	if err := d.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Converge the file to the live index when the scan dropped anything:
+	// corrupt or superseded records, or an over-bound tail of evictions.
+	if d.dead > 0 || d.stats.Skipped > 0 {
+		if err := d.compactLocked(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// recover scans the log into the index. Called once, before the Dict is
+// shared, so it needs no locking.
+func (d *Dict) recover() error {
+	data, err := io.ReadAll(d.f)
+	if err != nil {
+		return fmt.Errorf("dict: %w", err)
+	}
+	if len(data) == 0 {
+		if _, err := d.f.Write(fileMagic[:]); err != nil {
+			return fmt.Errorf("dict: %w", err)
+		}
+		d.size = int64(len(fileMagic))
+		return nil
+	}
+	if len(data) < len(fileMagic) || string(data[:len(fileMagic)]) != string(fileMagic[:]) {
+		return fmt.Errorf("dict: %s is not a fragment dictionary (bad magic)", d.opts.Path)
+	}
+	pos := len(fileMagic)
+	for pos < len(data) {
+		recStart := pos
+		plen, p, ok := link.ReadU32(data, pos)
+		if !ok || plen > maxRecordLen || p+int(plen)+checksumLen > len(data) {
+			// Torn tail: a crash mid-append. Everything before recStart is
+			// intact; drop the rest.
+			d.log.Warn("dict: truncated tail record dropped",
+				"path", d.opts.Path, "offset", recStart, "lost", len(data)-recStart)
+			if err := d.truncateTo(int64(recStart)); err != nil {
+				return err
+			}
+			data = data[:recStart]
+			break
+		}
+		payload := data[p : p+int(plen)]
+		sumStart := p + int(plen)
+		pos = sumStart + checksumLen
+		want := sha256.Sum256(payload)
+		if string(want[:]) != string(data[sumStart:pos]) {
+			d.stats.Skipped++
+			d.log.Warn("dict: corrupt record skipped (checksum mismatch)",
+				"path", d.opts.Path, "offset", recStart)
+			continue
+		}
+		frag, addr, err := decodeRecord(payload)
+		if err != nil {
+			d.stats.Skipped++
+			d.log.Warn("dict: corrupt record skipped",
+				"path", d.opts.Path, "offset", recStart, "err", err)
+			continue
+		}
+		d.seq++
+		if e := d.entries[addr]; e != nil {
+			// A later record supersedes: keep the higher benefit, fresher
+			// recency. The older record is now dead weight in the log.
+			if frag.Benefit > e.frag.Benefit {
+				e.frag = *frag
+			}
+			e.seq = d.seq
+			d.dead++
+			continue
+		}
+		d.entries[addr] = &entry{frag: *frag, addr: addr, seq: d.seq}
+	}
+	d.size = int64(len(data))
+	d.evictLocked()
+	d.stats.Entries = len(d.entries)
+	d.stats.LogBytes = d.size
+	return nil
+}
+
+func (d *Dict) truncateTo(n int64) error {
+	if err := d.f.Truncate(n); err != nil {
+		return fmt.Errorf("dict: %w", err)
+	}
+	if _, err := d.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("dict: %w", err)
+	}
+	d.size = n
+	return nil
+}
+
+// evictLocked enforces MaxEntries: victims are the lowest benefit, ties
+// broken by least-recent use, then address — a total, deterministic
+// order. Eviction is index-only; the log catches up at compaction.
+func (d *Dict) evictLocked() {
+	over := len(d.entries) - d.opts.maxEntries()
+	if over <= 0 {
+		return
+	}
+	victims := make([]*entry, 0, len(d.entries))
+	for _, e := range d.entries {
+		victims = append(victims, e)
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		a, b := victims[i], victims[j]
+		if a.frag.Benefit != b.frag.Benefit {
+			return a.frag.Benefit < b.frag.Benefit
+		}
+		if a.seq != b.seq {
+			return a.seq < b.seq
+		}
+		return a.addr < b.addr
+	})
+	for _, e := range victims[:over] {
+		delete(d.entries, e.addr)
+		d.dead++
+		d.stats.Evicted++
+	}
+}
+
+// appendLocked writes one framed record and extends the log size.
+func (d *Dict) appendLocked(payload []byte) error {
+	frame := make([]byte, 0, 4+len(payload)+checksumLen)
+	frame = link.AppendU32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	sum := sha256.Sum256(payload)
+	frame = append(frame, sum[:]...)
+	if _, err := d.f.Write(frame); err != nil {
+		return fmt.Errorf("dict: %w", err)
+	}
+	d.size += int64(len(frame))
+	return nil
+}
+
+// compactLocked rewrites the log from the live index (ascending seq, so
+// recency survives a reload) into a temp file and renames it into place.
+func (d *Dict) compactLocked() error {
+	live := make([]*entry, 0, len(d.entries))
+	for _, e := range d.entries {
+		live = append(live, e)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].seq < live[j].seq })
+
+	tmp := d.opts.Path + ".tmp"
+	nf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("dict: %w", err)
+	}
+	out := append([]byte(nil), fileMagic[:]...)
+	for _, e := range live {
+		payload, _ := encodeRecord(&e.frag)
+		out = link.AppendU32(out, uint32(len(payload)))
+		out = append(out, payload...)
+		sum := sha256.Sum256(payload)
+		out = append(out, sum[:]...)
+	}
+	if _, err := nf.Write(out); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("dict: %w", err)
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("dict: %w", err)
+	}
+	if err := nf.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dict: %w", err)
+	}
+	if err := os.Rename(tmp, d.opts.Path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dict: %w", err)
+	}
+	old := d.f
+	nf, err = os.OpenFile(d.opts.Path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("dict: %w", err)
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return fmt.Errorf("dict: %w", err)
+	}
+	old.Close()
+	d.f = nf
+	d.size = int64(len(out))
+	d.dead = 0
+	d.stats.Compactions++
+	return nil
+}
+
+// validFragment gates what the dictionary stores: anything else is a
+// waste of revalidation work downstream.
+func validFragment(f *Fragment) bool {
+	if f.Size < 2 || f.Benefit <= 0 || len(f.Occs) < 2 {
+		return false
+	}
+	for i := range f.Occs {
+		o := &f.Occs[i]
+		if len(o.DFS) != f.Size || len(o.Instrs) == 0 {
+			return false
+		}
+		for _, dfs := range o.DFS {
+			if dfs < 0 || dfs >= len(o.Instrs) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Publish implements Source: dedupe by content address, append new
+// fragments (and benefit improvements) to the log, bump recency of known
+// ones, evict past the size bound, compact when the dead-record backlog
+// exceeds the live set.
+func (d *Dict) Publish(frags []Fragment) {
+	if len(frags) == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f == nil {
+		return // closed
+	}
+	wrote := false
+	for i := range frags {
+		f := &frags[i]
+		if !validFragment(f) {
+			continue
+		}
+		payload, addr := encodeRecord(f)
+		d.seq++
+		if e := d.entries[addr]; e != nil {
+			e.seq = d.seq
+			d.stats.Updated++
+			if f.Benefit > e.frag.Benefit {
+				e.frag = *f
+				// Make the improvement durable; the superseded record
+				// becomes dead weight until compaction.
+				if err := d.appendLocked(payload); err != nil {
+					d.log.Warn("dict: append failed", "err", err)
+					return
+				}
+				d.dead++
+				wrote = true
+			}
+			continue
+		}
+		if err := d.appendLocked(payload); err != nil {
+			d.log.Warn("dict: append failed", "err", err)
+			return
+		}
+		d.entries[addr] = &entry{frag: *f, addr: addr, seq: d.seq}
+		d.stats.Published++
+		wrote = true
+	}
+	d.evictLocked()
+	if d.dead > len(d.entries) && d.dead > 64 {
+		if err := d.compactLocked(); err != nil {
+			d.log.Warn("dict: compaction failed", "err", err)
+		}
+	} else if wrote {
+		if err := d.f.Sync(); err != nil {
+			d.log.Warn("dict: sync failed", "err", err)
+		}
+	}
+	d.stats.Entries = len(d.entries)
+	d.stats.LogBytes = d.size
+}
+
+// Seeds implements Source: the top-MaxSeeds live fragments by descending
+// benefit (address as the deterministic tie-break), best first. Serving
+// an entry counts as use for the eviction order.
+func (d *Dict) Seeds() []Fragment {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.entries) == 0 {
+		return nil
+	}
+	all := make([]*entry, 0, len(d.entries))
+	for _, e := range d.entries {
+		all = append(all, e)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.frag.Benefit != b.frag.Benefit {
+			return a.frag.Benefit > b.frag.Benefit
+		}
+		return a.addr < b.addr
+	})
+	n := d.opts.maxSeeds()
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]Fragment, 0, n)
+	d.seq++
+	for _, e := range all[:n] {
+		e.seq = d.seq
+		out = append(out, e.frag)
+	}
+	d.stats.SeedsServed += int64(n)
+	return out
+}
+
+// Len returns the live entry count.
+func (d *Dict) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}
+
+// Stats returns a counters snapshot.
+func (d *Dict) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats
+	s.Entries = len(d.entries)
+	s.LogBytes = d.size
+	return s
+}
+
+// Close syncs and closes the log. Further Publish calls are dropped;
+// further Seeds calls serve from the in-memory index.
+func (d *Dict) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f == nil {
+		return nil
+	}
+	err := d.f.Sync()
+	if cerr := d.f.Close(); err == nil {
+		err = cerr
+	}
+	d.f = nil
+	if err != nil {
+		return fmt.Errorf("dict: %w", err)
+	}
+	return nil
+}
+
+var _ Source = (*Dict)(nil)

@@ -1,0 +1,267 @@
+package dict
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"graphpa/internal/arm"
+)
+
+// testFragment builds a distinct, valid fragment: tag perturbs the
+// instruction content so fragments with different tags get different
+// content addresses.
+func testFragment(tag, benefit int) Fragment {
+	occ := func(off int32) Occ {
+		return Occ{
+			Instrs: []arm.Instr{
+				{Op: arm.MOV, Cond: arm.Always, Rd: arm.R1, HasImm: true, Imm: int32(tag)},
+				{Op: arm.ADD, Cond: arm.Always, Rd: arm.R2, Rn: arm.R1, HasImm: true, Imm: off},
+				{Op: arm.LDR, Cond: arm.Always, Rd: arm.R3, Rn: arm.R2, Target: fmt.Sprintf("lab%d", tag)},
+			},
+			DFS: []int{0, 1},
+		}
+	}
+	return Fragment{Size: 2, Benefit: benefit, Occs: []Occ{occ(4), occ(8)}}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	f := testFragment(7, 42)
+	payload, addr := encodeRecord(&f)
+	got, gotAddr, err := decodeRecord(payload)
+	if err != nil {
+		t.Fatalf("decodeRecord: %v", err)
+	}
+	if gotAddr != addr {
+		t.Fatalf("address mismatch: encode %s decode %s", addr, gotAddr)
+	}
+	if addr != f.Addr() {
+		t.Fatalf("Addr() disagrees with encodeRecord: %s vs %s", f.Addr(), addr)
+	}
+	if !reflect.DeepEqual(*got, f) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", *got, f)
+	}
+	// Benefit is metadata: changing it must not change the address.
+	f2 := f
+	f2.Benefit = 99
+	if f2.Addr() != addr {
+		t.Fatalf("benefit changed the content address")
+	}
+	// Content is identity: changing it must change the address.
+	f3 := testFragment(8, 42)
+	if f3.Addr() == addr {
+		t.Fatalf("distinct content collided at the same address")
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	f := testFragment(1, 5)
+	payload, _ := encodeRecord(&f)
+	if _, _, err := decodeRecord(append(payload, 0)); err == nil {
+		t.Fatalf("decodeRecord accepted trailing bytes")
+	}
+	if _, _, err := decodeRecord(payload[:len(payload)-3]); err == nil {
+		t.Fatalf("decodeRecord accepted a truncated payload")
+	}
+}
+
+func TestPublishPersistReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frag.dict")
+	d, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	frags := []Fragment{testFragment(1, 10), testFragment(2, 30), testFragment(3, 20)}
+	d.Publish(frags)
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+	// Re-publishing the same content is an update, not a duplicate.
+	d.Publish([]Fragment{testFragment(1, 10)})
+	if d.Len() != 3 {
+		t.Fatalf("Len after duplicate publish = %d, want 3", d.Len())
+	}
+	st := d.Stats()
+	if st.Published != 3 || st.Updated != 1 {
+		t.Fatalf("stats = %+v, want Published=3 Updated=1", st)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	d2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	if d2.Len() != 3 {
+		t.Fatalf("Len after reopen = %d, want 3", d2.Len())
+	}
+	seeds := d2.Seeds()
+	if len(seeds) != 3 {
+		t.Fatalf("Seeds returned %d fragments, want 3", len(seeds))
+	}
+	// Best first, deterministic.
+	if seeds[0].Benefit != 30 || seeds[1].Benefit != 20 || seeds[2].Benefit != 10 {
+		t.Fatalf("seed order by benefit = %d,%d,%d; want 30,20,10",
+			seeds[0].Benefit, seeds[1].Benefit, seeds[2].Benefit)
+	}
+	if !reflect.DeepEqual(seeds[0], frags[1]) {
+		t.Fatalf("best seed does not round-trip the published fragment")
+	}
+}
+
+func TestPublishBenefitUpdateDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frag.dict")
+	d, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	d.Publish([]Fragment{testFragment(1, 10)})
+	// Higher benefit supersedes; lower benefit only bumps recency.
+	d.Publish([]Fragment{testFragment(1, 50)})
+	d.Publish([]Fragment{testFragment(1, 20)})
+	if s := d.Seeds(); len(s) != 1 || s[0].Benefit != 50 {
+		t.Fatalf("in-memory benefit = %v, want single entry at 50", s)
+	}
+	d.Close()
+
+	d2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	if s := d2.Seeds(); len(s) != 1 || s[0].Benefit != 50 {
+		t.Fatalf("reloaded benefit = %v, want single entry at 50", s)
+	}
+}
+
+func TestPublishRejectsInvalid(t *testing.T) {
+	d, err := Open(Options{Path: filepath.Join(t.TempDir(), "frag.dict")})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer d.Close()
+	oneOcc := testFragment(1, 10)
+	oneOcc.Occs = oneOcc.Occs[:1]
+	zeroBen := testFragment(2, 0)
+	badDFS := testFragment(3, 10)
+	badDFS.Occs[0].DFS = []int{0, 99}
+	shortDFS := testFragment(4, 10)
+	shortDFS.Occs[0].DFS = []int{0}
+	d.Publish([]Fragment{oneOcc, zeroBen, badDFS, shortDFS})
+	if d.Len() != 0 {
+		t.Fatalf("invalid fragments were stored: Len = %d", d.Len())
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frag.dict")
+	d, err := Open(Options{Path: path, MaxEntries: 3})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Four distinct fragments: the lowest-benefit one must go.
+	d.Publish([]Fragment{testFragment(1, 10), testFragment(2, 40), testFragment(3, 30), testFragment(4, 20)})
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+	benefits := map[int]bool{}
+	for _, s := range d.Seeds() {
+		benefits[s.Benefit] = true
+	}
+	if benefits[10] {
+		t.Fatalf("lowest-benefit entry survived eviction")
+	}
+	if st := d.Stats(); st.Evicted != 1 {
+		t.Fatalf("Evicted = %d, want 1", st.Evicted)
+	}
+	d.Close()
+
+	// Eviction is index-only until compaction; a reload must agree.
+	d2, err := Open(Options{Path: path, MaxEntries: 3})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	if d2.Len() != 3 {
+		t.Fatalf("Len after reopen = %d, want 3", d2.Len())
+	}
+	for _, s := range d2.Seeds() {
+		if s.Benefit == 10 {
+			t.Fatalf("evicted entry resurrected on reload")
+		}
+	}
+}
+
+func TestSeedsBound(t *testing.T) {
+	d, err := Open(Options{Path: filepath.Join(t.TempDir(), "frag.dict"), MaxSeeds: 2})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer d.Close()
+	d.Publish([]Fragment{testFragment(1, 10), testFragment(2, 30), testFragment(3, 20)})
+	seeds := d.Seeds()
+	if len(seeds) != 2 {
+		t.Fatalf("Seeds returned %d, want MaxSeeds=2", len(seeds))
+	}
+	if seeds[0].Benefit != 30 || seeds[1].Benefit != 20 {
+		t.Fatalf("Seeds kept %d,%d; want the top benefits 30,20", seeds[0].Benefit, seeds[1].Benefit)
+	}
+}
+
+func TestPublishAfterCloseDropped(t *testing.T) {
+	d, err := Open(Options{Path: filepath.Join(t.TempDir(), "frag.dict")})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	d.Close()
+	d.Publish([]Fragment{testFragment(1, 10)}) // must not panic or write
+	if d.Len() != 0 {
+		t.Fatalf("publish after close stored an entry")
+	}
+}
+
+func TestConcurrentPublishSeeds(t *testing.T) {
+	d, err := Open(Options{Path: filepath.Join(t.TempDir(), "frag.dict"), MaxEntries: 32})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer d.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				d.Publish([]Fragment{testFragment(w*100+i, i+1)})
+				d.Seeds()
+				d.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d.Len() != 32 {
+		t.Fatalf("Len = %d, want the MaxEntries bound 32", d.Len())
+	}
+}
+
+func TestOpenRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notadict")
+	if err := writeFile(path, []byte("definitely not a dictionary")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Path: path}); err == nil {
+		t.Fatalf("Open accepted a file with bad magic")
+	}
+}
+
+// logBuffer captures slog output for warning assertions.
+func logBuffer() (*slog.Logger, *bytes.Buffer) {
+	var buf bytes.Buffer
+	return slog.New(slog.NewTextHandler(&buf, nil)), &buf
+}

@@ -1,0 +1,176 @@
+package dict
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphpa/internal/link"
+)
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// seedLog creates a dictionary at path with n distinct fragments and
+// returns the raw log bytes.
+func seedLog(t *testing.T, path string, n int) []byte {
+	t.Helper()
+	d, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	frags := make([]Fragment, 0, n)
+	for i := 0; i < n; i++ {
+		frags = append(frags, testFragment(i+1, (i+1)*10))
+	}
+	d.Publish(frags)
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read log: %v", err)
+	}
+	return data
+}
+
+// frameBounds parses the log's record frame offsets: frame i spans
+// [starts[i], starts[i+1]) with payload at starts[i]+4.
+func frameBounds(t *testing.T, data []byte) []int {
+	t.Helper()
+	starts := []int{len(fileMagic)}
+	pos := len(fileMagic)
+	for pos < len(data) {
+		plen, p, ok := link.ReadU32(data, pos)
+		if !ok {
+			t.Fatalf("malformed length prefix at %d", pos)
+		}
+		pos = p + int(plen) + checksumLen
+		starts = append(starts, pos)
+	}
+	return starts
+}
+
+func TestRecoverTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frag.dict")
+	data := seedLog(t, path, 3)
+	starts := frameBounds(t, data)
+	if len(starts) != 4 {
+		t.Fatalf("expected 3 records, found %d", len(starts)-1)
+	}
+	// Cut the file mid-way through the last record — a crash mid-append.
+	cut := starts[2] + (starts[3]-starts[2])/2
+	if err := writeFile(path, data[:cut]); err != nil {
+		t.Fatal(err)
+	}
+
+	lg, buf := logBuffer()
+	d, err := Open(Options{Path: path, Logger: lg})
+	if err != nil {
+		t.Fatalf("Open after torn tail: %v", err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want the 2 intact records", d.Len())
+	}
+	if !strings.Contains(buf.String(), "truncated tail record dropped") {
+		t.Fatalf("missing torn-tail warning; log output:\n%s", buf.String())
+	}
+	// The log is usable again: a subsequent append round-trips.
+	d.Publish([]Fragment{testFragment(50, 500)})
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	d2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	if d2.Len() != 3 {
+		t.Fatalf("Len after recovery+append = %d, want 3", d2.Len())
+	}
+	if s := d2.Seeds(); s[0].Benefit != 500 {
+		t.Fatalf("appended fragment did not survive: best benefit %d", s[0].Benefit)
+	}
+}
+
+func TestRecoverFlippedByte(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frag.dict")
+	data := seedLog(t, path, 3)
+	starts := frameBounds(t, data)
+	// Flip one byte inside the middle record's payload: its checksum no
+	// longer matches, so recovery must skip exactly that record.
+	data[starts[1]+4+2] ^= 0xff
+	if err := writeFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+
+	lg, buf := logBuffer()
+	d, err := Open(Options{Path: path, Logger: lg})
+	if err != nil {
+		t.Fatalf("Open after flipped byte: %v", err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want the 2 intact records", d.Len())
+	}
+	if !strings.Contains(buf.String(), "corrupt record skipped") {
+		t.Fatalf("missing corrupt-record warning; log output:\n%s", buf.String())
+	}
+	st := d.Stats()
+	if st.Skipped != 1 {
+		t.Fatalf("Skipped = %d, want 1", st.Skipped)
+	}
+	// Recovery compacts the corruption away: a plain reopen is clean.
+	if st.Compactions != 1 {
+		t.Fatalf("Compactions = %d, want 1", st.Compactions)
+	}
+	d.Publish([]Fragment{testFragment(60, 600)})
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	lg2, buf2 := logBuffer()
+	d2, err := Open(Options{Path: path, Logger: lg2})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	if d2.Len() != 3 {
+		t.Fatalf("Len after recovery+append = %d, want 3", d2.Len())
+	}
+	if strings.Contains(buf2.String(), "skipped") {
+		t.Fatalf("compacted log still warns on reopen:\n%s", buf2.String())
+	}
+	if s := d2.Seeds(); s[0].Benefit != 600 {
+		t.Fatalf("appended fragment did not survive: best benefit %d", s[0].Benefit)
+	}
+}
+
+func TestRecoverOversizedLengthPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frag.dict")
+	data := seedLog(t, path, 2)
+	starts := frameBounds(t, data)
+	// Corrupt the second record's length prefix to an absurd value: the
+	// frame boundary is unrecoverable, so everything from there is a torn
+	// tail.
+	garbage := append([]byte(nil), data[:starts[1]]...)
+	garbage = link.AppendU32(garbage, 1<<30)
+	garbage = append(garbage, data[starts[1]+4:]...)
+	if err := writeFile(path, garbage); err != nil {
+		t.Fatal(err)
+	}
+
+	lg, buf := logBuffer()
+	d, err := Open(Options{Path: path, Logger: lg})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer d.Close()
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+	if !strings.Contains(buf.String(), "truncated tail record dropped") {
+		t.Fatalf("missing torn-tail warning; log output:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,253 @@
+// Package dict is the persistent, content-addressed fragment dictionary:
+// mined candidates survive the run that found them, so a corpus of
+// programs warm-starts each other's branch-and-bound incumbents instead
+// of every request rediscovering the same template-stamped fragments
+// from zero.
+//
+// A Fragment is a candidate in relocatable form — the same representation
+// pa's round-to-round carry uses (internal/pa/warmstart.go), minus the
+// program coordinates: each occurrence is a content snapshot of its whole
+// host block plus the pattern's DFS→instruction mapping. Relocation into
+// a new program is purely by block content, so a fragment mined from one
+// binary lands in any other binary that contains byte-identical blocks
+// (the template-stamped cross-binary reuse case), and in a re-run of the
+// same binary trivially.
+//
+// The consumer contract is deliberately weak: fragments are HINTS. The
+// pa layer revalidates every occurrence against its own dependence
+// graphs and recomputes the benefit from what actually relocated; the
+// stored Benefit only ranks entries inside the dictionary (seed order,
+// eviction). A stale, corrupt-but-checksummed, or outright adversarial
+// fragment can therefore cost wasted revalidation work, never a wrong
+// optimization result.
+package dict
+
+import (
+	"fmt"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/link"
+)
+
+// Occ is one occurrence of a fragment in relocatable, program-independent
+// form: the full instruction content of the block that hosted it and the
+// pattern coordinates inside that block (DFS index → instruction index).
+type Occ struct {
+	Instrs []arm.Instr
+	DFS    []int
+}
+
+// Fragment is one dictionary entry. Size is the pattern's node count
+// (instructions per occurrence); Benefit is the net instruction saving
+// observed when the fragment was mined — the ranking key, excluded from
+// the content address so re-observing a known fragment at a different
+// benefit updates the entry instead of duplicating it.
+type Fragment struct {
+	Size    int
+	Benefit int
+	Occs    []Occ
+}
+
+// Source is the warm-start hook pa.Options carries: a run pulls seed
+// fragments before mining and publishes what it mined afterwards.
+// Implementations must be safe for concurrent use — the service's job
+// workers share one dictionary.
+type Source interface {
+	// Seeds returns the highest-benefit fragments, best first. Callers
+	// must treat the returned fragments (and their slices) as read-only.
+	Seeds() []Fragment
+	// Publish offers mined fragments to the dictionary, which dedupes
+	// them by content address. The dictionary takes ownership of the
+	// fragments' slices.
+	Publish([]Fragment)
+}
+
+// The on-disk record encoding follows internal/link's stable-encoding
+// conventions (little-endian uint32 fields, length-prefixed strings,
+// deterministic layout, hex SHA-256 content addresses). One record's
+// payload:
+//
+//	u32 version(1) | u32 benefit | body
+//	body: u32 size | u32 nOccs |
+//	      per occ: u32 nInstrs | instr… | u32 nDFS | u32 dfs…
+//	instr: u32 op | u32 cond | u32 flags(bit0 SetS, bit1 HasImm) |
+//	       u32 rd rn rm ra | u32 shift | u32 shamt | u32 imm |
+//	       u32 reglist | u32 targetLen | target bytes
+//
+// The content address is the hex SHA-256 of body alone: version and
+// benefit are metadata, the (size, occurrences) content is the identity.
+
+const recVersion = 1
+
+func appendInstr(dst []byte, in *arm.Instr) []byte {
+	dst = link.AppendU32(dst, uint32(in.Op))
+	dst = link.AppendU32(dst, uint32(in.Cond))
+	var flags uint32
+	if in.SetS {
+		flags |= 1
+	}
+	if in.HasImm {
+		flags |= 2
+	}
+	dst = link.AppendU32(dst, flags)
+	dst = link.AppendU32(dst, uint32(in.Rd))
+	dst = link.AppendU32(dst, uint32(in.Rn))
+	dst = link.AppendU32(dst, uint32(in.Rm))
+	dst = link.AppendU32(dst, uint32(in.Ra))
+	dst = link.AppendU32(dst, uint32(in.Shift))
+	dst = link.AppendU32(dst, uint32(in.ShAmt))
+	dst = link.AppendU32(dst, uint32(in.Imm))
+	dst = link.AppendU32(dst, uint32(in.Reglist))
+	dst = link.AppendU32(dst, uint32(len(in.Target)))
+	return append(dst, in.Target...)
+}
+
+// encodeBody serializes the address-bearing part of a fragment.
+func encodeBody(f *Fragment) []byte {
+	n := 8
+	for i := range f.Occs {
+		o := &f.Occs[i]
+		n += 8 + 4*len(o.DFS)
+		for j := range o.Instrs {
+			n += 13*4 + len(o.Instrs[j].Target)
+		}
+	}
+	out := make([]byte, 0, n)
+	out = link.AppendU32(out, uint32(f.Size))
+	out = link.AppendU32(out, uint32(len(f.Occs)))
+	for i := range f.Occs {
+		o := &f.Occs[i]
+		out = link.AppendU32(out, uint32(len(o.Instrs)))
+		for j := range o.Instrs {
+			out = appendInstr(out, &o.Instrs[j])
+		}
+		out = link.AppendU32(out, uint32(len(o.DFS)))
+		for _, d := range o.DFS {
+			out = link.AppendU32(out, uint32(d))
+		}
+	}
+	return out
+}
+
+// encodeRecord serializes a full record payload (version, benefit, body)
+// and returns it with the fragment's content address.
+func encodeRecord(f *Fragment) (payload []byte, addr string) {
+	body := encodeBody(f)
+	payload = make([]byte, 0, 8+len(body))
+	payload = link.AppendU32(payload, recVersion)
+	payload = link.AppendU32(payload, uint32(int32(f.Benefit)))
+	payload = append(payload, body...)
+	return payload, link.ContentAddress(body)
+}
+
+// reasonable per-field ceilings: a payload passing the checksum is not
+// hostile, but decode is also exercised directly by tests and future
+// format versions, so it refuses structurally absurd counts instead of
+// allocating through them.
+const (
+	maxOccs      = 1 << 16
+	maxOccInstrs = 1 << 16
+)
+
+func errTrunc(what string) error { return fmt.Errorf("dict: truncated record (%s)", what) }
+
+func decodeInstr(data []byte, pos int) (arm.Instr, int, error) {
+	var u [12]uint32
+	var ok bool
+	for i := range u {
+		if u[i], pos, ok = link.ReadU32(data, pos); !ok {
+			return arm.Instr{}, pos, errTrunc("instr")
+		}
+	}
+	tl := int(u[11])
+	if pos+tl > len(data) {
+		return arm.Instr{}, pos, errTrunc("instr target")
+	}
+	in := arm.Instr{
+		Op:      arm.Op(u[0]),
+		Cond:    arm.Cond(u[1]),
+		SetS:    u[2]&1 != 0,
+		HasImm:  u[2]&2 != 0,
+		Rd:      arm.Reg(u[3]),
+		Rn:      arm.Reg(u[4]),
+		Rm:      arm.Reg(u[5]),
+		Ra:      arm.Reg(u[6]),
+		Shift:   arm.ShiftKind(u[7]),
+		ShAmt:   int32(u[8]),
+		Imm:     int32(u[9]),
+		Reglist: uint16(u[10]),
+		Target:  string(data[pos : pos+tl]),
+	}
+	return in, pos + tl, nil
+}
+
+// decodeRecord parses one record payload, validating that it consumes
+// the buffer exactly. The returned address is recomputed from the body
+// bytes, so index and disk can never disagree about identity.
+func decodeRecord(payload []byte) (*Fragment, string, error) {
+	ver, pos, ok := link.ReadU32(payload, 0)
+	if !ok {
+		return nil, "", errTrunc("version")
+	}
+	if ver != recVersion {
+		return nil, "", fmt.Errorf("dict: unknown record version %d", ver)
+	}
+	ben, pos, ok := link.ReadU32(payload, pos)
+	if !ok {
+		return nil, "", errTrunc("benefit")
+	}
+	body := payload[pos:]
+	f := &Fragment{Benefit: int(int32(ben))}
+	size, bp, ok := link.ReadU32(body, 0)
+	if !ok {
+		return nil, "", errTrunc("size")
+	}
+	nOccs, bp, ok := link.ReadU32(body, bp)
+	if !ok || nOccs > maxOccs {
+		return nil, "", errTrunc("occ count")
+	}
+	f.Size = int(size)
+	f.Occs = make([]Occ, 0, nOccs)
+	for i := 0; i < int(nOccs); i++ {
+		var o Occ
+		nIn, p, ok := link.ReadU32(body, bp)
+		if !ok || nIn > maxOccInstrs {
+			return nil, "", errTrunc("instr count")
+		}
+		bp = p
+		o.Instrs = make([]arm.Instr, 0, nIn)
+		for j := 0; j < int(nIn); j++ {
+			in, p, err := decodeInstr(body, bp)
+			if err != nil {
+				return nil, "", err
+			}
+			bp = p
+			o.Instrs = append(o.Instrs, in)
+		}
+		nDFS, p, ok := link.ReadU32(body, bp)
+		if !ok || nDFS > maxOccInstrs {
+			return nil, "", errTrunc("dfs count")
+		}
+		bp = p
+		o.DFS = make([]int, 0, nDFS)
+		for j := 0; j < int(nDFS); j++ {
+			d, p, ok := link.ReadU32(body, bp)
+			if !ok {
+				return nil, "", errTrunc("dfs")
+			}
+			bp = p
+			o.DFS = append(o.DFS, int(d))
+		}
+		f.Occs = append(f.Occs, o)
+	}
+	if bp != len(body) {
+		return nil, "", fmt.Errorf("dict: %d trailing bytes in record", len(body)-bp)
+	}
+	return f, link.ContentAddress(body), nil
+}
+
+// Addr returns the fragment's content address — the hex SHA-256 of its
+// stable body encoding (size and occurrences; Benefit excluded).
+func (f *Fragment) Addr() string {
+	return link.ContentAddress(encodeBody(f))
+}

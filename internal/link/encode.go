@@ -1,9 +1,7 @@
 package link
 
 import (
-	"crypto/sha256"
 	"encoding/binary"
-	"encoding/hex"
 	"sort"
 )
 
@@ -138,6 +136,5 @@ func Decode(data []byte) (*Image, error) {
 // Hash returns the hex SHA-256 of the stable encoding — the image's
 // content address.
 func (img *Image) Hash() string {
-	sum := sha256.Sum256(img.Encode())
-	return hex.EncodeToString(sum[:])
+	return ContentAddress(img.Encode())
 }

@@ -1,0 +1,36 @@
+package link
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// The little-endian primitives of the stable image encoding, exported so
+// sibling persistent formats (the fragment dictionary in internal/dict)
+// share the exact framing and content-address conventions instead of
+// inventing parallel ones: uint32 little-endian fields, length-prefixed
+// strings, hex SHA-256 of the encoded bytes as the content address.
+
+// AppendU32 appends v to dst in the stable encoding's integer form.
+func AppendU32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return append(dst, b[:]...)
+}
+
+// ReadU32 decodes the uint32 at pos, returning the value, the position
+// after it, and whether the buffer held a whole field.
+func ReadU32(data []byte, pos int) (v uint32, next int, ok bool) {
+	if pos < 0 || pos+4 > len(data) {
+		return 0, pos, false
+	}
+	return binary.LittleEndian.Uint32(data[pos:]), pos + 4, true
+}
+
+// ContentAddress returns the hex SHA-256 of data — the same address form
+// Image.Hash uses for the stable image encoding.
+func ContentAddress(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

@@ -85,6 +85,14 @@ type Config struct {
 	// agree exactly with Code.IsMinimal and, when Workers > 1, be safe
 	// for concurrent use (speculation workers consult it).
 	Minimal func(Code) bool
+	// NoteTruncated, when non-nil, is called once at the end of a walk
+	// the MaxPatterns budget aborted (on the authoritative goroutine).
+	// Deterministic: truncation is part of the visit sequence, identical
+	// across worker widths. Callers use it to tell a complete walk from a
+	// truncated one — e.g. the dictionary warm-start discards its
+	// incumbent floor when the walk was cut, because a cold walk could
+	// truncate at a different lattice point.
+	NoteTruncated func()
 	// NewSpeculator, when non-nil, supplies per-worker callbacks for the
 	// speculative phase of the parallel search. Speculation callbacks may
 	// consult shared incumbent state (under their own locking) and may
@@ -566,6 +574,9 @@ func Mine(graphs []*Graph, cfg Config, visit func(*Pattern)) int {
 	mn := &miner{cfg: cfg, graphOf: graphOf, visit: visit}
 	for _, s := range roots {
 		mn.dfs(Code{s.t}, s.set)
+	}
+	if mn.aborted && cfg.NoteTruncated != nil {
+		cfg.NoteTruncated()
 	}
 	return mn.visited
 }

@@ -121,6 +121,9 @@ func mineParallel(graphOf func(int) *Graph, roots []*ext, cfg Config, visit func
 		// worker panics re-raise inside OrderedMap.
 		panic(err)
 	}
+	if auth.aborted && cfg.NoteTruncated != nil {
+		cfg.NoteTruncated()
+	}
 	return auth.visited
 }
 

@@ -1,0 +1,130 @@
+package pa
+
+import (
+	"fmt"
+	"strings"
+
+	"graphpa/internal/arm"
+	"graphpa/internal/dfg"
+	"graphpa/internal/dict"
+)
+
+// Dictionary warm-start: the cross-program sibling of the round-to-round
+// carry (warmstart.go). A dict.Fragment stores occurrences as content
+// snapshots of their host blocks with no program coordinates at all, so
+// relocation is purely by content — every current block whose
+// instructions are byte-identical to an occurrence's snapshot hosts the
+// pattern at the same DFS indices. Relocated occurrences then pass
+// through the same refilterOccs gauntlet as carried candidates, and the
+// benefit is recomputed from what actually relocated; the fragment's
+// stored Benefit is never trusted.
+//
+// Unlike seeds and carry, validated dictionary candidates are NOT merged
+// into the returned candidate list: they only raise the incumbent floor
+// (see FindCandidates). A cold run's merge list is built from the mined
+// ties plus order-invariant warm sources that the cold run also has;
+// adding dictionary candidates would hand the driver runner-ups a cold
+// run lacks and break the warm/cold byte-identity guarantee. Raising the
+// floor is safe by the branch-and-bound argument (the walk prunes
+// strictly below the floor, so ties at the final maximum survive), but
+// only when the floor is actually reachable — FindCandidates verifies
+// that after the walk and falls back to a cold re-mine otherwise.
+
+// revalidateDict relocates dictionary fragments into the current view by
+// block content and re-runs the occurrence filter, returning the
+// candidates that validate. Only call-method candidates are returned:
+// the graph walk can only mine call extractions (see newSearch), so a
+// cross-jump floor could never be confirmed by mined ties.
+func (m *GraphMiner) revalidateDict(graphs []*dfg.Graph, frags []dict.Fragment, safe callSafeCache, opts Options) []*Candidate {
+	if len(frags) == 0 {
+		return nil
+	}
+	maxK := opts.maxNodes()
+	byContent := make(map[uint64][]*dfg.Graph)
+	for _, g := range graphs {
+		h := hashInstrs(g.Block.Instrs)
+		byContent[h] = append(byContent[h], g)
+	}
+	var out []*Candidate
+	for i := range frags {
+		f := &frags[i]
+		if f.Size < 2 || f.Size > maxK {
+			continue
+		}
+		var reloc []Occurrence
+		seen := map[string]bool{}
+		for oi := range f.Occs {
+			o := &f.Occs[oi]
+			if len(o.DFS) != f.Size {
+				continue
+			}
+			valid := true
+			for _, d := range o.DFS {
+				if d < 0 || d >= len(o.Instrs) {
+					valid = false
+					break
+				}
+			}
+			if !valid {
+				continue
+			}
+			// Two source occurrences from identical blocks relocate to the
+			// same targets; dedupe by (block, DFS indices).
+			for _, g := range byContent[hashInstrs(o.Instrs)] {
+				if !instrsEqual(g.Block.Instrs, o.Instrs) {
+					continue
+				}
+				key := occRelocKey(g.Block.ID, o.DFS)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				dfsN := append([]int(nil), o.DFS...)
+				reloc = append(reloc, Occurrence{Block: g.Block, Graph: g, Nodes: sortedNodes(dfsN), DFS: dfsN})
+			}
+		}
+		if len(reloc) < 2 {
+			continue
+		}
+		if c := m.refilterOccs(f.Size, reloc, safe); c != nil && c.Method == MethodCall {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func occRelocKey(blockID int, dfs []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:", blockID)
+	for i, d := range dfs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", d)
+	}
+	return b.String()
+}
+
+// dictFragments converts a round's returned candidates into publishable
+// fragments, appending to dst. Must run pre-Apply, while the occurrence
+// blocks still hold the content the DFS indices describe. Cross-jump
+// candidates are skipped — they come from sequence seeds, which every
+// run rediscovers from scratch anyway, and revalidateDict could never
+// use them as a floor.
+func dictFragments(dst []dict.Fragment, cands []*Candidate) []dict.Fragment {
+	for _, c := range cands {
+		if c == nil || c.Method != MethodCall || c.Benefit <= 0 || len(c.Occs) < 2 {
+			continue
+		}
+		f := dict.Fragment{Size: c.Size, Benefit: c.Benefit, Occs: make([]dict.Occ, 0, len(c.Occs))}
+		for i := range c.Occs {
+			o := &c.Occs[i]
+			f.Occs = append(f.Occs, dict.Occ{
+				Instrs: append([]arm.Instr(nil), o.Block.Instrs...),
+				DFS:    append([]int(nil), o.DFS...),
+			})
+		}
+		dst = append(dst, f)
+	}
+	return dst
+}

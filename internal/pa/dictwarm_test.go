@@ -1,0 +1,119 @@
+package pa
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"graphpa/internal/dict"
+	"graphpa/internal/loader"
+)
+
+func imageBytes(t *testing.T, prog *loader.Program) []byte {
+	t.Helper()
+	img, err := prog.Relink()
+	if err != nil {
+		t.Fatalf("relink: %v", err)
+	}
+	return img.Encode()
+}
+
+func totalVisits(r *Result) int {
+	n := 0
+	for i := range r.RoundStats {
+		n += r.RoundStats[i].Visits
+	}
+	return n
+}
+
+func totalDiscarded(r *Result) int {
+	n := 0
+	for i := range r.RoundStats {
+		n += r.RoundStats[i].DictDiscarded
+	}
+	return n
+}
+
+// The core dictionary contract: a pre-populated dictionary makes the run
+// cheaper (fewer lattice visits), never different. The warm image must be
+// byte-identical to the cold one.
+func TestDictWarmstartByteIdentical(t *testing.T) {
+	cold := Optimize(loadSrc(t, reorderSrc), &GraphMiner{Embedding: true}, Options{})
+	coldImg := imageBytes(t, cold.Program)
+	if cold.Saved() <= 0 {
+		t.Fatalf("fixture saves nothing; the test would be vacuous")
+	}
+
+	d, err := dict.Open(dict.Options{Path: filepath.Join(t.TempDir(), "frag.dict")})
+	if err != nil {
+		t.Fatalf("dict.Open: %v", err)
+	}
+	defer d.Close()
+
+	// First warm run: empty dictionary. Identical by construction (no
+	// fragments, no floor) — and it must publish what it mined.
+	warm1 := Optimize(loadSrc(t, reorderSrc), &GraphMiner{Embedding: true}, Options{Warmstart: d})
+	if !bytes.Equal(imageBytes(t, warm1.Program), coldImg) {
+		t.Fatalf("empty-dictionary run diverged from cold run")
+	}
+	if warm1.DictHits() != 0 {
+		t.Fatalf("empty dictionary reported %d hits", warm1.DictHits())
+	}
+	if d.Len() == 0 {
+		t.Fatalf("run published nothing to the dictionary")
+	}
+
+	// Second warm run: the dictionary now holds this program's fragments.
+	warm2 := Optimize(loadSrc(t, reorderSrc), &GraphMiner{Embedding: true}, Options{Warmstart: d})
+	if !bytes.Equal(imageBytes(t, warm2.Program), coldImg) {
+		t.Fatalf("warm run diverged from cold run")
+	}
+	if warm2.Saved() != cold.Saved() || len(warm2.Extractions) != len(cold.Extractions) {
+		t.Fatalf("warm stats diverged: saved %d/%d, extractions %d/%d",
+			warm2.Saved(), cold.Saved(), len(warm2.Extractions), len(cold.Extractions))
+	}
+	if warm2.DictHits() == 0 {
+		t.Fatalf("populated dictionary produced no hits")
+	}
+	if tw, tc := totalVisits(warm2), totalVisits(cold); tw > tc {
+		t.Fatalf("warm run visited more than cold: %d > %d", tw, tc)
+	}
+	if totalDiscarded(warm2) != 0 {
+		t.Fatalf("uncapped warm run discarded a walk: %d", totalDiscarded(warm2))
+	}
+}
+
+// When the pattern budget truncates the warm walk, the dictionary floor
+// is unverifiable and the whole walk must be discarded: the round
+// re-mines cold, and the capped warm result stays byte-identical to the
+// capped cold result.
+func TestDictWarmstartTruncationFallback(t *testing.T) {
+	d, err := dict.Open(dict.Options{Path: filepath.Join(t.TempDir(), "frag.dict")})
+	if err != nil {
+		t.Fatalf("dict.Open: %v", err)
+	}
+	defer d.Close()
+	// Populate from an uncapped run.
+	Optimize(loadSrc(t, reorderSrc), &GraphMiner{Embedding: true}, Options{Warmstart: d})
+	if d.Len() == 0 {
+		t.Fatalf("seeding run published nothing")
+	}
+
+	const budget = 3
+	cold := Optimize(loadSrc(t, reorderSrc), &GraphMiner{Embedding: true}, Options{MaxPatterns: budget})
+	warm := Optimize(loadSrc(t, reorderSrc), &GraphMiner{Embedding: true},
+		Options{MaxPatterns: budget, Warmstart: d})
+	if !bytes.Equal(imageBytes(t, warm.Program), imageBytes(t, cold.Program)) {
+		t.Fatalf("capped warm run diverged from capped cold run")
+	}
+	if totalVisits(warm) != totalVisits(cold) {
+		t.Fatalf("fallback should replay the cold walk exactly: %d visits vs %d",
+			totalVisits(warm), totalVisits(cold))
+	}
+	if warm.DictHits() == 0 {
+		t.Fatalf("dictionary fragments did not revalidate")
+	}
+	if totalDiscarded(warm) == 0 {
+		t.Fatalf("truncated warm walk was not discarded")
+	}
+}

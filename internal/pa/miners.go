@@ -312,13 +312,6 @@ func (m *GraphMiner) FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts
 	}
 	workers := opts.workers()
 	maxK := opts.maxNodes()
-	s := newSearch(maxK, opts.Lexicographic)
-	if inc != nil {
-		s.ck = &checkpointer{s: s, memo: inc.memo, byID: byID, safe: safeByGraph}
-	}
-	if workers > 1 {
-		s.memo = map[*mining.Pattern]*patMemo{}
-	}
 	// Warm-start the incumbent — branch-and-bound with an initial
 	// heuristic solution, from two order-invariant sources. Sequence
 	// seeds: with unbounded fragment size the graph search strictly
@@ -335,147 +328,202 @@ func (m *GraphMiner) FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts
 	warm := make([]*Candidate, 0, len(seeds)+len(carried))
 	warm = append(warm, seeds...)
 	warm = append(warm, carried...)
+	baseFloor := 0
 	for _, c := range warm {
-		if c.Benefit > s.bestBen {
-			s.bestBen = c.Benefit
+		if c.Benefit > baseFloor {
+			baseFloor = c.Benefit
 		}
+	}
+	// A third warm source, with a stricter contract: dictionary fragments
+	// (dictwarm.go) raise the floor but never join the merge list, and
+	// the floor they set is speculative — valid only if the walk confirms
+	// it by admitting at least one tie, without the pattern budget
+	// truncating the walk. Otherwise the whole walk is discarded and the
+	// round re-mines at the base floor, which is exactly the cold walk.
+	dictCands := m.revalidateDict(graphs, opts.dictFrags, safe, opts)
+	dictFloor := baseFloor
+	for _, c := range dictCands {
+		if c.Benefit > dictFloor {
+			dictFloor = c.Benefit
+		}
+	}
+	if opts.stat != nil {
+		opts.stat.DictHits = len(dictCands)
 	}
 	ctx := opts.Context()
-	// Benefit-bound pruning: a subtree is cut only when NO descendant can
-	// match the incumbent (strictly less — ties must survive, they are
-	// the mined output). The advisory closures serve the speculation
-	// workers, which must not touch the authoritative-only lastSel stash
-	// and never note; staleness there costs fallback work, never output.
-	// A cancelled run prunes everything: the driver discards the
-	// candidate list, so collapsing the walk is the fastest sound exit.
-	advBound := func(p *mining.Pattern) int {
-		if m.Embedding {
-			return p.Support // the exact independent-set size
+
+	// runWalk runs one complete lattice walk with the incumbent floored
+	// at floor. Each call builds a fresh search (incumbent, ties,
+	// speculation memo, checkpoint recorder) — the caches behind it
+	// (lattice memo, minimality, call-safety) are shared and sound across
+	// walks: records carry their own bound-validity regions, so a record
+	// taken under one floor replays under another only when the region
+	// checks pass (see checkpoint.go).
+	runWalk := func(floor int) (*search, int, bool) {
+		s := newSearch(maxK, opts.Lexicographic)
+		if inc != nil {
+			s.ck = &checkpointer{s: s, memo: inc.memo, byID: byID, safe: safeByGraph}
 		}
-		// DgSpan's Support is a graph count, which does NOT bound the
-		// occurrence count; the embedding count does (a descendant's
-		// disjoint embeddings restrict to distinct parent rows).
-		return p.Embeddings.Len()
-	}
-	authBound := func(p *mining.Pattern) int {
-		if m.Embedding {
-			return p.Support
+		if workers > 1 {
+			s.memo = map[*mining.Pattern]*patMemo{}
 		}
-		if !opts.Lexicographic && s.lastSelFor == p {
-			// The visit that just ran computed the exact independent set;
-			// bound with the real extraction count. Part of the MIS-aware
-			// tightening, so the legacy reference arm skips it.
-			return s.lastSelN
-		}
-		return p.Embeddings.Len()
-	}
-	prune := func(p *mining.Pattern) bool {
-		if ctx.Err() != nil {
-			return true
-		}
-		return s.ubm(maxK, advBound(p)) < s.best()
-	}
-	// Extension groups whose raw candidate count cannot yield a pattern
-	// matching the incumbent are dropped before their embeddings are
-	// built.
-	viable := func(count int) bool { return s.ubm(maxK, count) >= s.best() }
-	// pruneChild is the tightened between-siblings bound of the
-	// benefit-directed walk: the mining layer hands it each child's
-	// misUpperBound (admissible for the whole subtree), computed anyway
-	// for the sibling ordering.
-	pruneChild := func(set *mining.EmbSet, bound int) bool {
-		return s.ubm(maxK, bound) < s.best()
-	}
-	// The authoritative walk additionally records each bound comparison
-	// into the open checkpoint records (checkpoint.go).
-	authPrune := func(p *mining.Pattern) bool {
-		if ctx.Err() != nil {
-			// Cancellation collapses the walk without noting: the run's
-			// whole incremental state is discarded with the error.
-			return true
-		}
-		u := s.ubm(maxK, authBound(p))
-		pruned := u < s.best()
-		if s.ck != nil {
-			s.ck.noteBest(u, pruned)
-		}
-		return pruned
-	}
-	authViable := func(count int) bool {
-		u := s.ubm(maxK, count)
-		ok := u >= s.best()
-		if s.ck != nil {
-			s.ck.noteBest(u, !ok)
-		}
-		return ok
-	}
-	authPruneChild := func(set *mining.EmbSet, bound int) bool {
-		u := s.ubm(maxK, bound)
-		pruned := u < s.best()
-		if s.ck != nil {
-			s.ck.noteBest(u, pruned)
-		}
-		return pruned
-	}
-	cfgm := mining.Config{
-		MinSupport:       opts.minSupport(),
-		MaxNodes:         maxK,
-		EmbeddingSupport: m.Embedding,
-		GreedyMIS:        opts.GreedyMIS,
-		MaxPatterns:      opts.maxPatterns(),
-		Workers:          workers,
-		Lexicographic:    opts.Lexicographic,
-		PruneSubtree:     authPrune,
-		ViableCount:      authViable,
-		NewSpeculator: func() *mining.Speculator {
-			sp := &mining.Speculator{
-				PruneSubtree: prune,
-				ViableCount:  viable,
-				Visit:        func(p *mining.Pattern) { m.speculateVisit(s, byID, maxK, safe, opts, p) },
+		s.bestBen = floor
+		// Benefit-bound pruning: a subtree is cut only when NO descendant can
+		// match the incumbent (strictly less — ties must survive, they are
+		// the mined output). The advisory closures serve the speculation
+		// workers, which must not touch the authoritative-only lastSel stash
+		// and never note; staleness there costs fallback work, never output.
+		// A cancelled run prunes everything: the driver discards the
+		// candidate list, so collapsing the walk is the fastest sound exit.
+		advBound := func(p *mining.Pattern) int {
+			if m.Embedding {
+				return p.Support // the exact independent-set size
 			}
-			if !opts.Lexicographic {
-				sp.PruneChild = pruneChild
+			// DgSpan's Support is a graph count, which does NOT bound the
+			// occurrence count; the embedding count does (a descendant's
+			// disjoint embeddings restrict to distinct parent rows).
+			return p.Embeddings.Len()
+		}
+		authBound := func(p *mining.Pattern) int {
+			if m.Embedding {
+				return p.Support
 			}
+			if !opts.Lexicographic && s.lastSelFor == p {
+				// The visit that just ran computed the exact independent set;
+				// bound with the real extraction count. Part of the MIS-aware
+				// tightening, so the legacy reference arm skips it.
+				return s.lastSelN
+			}
+			return p.Embeddings.Len()
+		}
+		prune := func(p *mining.Pattern) bool {
+			if ctx.Err() != nil {
+				return true
+			}
+			return s.ubm(maxK, advBound(p)) < s.best()
+		}
+		// Extension groups whose raw candidate count cannot yield a pattern
+		// matching the incumbent are dropped before their embeddings are
+		// built.
+		viable := func(count int) bool { return s.ubm(maxK, count) >= s.best() }
+		// pruneChild is the tightened between-siblings bound of the
+		// benefit-directed walk: the mining layer hands it each child's
+		// misUpperBound (admissible for the whole subtree), computed anyway
+		// for the sibling ordering.
+		pruneChild := func(set *mining.EmbSet, bound int) bool {
+			return s.ubm(maxK, bound) < s.best()
+		}
+		// The authoritative walk additionally records each bound comparison
+		// into the open checkpoint records (checkpoint.go).
+		authPrune := func(p *mining.Pattern) bool {
+			if ctx.Err() != nil {
+				// Cancellation collapses the walk without noting: the run's
+				// whole incremental state is discarded with the error.
+				return true
+			}
+			u := s.ubm(maxK, authBound(p))
+			pruned := u < s.best()
 			if s.ck != nil {
-				sp.SkipSubtree = s.ck.covered
+				s.ck.noteBest(u, pruned)
 			}
-			return sp
-		},
-	}
-	if !opts.Lexicographic {
-		// The Lexicographic reference arm keeps the old-style walk — the
-		// legacy fragUB support bound (newSearch), subtree and group
-		// pruning only — so the A/B differentials contrast the full
-		// benefit-directed machinery (call-only bound, MIS-aware child
-		// pruning, sibling ordering) against the reference, not just the
-		// sibling permutation. Result identity holds regardless: both
-		// arms prune strictly below an admissible bound, which preserves
-		// the final incumbent tie set (see the search doc).
-		cfgm.PruneChild = authPruneChild
-	}
-	if s.ck != nil {
-		cfgm.Checkpoint = s.ck
-	}
-	if inc != nil {
-		// Minimality is a pure function of the DFS code and the same codes
-		// are re-enumerated every round, so memoise it across the whole
-		// run. Key() is injective, so a hit is exact.
-		mc := inc.minimal
-		cfgm.Minimal = func(c mining.Code) bool {
-			if len(c) < 3 {
-				// Short codes are cheaper to check than to hash and look up.
-				return c.IsMinimal()
+			return pruned
+		}
+		authViable := func(count int) bool {
+			u := s.ubm(maxK, count)
+			ok := u >= s.best()
+			if s.ck != nil {
+				s.ck.noteBest(u, !ok)
 			}
-			k := c.Key()
-			if v, ok := mc.lookup(k); ok {
+			return ok
+		}
+		authPruneChild := func(set *mining.EmbSet, bound int) bool {
+			u := s.ubm(maxK, bound)
+			pruned := u < s.best()
+			if s.ck != nil {
+				s.ck.noteBest(u, pruned)
+			}
+			return pruned
+		}
+		truncated := false
+		cfgm := mining.Config{
+			MinSupport:       opts.minSupport(),
+			MaxNodes:         maxK,
+			EmbeddingSupport: m.Embedding,
+			GreedyMIS:        opts.GreedyMIS,
+			MaxPatterns:      opts.maxPatterns(),
+			Workers:          workers,
+			Lexicographic:    opts.Lexicographic,
+			PruneSubtree:     authPrune,
+			ViableCount:      authViable,
+			NoteTruncated:    func() { truncated = true },
+			NewSpeculator: func() *mining.Speculator {
+				sp := &mining.Speculator{
+					PruneSubtree: prune,
+					ViableCount:  viable,
+					Visit:        func(p *mining.Pattern) { m.speculateVisit(s, byID, maxK, safe, opts, p) },
+				}
+				if !opts.Lexicographic {
+					sp.PruneChild = pruneChild
+				}
+				if s.ck != nil {
+					sp.SkipSubtree = s.ck.covered
+				}
+				return sp
+			},
+		}
+		if !opts.Lexicographic {
+			// The Lexicographic reference arm keeps the old-style walk — the
+			// legacy fragUB support bound (newSearch), subtree and group
+			// pruning only — so the A/B differentials contrast the full
+			// benefit-directed machinery (call-only bound, MIS-aware child
+			// pruning, sibling ordering) against the reference, not just the
+			// sibling permutation. Result identity holds regardless: both
+			// arms prune strictly below an admissible bound, which preserves
+			// the final incumbent tie set (see the search doc).
+			cfgm.PruneChild = authPruneChild
+		}
+		if s.ck != nil {
+			cfgm.Checkpoint = s.ck
+		}
+		if inc != nil {
+			// Minimality is a pure function of the DFS code and the same codes
+			// are re-enumerated every round, so memoise it across the whole
+			// run. Key() is injective, so a hit is exact.
+			mc := inc.minimal
+			cfgm.Minimal = func(c mining.Code) bool {
+				if len(c) < 3 {
+					// Short codes are cheaper to check than to hash and look up.
+					return c.IsMinimal()
+				}
+				k := c.Key()
+				if v, ok := mc.lookup(k); ok {
+					return v
+				}
+				v := c.IsMinimal()
+				mc.store(k, v)
 				return v
 			}
-			v := c.IsMinimal()
-			mc.store(k, v)
-			return v
+		}
+		visits := mining.Mine(mgs, cfgm, func(p *mining.Pattern) { m.visitPattern(s, byID, maxK, safe, opts, p) })
+		return s, visits, truncated
+	}
+
+	s, visits, truncated := runWalk(dictFloor)
+	if dictFloor > baseFloor && (truncated || len(s.ties) == 0) {
+		// The dictionary floor failed validation. An empty tie set means
+		// no mined candidate reached the floor — a cold walk's maximum
+		// would be lower, so its output could differ. A truncated walk
+		// is rejected even with ties: floor pruning shifts WHERE the
+		// budget lands in the visit sequence, so the warm and cold
+		// truncation points would diverge. Either way the round re-mines
+		// at the base floor, which reproduces the cold walk exactly; the
+		// discarded visits are reported, not hidden.
+		discarded := visits
+		s, visits, _ = runWalk(baseFloor)
+		if opts.stat != nil {
+			opts.stat.DictDiscarded = discarded
 		}
 	}
-	visits := mining.Mine(mgs, cfgm, func(p *mining.Pattern) { m.visitPattern(s, byID, maxK, safe, opts, p) })
 	if opts.stat != nil {
 		opts.stat.Visits = visits
 	}

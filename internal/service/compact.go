@@ -204,7 +204,11 @@ func buildResult(key string, res *pa.Result, img *link.Image) (*result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &result{body: body, report: resp.Summary, miner: resp.Miner, saved: resp.Saved}, nil
+	return &result{
+		body: body, report: resp.Summary, miner: resp.Miner,
+		before: resp.Before, after: resp.After, saved: resp.Saved,
+		imageHash: resp.ImageHash, dictHits: res.DictHits(),
+	}, nil
 }
 
 // mine runs the full pipeline for one request: compile or assemble,
@@ -227,7 +231,13 @@ func (s *Server) mine(ctx context.Context, req *CompactRequest, key string) (*re
 	if err != nil {
 		return nil, &requestError{err}
 	}
-	res, out, err := core.OptimizeContext(ctx, img, m, req.paOptions(s.cfg.mineWorkers()))
+	po := req.paOptions(s.cfg.mineWorkers())
+	if s.cfg.Dict != nil {
+		// Assigned only when non-nil: a typed-nil *dict.Dict inside the
+		// interface would defeat pa's Warmstart == nil check.
+		po.Warmstart = s.cfg.Dict
+	}
+	res, out, err := core.OptimizeContext(ctx, img, m, po)
 	if err != nil {
 		return nil, err
 	}

@@ -155,10 +155,11 @@ func (s *Server) runJob(j *job) {
 	switch {
 	case err == nil:
 		if status == statusMiss {
-			s.stats.observeMine(val.miner, val.saved, mineDur)
+			s.stats.observeMine(val.miner, val.saved, val.dictHits, mineDur)
 		}
 		s.log.Info("job done", "job", j.id, "key", j.key, "cache", string(status),
-			"miner", val.miner, "saved", val.saved, "wait", time.Since(j.enqueued))
+			"miner", val.miner, "saved", val.saved, "dict_hits", val.dictHits,
+			"wait", time.Since(j.enqueued))
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.stats.observeCancel()
 		s.log.Info("job cancelled", "job", j.id, "key", j.key)

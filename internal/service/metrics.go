@@ -1,0 +1,101 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// GET /metrics renders the service counters in the Prometheus text
+// exposition format (version 0.0.4) with no client library: every metric
+// is a plain counter, gauge, or fixed-bucket histogram, so the format is
+// a few Fprintf calls. Output order is deterministic — metrics in a fixed
+// sequence, label values sorted — so scrapes diff cleanly.
+
+// metricsBuckets are the per-miner latency histogram bounds in seconds,
+// mirroring latencyBuckets exactly; Prometheus convention adds +Inf.
+var metricsBuckets = []string{"0.001", "0.01", "0.1", "1", "10"}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	snap := s.stats.snapshot()
+	counter("pad_requests_total", "HTTP requests received.", snap.Totals.Requests)
+	counter("pad_jobs_mined_total", "Jobs that ran a fresh mine (cache misses).", snap.Totals.Mined)
+	counter("pad_jobs_cancelled_total", "Jobs cancelled before or during mining.", snap.Totals.Cancelled)
+	counter("pad_jobs_failed_total", "Jobs that failed.", snap.Totals.Failed)
+	counter("pad_instructions_saved_total", "Instructions removed across all mined jobs.", snap.Totals.InstructionsSaved)
+	counter("pad_dict_warmstart_hits_total", "Dictionary fragments revalidated by mined jobs.", snap.Totals.DictHits)
+
+	gauge("pad_queue_depth", "Jobs accepted but not yet started.", int64(len(s.queue)))
+	gauge("pad_queue_capacity", "Bound of the job queue.", int64(cap(s.queue)))
+
+	states := map[string]int{JobQueued: 0, JobRunning: 0, JobDone: 0, JobFailed: 0}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		st, _, _, _ := j.snapshot()
+		states[st]++
+	}
+	s.mu.Unlock()
+	fmt.Fprintf(&b, "# HELP pad_jobs Jobs in the retained store by state.\n# TYPE pad_jobs gauge\n")
+	names := make([]string, 0, len(states))
+	for st := range states {
+		names = append(names, st)
+	}
+	sort.Strings(names)
+	for _, st := range names {
+		fmt.Fprintf(&b, "pad_jobs{state=%q} %d\n", st, states[st])
+	}
+
+	cc := s.cache.counters()
+	gauge("pad_cache_entries", "Completed results held by the cache.", int64(cc.Entries))
+	counter("pad_cache_hits_total", "Cache lookups served from a completed entry.", cc.Hits)
+	counter("pad_cache_misses_total", "Cache lookups that ran a mine.", cc.Misses)
+	counter("pad_cache_dedups_total", "Submissions that joined an in-flight mine.", cc.Dedups)
+	counter("pad_cache_evictions_total", "Entries dropped by the LRU bound.", cc.Evictions)
+
+	if s.cfg.Dict != nil {
+		ds := s.cfg.Dict.Stats()
+		gauge("pad_dict_entries", "Live fragments in the dictionary.", int64(ds.Entries))
+		gauge("pad_dict_log_bytes", "Size of the dictionary log file.", ds.LogBytes)
+		counter("pad_dict_published_total", "New fragments accepted by the dictionary.", ds.Published)
+		counter("pad_dict_updated_total", "Benefit/recency bumps of known fragments.", ds.Updated)
+		counter("pad_dict_evicted_total", "Fragments dropped by the size bound.", ds.Evicted)
+		counter("pad_dict_seeds_served_total", "Fragments handed to mining jobs as seeds.", ds.SeedsServed)
+		counter("pad_dict_skipped_total", "Corrupt records skipped during recovery.", ds.Skipped)
+		counter("pad_dict_compactions_total", "Log compactions.", ds.Compactions)
+	}
+
+	// Per-miner mining-latency histograms over the fixed bucket bounds.
+	// Bucket counts are cumulative per the exposition format.
+	miners := make([]string, 0, len(snap.Miners))
+	for name := range snap.Miners {
+		miners = append(miners, name)
+	}
+	sort.Strings(miners)
+	fmt.Fprintf(&b, "# HELP pad_mine_duration_seconds Mining latency of fresh (uncached) jobs.\n")
+	fmt.Fprintf(&b, "# TYPE pad_mine_duration_seconds histogram\n")
+	for _, name := range miners {
+		ms := snap.Miners[name]
+		var cum int64
+		for i, le := range metricsBuckets {
+			cum += ms.hist[i]
+			fmt.Fprintf(&b, "pad_mine_duration_seconds_bucket{miner=%q,le=%q} %d\n", name, le, cum)
+		}
+		cum += ms.hist[len(metricsBuckets)]
+		fmt.Fprintf(&b, "pad_mine_duration_seconds_bucket{miner=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(&b, "pad_mine_duration_seconds_sum{miner=%q} %g\n", name, ms.durSum.Seconds())
+		fmt.Fprintf(&b, "pad_mine_duration_seconds_count{miner=%q} %d\n", name, cum)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = fmt.Fprint(w, b.String())
+}

@@ -20,8 +20,13 @@
 //     in-flight jobs.
 //
 // Endpoints: POST /v1/compact (sync), POST /v1/jobs + GET /v1/jobs/{id}
-// (async), GET /v1/report/{id} (human-readable table, by job id or
-// content address). cmd/pad is the daemon and client binary.
+// (async), POST /v1/batch + GET /v1/batch/{id} (corpus submission fanned
+// out over the job queue), GET /v1/report/{id} (human-readable table, by
+// job id or content address), GET /metrics (Prometheus text format).
+// With Config.Dict set, every mining job warm-starts from and publishes
+// to a persistent fragment dictionary (internal/dict), so a corpus of
+// related programs mines faster with byte-identical results. cmd/pad is
+// the daemon and client binary.
 package service
 
 import (
@@ -34,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"graphpa/internal/dict"
 	"graphpa/internal/par"
 )
 
@@ -58,6 +64,12 @@ type Config struct {
 	// Logger receives structured request and job logs (default:
 	// discard).
 	Logger *slog.Logger
+	// Dict, when non-nil, is the persistent fragment dictionary every
+	// mining job warm-starts from and publishes to (pa.Options.Warmstart).
+	// The caller owns it: open it before New, close it after Shutdown.
+	// Responses stay byte-identical with or without a dictionary — it
+	// only changes how much lattice the miner walks.
+	Dict *dict.Dict
 }
 
 func (c Config) jobWorkers() int {
@@ -109,11 +121,14 @@ type Server struct {
 	cache *resultCache
 	stats *stats
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	jobOrder []string
-	nextJob  int
-	closed   bool
+	mu         sync.Mutex
+	jobs       map[string]*job
+	jobOrder   []string
+	nextJob    int
+	batches    map[string]*batch
+	batchOrder []string
+	nextBatch  int
+	closed     bool
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -139,14 +154,18 @@ func New(cfg Config) *Server {
 		cache:      newResultCache(cfg.cacheEntries()),
 		stats:      newStats(),
 		jobs:       map[string]*job{},
+		batches:    map[string]*batch{},
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/compact", s.handleCompact)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("POST /v1/batch", s.handleSubmitBatch)
+	s.mux.HandleFunc("GET /v1/batch/{id}", s.handleBatchStatus)
 	s.mux.HandleFunc("GET /v1/report/{id}", s.handleReport)
 	for i := 0; i < cfg.jobWorkers(); i++ {
 		s.wg.Add(1)
@@ -257,6 +276,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap.Queue.Depth = len(s.queue)
 	snap.Queue.Capacity = cap(s.queue)
 	snap.Cache = s.cache.counters()
+	if s.cfg.Dict != nil {
+		ds := s.cfg.Dict.Stats()
+		snap.Dict = &ds
+	}
 	snap.Jobs = map[string]int{JobQueued: 0, JobRunning: 0, JobDone: 0, JobFailed: 0}
 	s.mu.Lock()
 	for _, j := range s.jobs {

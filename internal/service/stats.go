@@ -3,6 +3,8 @@ package service
 import (
 	"sync"
 	"time"
+
+	"graphpa/internal/dict"
 )
 
 // latencyBuckets are the upper bounds of the per-miner mining-latency
@@ -25,16 +27,18 @@ type minerStats struct {
 	Saved   int64            `json:"instructions_saved"`
 	Latency map[string]int64 `json:"latency"`
 
-	hist [6]int64 // len(latencyBuckets)+1, one per bucketLabels entry
+	hist   [6]int64 // len(latencyBuckets)+1, one per bucketLabels entry
+	durSum time.Duration
 }
 
-// stats is the service-wide accounting behind /stats.
+// stats is the service-wide accounting behind /stats and /metrics.
 type stats struct {
 	mu        sync.Mutex
 	mined     int64
 	cancelled int64
 	failed    int64
 	saved     int64
+	dictHits  int64
 	requests  int64
 	miners    map[string]*minerStats
 }
@@ -51,11 +55,12 @@ func (s *stats) request() {
 
 // observeMine records one completed mining execution (cache hits and
 // dedup waiters do not mine and are not observed here).
-func (s *stats) observeMine(miner string, saved int, d time.Duration) {
+func (s *stats) observeMine(miner string, saved, dictHits int, d time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.mined++
 	s.saved += int64(saved)
+	s.dictHits += int64(dictHits)
 	ms := s.miners[miner]
 	if ms == nil {
 		ms = &minerStats{}
@@ -63,6 +68,7 @@ func (s *stats) observeMine(miner string, saved int, d time.Duration) {
 	}
 	ms.Jobs++
 	ms.Saved += int64(saved)
+	ms.durSum += d
 	b := len(latencyBuckets)
 	for i, ub := range latencyBuckets {
 		if d <= ub {
@@ -94,12 +100,14 @@ type statsSnapshot struct {
 	Jobs   map[string]int         `json:"jobs"`
 	Cache  cacheCounters          `json:"cache"`
 	Miners map[string]*minerStats `json:"miners"`
+	Dict   *dict.Stats            `json:"dict,omitempty"`
 	Totals struct {
 		Requests          int64 `json:"requests"`
 		Mined             int64 `json:"mined"`
 		Cancelled         int64 `json:"cancelled"`
 		Failed            int64 `json:"failed"`
 		InstructionsSaved int64 `json:"instructions_saved"`
+		DictHits          int64 `json:"dict_hits"`
 	} `json:"totals"`
 }
 
@@ -109,7 +117,8 @@ func (s *stats) snapshot() statsSnapshot {
 	var snap statsSnapshot
 	snap.Miners = map[string]*minerStats{}
 	for name, ms := range s.miners {
-		out := &minerStats{Jobs: ms.Jobs, Saved: ms.Saved, Latency: map[string]int64{}}
+		out := &minerStats{Jobs: ms.Jobs, Saved: ms.Saved, Latency: map[string]int64{},
+			hist: ms.hist, durSum: ms.durSum}
 		for i, lbl := range bucketLabels {
 			out.Latency[lbl] = ms.hist[i]
 		}
@@ -120,5 +129,6 @@ func (s *stats) snapshot() statsSnapshot {
 	snap.Totals.Cancelled = s.cancelled
 	snap.Totals.Failed = s.failed
 	snap.Totals.InstructionsSaved = s.saved
+	snap.Totals.DictHits = s.dictHits
 	return snap
 }
