@@ -124,3 +124,22 @@ grep -q '"total_wall_ms"' "$TMP/bench.json"
 grep -q '"name": "crc"' "$TMP/bench.json"
 grep -q '"visits"' "$TMP/bench.json"
 echo "ci.sh: benchmark record and visit-count gate passed"
+
+# --- multiresolution visit gate ----------------------------------------
+# The coarse-to-fine pass must never make the fine walk MORE expensive:
+# mine the same programs with multires disabled, then require the
+# multires arm (the default) to visit at most as many fine-lattice nodes
+# on every run. -visits-not-above is strict (any ratio > 1.00 fails) and
+# fingerprint-blind, since comparing the two search configurations is
+# the point. The smoke lane covers every benchmark whose walk completes
+# quickly; -full adds rijndael, whose truncating rounds exercise the
+# discard-and-rerun path.
+MR_PROGRAMS=bitcnts,crc,dijkstra,patricia,qsort,search,sha
+if [ "${1:-}" = "-full" ]; then
+	MR_PROGRAMS="$MR_PROGRAMS,rijndael"
+fi
+"$TMP/paper-tables" -only timings -programs "$MR_PROGRAMS" -miners edgar \
+	-noverify -nomultires -bench-json "$TMP/bench.nomr.json" >/dev/null
+"$TMP/paper-tables" -only timings -programs "$MR_PROGRAMS" -miners edgar \
+	-noverify -visits-not-above "$TMP/bench.nomr.json" >/dev/null
+echo "ci.sh: multires arm never visits more fine-lattice nodes than plain"

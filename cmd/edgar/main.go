@@ -6,8 +6,8 @@
 //
 //	edgar [-miner edgar|dgspan|sfx|edgar-canon] [-schedule] [-maxrounds n]
 //	      [-minsup n] [-maxfrag n] [-maxpatterns n] [-greedy-mis] [-lex]
-//	      [-workers n] [-verify] [-roundstats] [-dump] [-cpuprofile file]
-//	      [-memprofile file] file.mc
+//	      [-nomultires] [-workers n] [-verify] [-roundstats] [-dump]
+//	      [-cpuprofile file] [-memprofile file] file.mc
 //
 // The paper's pipeline (§2.1): decompile, reconstruct labels, split into
 // basic blocks, build data-flow graphs, mine, extract, repeat.
@@ -39,6 +39,7 @@ func main() {
 	maxPatterns := flag.Int("maxpatterns", 0, "lattice visit budget per mining round (default 100000; raise to approximate the exhaustive search)")
 	greedyMIS := flag.Bool("greedy-mis", false, "use greedy instead of exact independent sets")
 	lex := flag.Bool("lex", false, "lexicographic lattice walk instead of benefit-directed (identical output, more visits)")
+	noMultires := flag.Bool("nomultires", false, "disable multiresolution coarse-to-fine mining (identical output, plain walk only)")
 	workers := flag.Int("workers", 0, "parallel width (0 = all cores, 1 = serial); results are identical at any width")
 	verify := flag.Bool("verify", true, "run before/after and compare behaviour")
 	roundStats := flag.Bool("roundstats", false, "print the per-round timing and cache breakdown")
@@ -88,6 +89,7 @@ func main() {
 		GreedyMIS:     *greedyMIS,
 		Workers:       *workers,
 		Lexicographic: *lex,
+		NoMultires:    *noMultires,
 	})
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
@@ -139,10 +141,10 @@ func printRoundStats(stats []pa.RoundStat) {
 		return
 	}
 	fmt.Printf("per-round breakdown (blocks reused/rebound/rebuilt; summaries resolved/changed)\n")
-	fmt.Printf("%5s %10s %10s %10s %10s %10s | %-16s %-11s %8s %10s %8s\n",
-		"round", "cfg", "sums", "dfg", "mine", "apply", "blocks r/rb/b", "sums r/c", "visits", "ff-visits", "extract")
+	fmt.Printf("%5s %10s %10s %10s %10s %10s | %-16s %-11s %8s %8s %10s %8s\n",
+		"round", "cfg", "sums", "dfg", "mine", "apply", "blocks r/rb/b", "sums r/c", "visits", "coarse", "ff-visits", "extract")
 	for _, st := range stats {
-		fmt.Printf("%5d %10s %10s %10s %10s %10s | %-16s %-11s %8d %10d %8d\n",
+		fmt.Printf("%5d %10s %10s %10s %10s %10s | %-16s %-11s %8d %8d %10d %8d\n",
 			st.Round,
 			st.CFGBuild.Round(time.Microsecond),
 			st.Summaries.Round(time.Microsecond),
@@ -152,6 +154,7 @@ func printRoundStats(stats []pa.RoundStat) {
 			fmt.Sprintf("%d/%d/%d", st.BlocksReused, st.BlocksRebound, st.BlocksRebuilt),
 			fmt.Sprintf("%d/%d", st.SummariesRecomputed, st.SummariesChanged),
 			st.Visits,
+			st.CoarseVisits,
 			st.VisitsSaved,
 			st.Extractions)
 	}

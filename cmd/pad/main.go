@@ -5,11 +5,11 @@
 // Usage:
 //
 //	pad serve [-addr host:port] [-addr-file path] [-job-workers n]
-//	          [-mine-workers n] [-queue n] [-cache n] [-dict path]
+//	          [-mine-workers n] [-queue n] [-cache n] [-dict path] [-pprof]
 //	pad submit [-addr host:port] [-miner edgar|dgspan|sfx|edgar-canon]
 //	           [-asm] [-O] [-schedule] [-minsup n] [-maxfrag n]
-//	           [-maxrounds n] [-maxpatterns n] [-greedy-mis] [-json]
-//	           file.mc | -dir corpus/
+//	           [-maxrounds n] [-maxpatterns n] [-greedy-mis] [-nomultires]
+//	           [-json] file.mc | -dir corpus/
 //
 // serve binds addr (use port 0 for an ephemeral port), optionally
 // writes the bound address to -addr-file for scripts to discover, and
@@ -17,7 +17,10 @@
 // -dict opens (or creates) a persistent fragment dictionary there:
 // every mined program warm-starts from it and publishes back to it, so
 // a corpus of related programs mines faster across restarts with
-// byte-identical output.
+// byte-identical output. -pprof exposes the net/http/pprof profiling
+// endpoints under /debug/pprof/ on the same listener (the daemon
+// equivalent of edgar's -cpuprofile/-memprofile); off by default since
+// profiles expose internals.
 // submit mirrors cmd/edgar's flags and prints the same report lines
 // (minus the wall-clock suffix, which the service deliberately omits so
 // cached responses are byte-identical to fresh ones). With -dir it packs
@@ -37,6 +40,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on DefaultServeMux for serve -pprof
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -81,6 +85,7 @@ func serve(args []string) {
 	queueDepth := fs.Int("queue", 0, "pending-job queue depth (0 = default 64)")
 	cacheEntries := fs.Int("cache", 0, "result-cache entries (0 = default 128)")
 	dictPath := fs.String("dict", "", "persistent fragment-dictionary file (empty = no dictionary)")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the same listener")
 	_ = fs.Parse(args)
 	if fs.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: pad serve [flags]")
@@ -121,7 +126,22 @@ func serve(args []string) {
 	}
 	logger.Info("listening", "addr", bound)
 
-	httpServer := &http.Server{Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *pprofOn {
+		// net/http/pprof registers on http.DefaultServeMux at import; route
+		// its prefix there and everything else to the service, so profiling
+		// shares the listener without touching the service's own mux.
+		api := handler
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+				http.DefaultServeMux.ServeHTTP(w, r)
+				return
+			}
+			api.ServeHTTP(w, r)
+		})
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	httpServer := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpServer.Serve(ln) }()
 
@@ -161,6 +181,7 @@ func submit(args []string) {
 	maxFrag := fs.Int("maxfrag", 0, "maximum fragment size in instructions (default 8)")
 	maxPatterns := fs.Int("maxpatterns", 0, "bound mined patterns per round (default 100000)")
 	greedyMIS := fs.Bool("greedy-mis", false, "use greedy instead of exact independent sets")
+	noMultires := fs.Bool("nomultires", false, "disable multiresolution coarse-to-fine mining (identical output)")
 	rawJSON := fs.Bool("json", false, "print the raw JSON response instead of the report")
 	dir := fs.String("dir", "", "submit every .mc/.s file under this directory as one batch")
 	_ = fs.Parse(args)
@@ -171,6 +192,7 @@ func submit(args []string) {
 		MaxRounds:   *maxRounds,
 		MaxPatterns: *maxPatterns,
 		GreedyMIS:   *greedyMIS,
+		NoMultires:  *noMultires,
 	}
 	co := &service.CompileOptions{Optimize: *optimizeIR, Schedule: *schedule}
 	if *dir != "" {

@@ -111,6 +111,9 @@ type Evaluation struct {
 	Wall time.Duration
 	// Workers is the effective parallel width Evaluate ran with.
 	Workers int
+	// Opts is the optimizer configuration the matrix ran under, kept so
+	// the benchmark record can embed an options fingerprint (BenchJSON).
+	Opts pa.Options
 }
 
 // Progress, when non-nil, receives one line per finished program/miner
@@ -136,7 +139,7 @@ func Evaluate(ws []*Workload, miners []string, opts pa.Options, verify bool) (*E
 	start := time.Now()
 	workers := opts.WorkersOrDefault()
 	ev := &Evaluation{Workloads: ws, Miners: miners, Workers: workers,
-		Results: map[string]map[string]*pa.Result{}}
+		Opts: opts, Results: map[string]map[string]*pa.Result{}}
 	resolved := make([]pa.Miner, len(miners))
 	for i, mn := range miners {
 		m, err := core.MinerByName(mn)

@@ -26,6 +26,39 @@ type BenchRow struct {
 	// regression gate compares (wall clock is too noisy for CI). Zero in
 	// records predating the field and for the SFX miner.
 	Visits int `json:"visits,omitempty"`
+	// CoarseVisits counts coarse-lattice patterns visited by the
+	// multiresolution pass's one-shot exhaustive coarse mine. Zero in
+	// records predating the field, for the SFX miner, and with multires
+	// disabled.
+	CoarseVisits int `json:"coarse_visits,omitempty"`
+}
+
+// BenchFingerprint pins the optimizer configuration a benchmark record
+// was taken under. Visit counts are only comparable between runs with
+// identical search configuration — comparing a multires record against a
+// lexicographic one, or records taken at different pattern budgets,
+// silently diffs incomparable numbers — so the baseline gate refuses
+// mismatched fingerprints (FingerprintsMatch). Workers is recorded for
+// provenance but compared loosely by callers that want it: every width
+// produces identical visit counts by construction.
+type BenchFingerprint struct {
+	Workers       int  `json:"workers"`
+	MaxPatterns   int  `json:"maxpatterns"`
+	Multires      bool `json:"multires"`
+	Lexicographic bool `json:"lexicographic"`
+}
+
+// FingerprintsMatch reports whether two records' search configurations
+// are visit-comparable. Records predating the fingerprint field (nil)
+// match anything — old baselines must keep working — and Workers is
+// ignored (width never changes the counts).
+func FingerprintsMatch(a, b *BenchFingerprint) bool {
+	if a == nil || b == nil {
+		return true
+	}
+	return a.MaxPatterns == b.MaxPatterns &&
+		a.Multires == b.Multires &&
+		a.Lexicographic == b.Lexicographic
 }
 
 // BenchDoc is a full benchmark record.
@@ -39,35 +72,52 @@ type BenchDoc struct {
 	TotalWallMS float64 `json:"total_wall_ms"`
 	// TotalVisits sums the per-run lattice visit counts.
 	TotalVisits int `json:"total_visits,omitempty"`
+	// TotalCoarseVisits sums the per-run coarse-lattice visit counts.
+	TotalCoarseVisits int `json:"total_coarse_visits,omitempty"`
+	// Fingerprint pins the search configuration (nil in records predating
+	// the field).
+	Fingerprint *BenchFingerprint `json:"fingerprint,omitempty"`
 }
 
 // BenchJSON collapses an Evaluation into the benchmark record, rows
 // ordered by miner then program (the evaluation's workload order).
 func BenchJSON(ev *Evaluation, miners []string) *BenchDoc {
-	d := &BenchDoc{Workers: ev.Workers, Miners: append([]string(nil), miners...)}
+	d := &BenchDoc{
+		Workers: ev.Workers,
+		Miners:  append([]string(nil), miners...),
+		Fingerprint: &BenchFingerprint{
+			Workers:       ev.Workers,
+			MaxPatterns:   ev.Opts.MaxPatternsOrDefault(),
+			Multires:      !ev.Opts.NoMultires && !ev.Opts.Lexicographic,
+			Lexicographic: ev.Opts.Lexicographic,
+		},
+	}
 	for _, mn := range miners {
 		for _, w := range ev.Workloads {
 			r, ok := ev.Results[w.Name][mn]
 			if !ok {
 				continue
 			}
-			visits := 0
+			visits, coarse := 0, 0
 			for _, rs := range r.RoundStats {
 				visits += rs.Visits
+				coarse += rs.CoarseVisits
 			}
 			d.Programs = append(d.Programs, BenchRow{
-				Name:        w.Name,
-				Miner:       mn,
-				Before:      r.Before,
-				After:       r.After,
-				Saved:       r.Saved(),
-				Rounds:      r.Rounds,
-				Extractions: len(r.Extractions),
-				WallMS:      float64(r.Duration.Microseconds()) / 1000,
-				Visits:      visits,
+				Name:         w.Name,
+				Miner:        mn,
+				Before:       r.Before,
+				After:        r.After,
+				Saved:        r.Saved(),
+				Rounds:       r.Rounds,
+				Extractions:  len(r.Extractions),
+				WallMS:       float64(r.Duration.Microseconds()) / 1000,
+				Visits:       visits,
+				CoarseVisits: coarse,
 			})
 			d.TotalWallMS += float64(r.Duration.Microseconds()) / 1000
 			d.TotalVisits += visits
+			d.TotalCoarseVisits += coarse
 		}
 	}
 	return d

@@ -1,0 +1,282 @@
+package mining
+
+import (
+	"sort"
+	"strings"
+)
+
+// Multiresolution coarsening (Huntsman, "The multiresolution analysis of
+// flow graphs"): contract each mining graph to a much smaller coarse
+// graph by (a) collapsing node labels to instruction classes and edge
+// labels to dependence-kind classes, and (b) contracting straight-line
+// single-successor/single-predecessor chains into supernodes. The coarse
+// lattice is mined exhaustively and its results steer the fine walk:
+// pattern classes that score well coarse are descended first, and a
+// per-graph capacity table derived from the contraction yields an
+// admissible upper bound on the fine MIS support of any pattern by the
+// class of its newest DFS tuple (see Coarsening.Caps).
+//
+// Coarsening is a pure function of the input graph: same graph in, same
+// coarse graph, projection and capacity table out, independent of any
+// mining state. That purity is load-bearing — the pa layer caches the
+// result per frozen graph object and feeds it into bounds that
+// participate in cross-round checkpoint validation, which is only sound
+// if the bound is a function of the pinned graph alone.
+
+// TupleClass is the coarsened identity of one DFS-code tuple: the
+// instruction classes of the edge's endpoints in underlying-edge
+// direction (from → to, normalising away the DFS Out flag) and the
+// dependence-kind class of the edge label.
+type TupleClass struct {
+	From, To string
+	LE       string
+}
+
+// LabelClass coarsens a node label to its instruction class: the
+// mnemonic head before the first space ("eor r1, r2, r3" → "eor").
+func LabelClass(s string) string {
+	if i := strings.IndexByte(s, ' '); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// EdgeClass coarsens an edge label to its dependence-kind class: each
+// '+'-separated part keeps only the kind before the ':' register suffix
+// ("raw:r3+war:r3" → "raw+war"), deduplicated and sorted so bundling
+// order cannot leak through.
+func EdgeClass(s string) string {
+	if !strings.ContainsAny(s, ":+") {
+		return s
+	}
+	parts := strings.Split(s, "+")
+	for i, p := range parts {
+		if j := strings.IndexByte(p, ':'); j >= 0 {
+			parts[i] = p[:j]
+		}
+	}
+	sort.Strings(parts)
+	out := parts[:1]
+	for _, p := range parts[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return strings.Join(out, "+")
+}
+
+// ClassOfTuple projects a DFS tuple to its class. The Out flag is folded
+// into the from/to orientation so that the two DFS spellings of the same
+// underlying directed edge share one class.
+func ClassOfTuple(t Tuple) TupleClass {
+	li, lj, le := LabelClass(t.LI), LabelClass(t.LJ), EdgeClass(t.LE)
+	if t.Out {
+		return TupleClass{From: li, To: lj, LE: le}
+	}
+	return TupleClass{From: lj, To: li, LE: le}
+}
+
+// Coarsening is the result of contracting one fine graph.
+type Coarsening struct {
+	// Graph is the coarse graph: one node per supernode, labelled with
+	// the sorted '|'-joined set of member instruction classes, and one
+	// edge per distinct (from-supernode, to-supernode, edge-class)
+	// location. It is frozen and ready to mine.
+	Graph *Graph
+	// Proj maps each fine node to its supernode.
+	Proj []int32
+	// Size is the fine node count of each supernode.
+	Size []int32
+	// Caps bounds, per tuple class, the size of any set of node-disjoint
+	// fine edges of that class — a matching among the class's edges. It
+	// is the least of three admissible bounds: the class's edge count;
+	// ⌊|incident nodes|/2⌋ (each matched edge consumes two distinct
+	// incident nodes); and the location sum, where each supernode with an
+	// internal edge of the class contributes ⌊size/2⌋ and each coarse
+	// location (c1,c2) carrying the class contributes min(size(c1),
+	// size(c2)). Because every node-disjoint embedding set of a pattern
+	// pins node-disjoint instances of EVERY edge in the pattern's code,
+	// Caps[class] is an admissible upper bound on the MIS support, in
+	// this graph, of every pattern containing a tuple of that class —
+	// and of every descendant, since extensions keep all tuples — so a
+	// pattern is bounded by the min over its code's classes. No division
+	// by within-embedding multiplicity is sound: tuple instances inside
+	// one embedding may share nodes, so only cross-embedding
+	// disjointness can be counted.
+	Caps map[TupleClass]int
+}
+
+// Coarsen contracts g. The result is deterministic: supernodes are
+// numbered by their smallest fine member, members are merged by a single
+// index-order scan, and coarse edges are sorted before Freeze.
+func Coarsen(g *Graph) *Coarsening {
+	n := g.NumNodes()
+	cls := make([]string, n)
+	for i, l := range g.Labels {
+		cls[i] = LabelClass(l)
+	}
+
+	// Degree census on the fine graph (parallel edges count separately:
+	// a node with two out-edges is not a chain link even if both reach
+	// the same successor).
+	outDeg := make([]int32, n)
+	inDeg := make([]int32, n)
+	succ := make([]int32, n) // sole successor when outDeg==1
+	for _, e := range g.Edges {
+		outDeg[e.From]++
+		inDeg[e.To]++
+		succ[e.From] = int32(e.To)
+	}
+
+	// Union straight-line chain links u→v: u's only out-edge reaches v,
+	// and that edge is v's only in-edge. Scanning fine nodes in index
+	// order makes the partition deterministic.
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for u := 0; u < n; u++ {
+		if outDeg[u] != 1 {
+			continue
+		}
+		v := succ[u]
+		if inDeg[v] != 1 || int32(u) == v {
+			continue
+		}
+		ru, rv := find(int32(u)), find(v)
+		if ru != rv {
+			// Root at the smaller index so numbering stays stable.
+			if ru < rv {
+				parent[rv] = ru
+			} else {
+				parent[ru] = rv
+			}
+		}
+	}
+
+	// Number supernodes by smallest fine member.
+	proj := make([]int32, n)
+	size := []int32{}
+	index := make(map[int32]int32, n)
+	for i := 0; i < n; i++ {
+		r := find(int32(i))
+		c, ok := index[r]
+		if !ok {
+			c = int32(len(size))
+			index[r] = c
+			size = append(size, 0)
+		}
+		proj[i] = c
+		size[c]++
+	}
+
+	// Supernode labels: sorted '|'-joined distinct member classes.
+	members := make([][]string, len(size))
+	for i := 0; i < n; i++ {
+		members[proj[i]] = append(members[proj[i]], cls[i])
+	}
+	labels := make([]string, len(size))
+	for c, ms := range members {
+		sort.Strings(ms)
+		out := ms[:1]
+		for _, m := range ms[1:] {
+			if m != out[len(out)-1] {
+				out = append(out, m)
+			}
+		}
+		labels[c] = strings.Join(out, "|")
+	}
+
+	// Classify fine edges into internal (both endpoints one supernode)
+	// and crossing locations, accumulating the capacity table.
+	type loc struct {
+		c1, c2 int32
+		ct     TupleClass
+	}
+	locSum := make(map[TupleClass]int)     // per-location capacity sum
+	edgeCount := make(map[TupleClass]int)  // class edge instances
+	incident := make(map[TupleClass]int)   // distinct nodes touching the class
+	incSeen := make(map[[2]int32]bool)     // (node, class index) dedup
+	classIdx := make(map[TupleClass]int32) // dense class numbering for incSeen
+	internalSeen := make(map[loc]bool)     // c1==c2 entries: internal class presence
+	crossSeen := make(map[loc]bool)
+	var coarseEdges []GEdge
+	for _, e := range g.Edges {
+		ct := TupleClass{From: cls[e.From], To: cls[e.To], LE: EdgeClass(e.Label)}
+		ci, ok := classIdx[ct]
+		if !ok {
+			ci = int32(len(classIdx))
+			classIdx[ct] = ci
+		}
+		edgeCount[ct]++
+		for _, v := range [2]int{e.From, e.To} {
+			k := [2]int32{int32(v), ci}
+			if !incSeen[k] {
+				incSeen[k] = true
+				incident[ct]++
+			}
+		}
+		c1, c2 := proj[e.From], proj[e.To]
+		if c1 == c2 {
+			k := loc{c1, c1, ct}
+			if !internalSeen[k] {
+				internalSeen[k] = true
+				locSum[ct] += int(size[c1]) / 2
+			}
+			continue
+		}
+		k := loc{c1, c2, ct}
+		if !crossSeen[k] {
+			crossSeen[k] = true
+			locSum[ct] += int(min32(size[c1], size[c2]))
+			coarseEdges = append(coarseEdges, GEdge{From: int(c1), To: int(c2), Label: ct.LE})
+		}
+	}
+	caps := make(map[TupleClass]int, len(edgeCount))
+	for ct, n := range edgeCount {
+		c := n
+		if m := incident[ct] / 2; m < c {
+			c = m
+		}
+		if locSum[ct] < c {
+			c = locSum[ct]
+		}
+		caps[ct] = c
+	}
+	// Distinct (from, to, label) coarse edges in deterministic order.
+	sort.Slice(coarseEdges, func(a, b int) bool {
+		if coarseEdges[a].From != coarseEdges[b].From {
+			return coarseEdges[a].From < coarseEdges[b].From
+		}
+		if coarseEdges[a].To != coarseEdges[b].To {
+			return coarseEdges[a].To < coarseEdges[b].To
+		}
+		return coarseEdges[a].Label < coarseEdges[b].Label
+	})
+	dedup := coarseEdges[:0]
+	for _, e := range coarseEdges {
+		if len(dedup) > 0 && dedup[len(dedup)-1] == e {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+
+	cg := &Graph{ID: g.ID, Labels: labels, Edges: dedup}
+	cg.Freeze()
+	return &Coarsening{Graph: cg, Proj: proj, Size: size, Caps: caps}
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}

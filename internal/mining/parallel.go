@@ -73,7 +73,8 @@ type specExt struct {
 	materialized bool      // pass 2 was run during speculation
 	dropped      bool      // materialised but deduplication fell below MinSupport
 	minimal      bool      // child code passed the minimal-DFS-code test
-	bound        int       // misUpperBound of set (when Config.needBounds)
+	bound        int       // misUpperBound of set, ChildBound-tightened (when Config.needBounds)
+	score        int       // Config.ChildScore order hint
 	set          *EmbSet   // child embeddings (materialised, not dropped)
 	child        *specNode // recorded subtree (minimal children, unless speculation stopped)
 }
@@ -92,6 +93,9 @@ func cmpSpecExt(a, b specExt) int {
 	}
 	if am && a.bound != b.bound {
 		return b.bound - a.bound
+	}
+	if am && a.score != b.score {
+		return b.score - a.score
 	}
 	return CompareTuples(a.t, b.t)
 }
@@ -226,6 +230,14 @@ func (s *speculator) mine(code Code, set *EmbSet) *specNode {
 				se.set = cset
 				if s.mn.cfg.needBounds() {
 					se.bound = misUpperBound(cset, &s.mn.sc.mis)
+					if s.mn.cfg.ChildBound != nil {
+						if b := s.mn.cfg.ChildBound(code, g.t, cset, se.bound); b < se.bound {
+							se.bound = b
+						}
+					}
+					if !s.mn.cfg.Lexicographic && s.mn.cfg.ChildScore != nil {
+						se.score = s.mn.cfg.ChildScore(code, g.t, cset)
+					}
 				}
 				child := append(append(Code{}, code...), g.t)
 				if s.mn.cfg.minimal(child) {

@@ -3,6 +3,8 @@ package mining
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -220,4 +222,164 @@ func dumpEmbs(embs []*Embedding) string {
 		s += fmt.Sprintf("%v ", e.Nodes)
 	}
 	return s
+}
+
+// randOpDAG is randDAG with operand-bearing labels — node labels carry
+// register operands and edge labels carry kind:register parts — so the
+// coarsening's class collapsing (LabelClass, EdgeClass) has something to
+// collapse.
+func randOpDAG(r *rand.Rand, id, nodes, edges int) *Graph {
+	nodeLabels := []string{"eor r1, r2, r3", "eor r4, r5, r6", "add r1, r2", "ldr r5, [sp]", "mov"}
+	edgeLabels := []string{"raw:r1", "raw:r5", "war:r2", "raw:r1+war:r3", "ctl"}
+	return randDAG(r, id, nodes, edges, nodeLabels, edgeLabels)
+}
+
+// copyGraph rebuilds g from scratch so pointer identity cannot leak into
+// a determinism check.
+func copyGraph(g *Graph) *Graph {
+	c := &Graph{ID: g.ID, Labels: append([]string(nil), g.Labels...), Edges: append([]GEdge(nil), g.Edges...)}
+	c.Freeze()
+	return c
+}
+
+// TestPropertyCoarsenDeterministic: coarsening is a pure function of the
+// graph — repeated runs and structurally identical copies must produce
+// identical projections, sizes, capacity tables and coarse graphs. The
+// pa layer caches coarsenings per graph and feeds them into bounds that
+// participate in checkpoint validation, which is only sound under this
+// property.
+func TestPropertyCoarsenDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		g := randOpDAG(r, trial, 4+r.Intn(12), 3+r.Intn(16))
+		a, b, c := Coarsen(g), Coarsen(g), Coarsen(copyGraph(g))
+		for i, o := range []*Coarsening{b, c} {
+			if !reflect.DeepEqual(a.Proj, o.Proj) || !reflect.DeepEqual(a.Size, o.Size) {
+				t.Fatalf("trial %d run %d: projection differs", trial, i)
+			}
+			if !reflect.DeepEqual(a.Caps, o.Caps) {
+				t.Fatalf("trial %d run %d: capacity table differs", trial, i)
+			}
+			if !reflect.DeepEqual(a.Graph.Labels, o.Graph.Labels) || !reflect.DeepEqual(a.Graph.Edges, o.Graph.Edges) {
+				t.Fatalf("trial %d run %d: coarse graph differs", trial, i)
+			}
+		}
+	}
+}
+
+// TestPropertyCoarsenProjection: the projection map is a well-formed,
+// label-preserving contraction — every fine node lands in a supernode
+// whose label contains its class, and every fine edge either stays
+// inside one supernode or projects onto a coarse edge with its class.
+func TestPropertyCoarsenProjection(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 50; trial++ {
+		g := randOpDAG(r, trial, 4+r.Intn(12), 3+r.Intn(16))
+		c := Coarsen(g)
+		if len(c.Proj) != g.NumNodes() {
+			t.Fatalf("trial %d: projection arity %d != %d nodes", trial, len(c.Proj), g.NumNodes())
+		}
+		total, next := int32(0), int32(0)
+		for _, s := range c.Size {
+			total += s
+		}
+		if total != int32(g.NumNodes()) {
+			t.Fatalf("trial %d: supernode sizes sum to %d, want %d", trial, total, g.NumNodes())
+		}
+		for i, cn := range c.Proj {
+			if cn < 0 || int(cn) >= len(c.Size) {
+				t.Fatalf("trial %d: node %d projects out of range (%d)", trial, i, cn)
+			}
+			// Supernodes are numbered by smallest fine member, so first
+			// appearances run 0, 1, 2, ...
+			if cn == next {
+				next++
+			} else if cn > next {
+				t.Fatalf("trial %d: supernode %d appears before %d", trial, cn, next)
+			}
+			label := "|" + c.Graph.Labels[cn] + "|"
+			if !strings.Contains(label, "|"+LabelClass(g.Labels[i])+"|") {
+				t.Fatalf("trial %d: node %d class %q missing from supernode label %q",
+					trial, i, LabelClass(g.Labels[i]), c.Graph.Labels[cn])
+			}
+		}
+		for _, e := range g.Edges {
+			if c.Proj[e.From] == c.Proj[e.To] {
+				continue // internal: consumed by the contraction
+			}
+			found := false
+			for _, ce := range c.Graph.Edges {
+				if int32(ce.From) == c.Proj[e.From] && int32(ce.To) == c.Proj[e.To] && ce.Label == EdgeClass(e.Label) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: crossing edge %d->%d (%s) has no coarse image", trial, e.From, e.To, e.Label)
+			}
+		}
+	}
+}
+
+// TestPropertyCoarsenCapsAdmissible: for every tuple class, the capacity
+// table must bound the true maximum node-disjoint set of fine edges of
+// that class — computed exactly by handing each edge to the exact MIS
+// solver as a two-node embedding. This is the admissibility the fine
+// walk's ChildBound leans on: a child's disjoint embeddings pin disjoint
+// instances of its newest tuple's edge.
+func TestPropertyCoarsenCapsAdmissible(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		g := randOpDAG(r, trial, 4+r.Intn(12), 3+r.Intn(20))
+		caps := Coarsen(g).Caps
+		byClass := map[TupleClass][]*Embedding{}
+		for ei, e := range g.Edges {
+			ct := TupleClass{From: LabelClass(g.Labels[e.From]), To: LabelClass(g.Labels[e.To]), LE: EdgeClass(e.Label)}
+			byClass[ct] = append(byClass[ct], &Embedding{GID: g.ID, Nodes: []int{e.From, e.To}, Edges: []int{ei}})
+		}
+		for ct, embs := range byClass {
+			exact := len(DisjointEmbeddings(embs, Config{}))
+			if exact > caps[ct] {
+				t.Fatalf("trial %d: class %v has %d disjoint fine edges but capacity %d", trial, ct, exact, caps[ct])
+			}
+		}
+	}
+}
+
+// TestPropertyCoarseBoundDominatesFineMIS: for every fine pattern the
+// miner reports, the coarse capacity bound of its newest tuple's class
+// (summed over the graphs it embeds in) must be at least its exact MIS
+// support — i.e. min(misUpperBound, capacity) stays admissible, which is
+// exactly how the multiresolution ChildBound combines the two.
+func TestPropertyCoarseBoundDominatesFineMIS(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 25; trial++ {
+		var graphs []*Graph
+		caps := map[int]map[TupleClass]int{}
+		for i := 0; i < 3; i++ {
+			g := randOpDAG(r, i, 5+r.Intn(6), 6+r.Intn(10))
+			graphs = append(graphs, g)
+			caps[g.ID] = Coarsen(g).Caps
+		}
+		Mine(graphs, Config{MinSupport: 2, MaxNodes: 4, EmbeddingSupport: true, MaxPatterns: 5000}, func(p *Pattern) {
+			last := p.Code[len(p.Code)-1]
+			ct := ClassOfTuple(last)
+			capSum, seen := 0, map[int]bool{}
+			for i := 0; i < p.Embeddings.Len(); i++ {
+				gid := p.Embeddings.GID(i)
+				if !seen[gid] {
+					seen[gid] = true
+					capSum += caps[gid][ct]
+				}
+			}
+			if p.Support > capSum {
+				t.Fatalf("trial %d: pattern %s has MIS support %d above coarse capacity %d (class %v)",
+					trial, p.Code.Key(), p.Support, capSum, ct)
+			}
+			if ub := MISUpperBound(p.Embeddings); p.Support > ub {
+				t.Fatalf("trial %d: pattern %s has MIS support %d above misUpperBound %d",
+					trial, p.Code.Key(), p.Support, ub)
+			}
+		})
+	}
 }

@@ -73,7 +73,19 @@ type Options struct {
 	// is the kill switch and the reference arm the search-order
 	// differential tests and A/B benchmarks compare against; it only
 	// changes how many lattice nodes the walk visits (RoundStat.Visits).
+	// Implies NoMultires: the reference arm must stay the plain walk.
 	Lexicographic bool
+	// NoMultires disables the multiresolution coarse-to-fine pass (the
+	// one-shot exhaustive coarse mine, the search-order oracle and the
+	// coarse capacity bounds — see internal/pa/multires.go) and mines
+	// every round with the plain benefit-directed walk. The Result is
+	// byte-identical either way — coarse results only reorder siblings
+	// and tighten admissible bounds, and a multires walk the pattern
+	// budget truncates is discarded in favour of the plain walk — so this
+	// is the kill switch and the arm the multires differentials compare
+	// against; only RoundStat.Visits/CoarseVisits/MultiresDiscarded
+	// change.
+	NoMultires bool
 
 	// ctx carries the cancellation context of an OptimizeContext run.
 	// Only the driver sets it; miners read it through Context.
@@ -91,6 +103,11 @@ type Options struct {
 	dictFrags []dict.Fragment
 	// stat, when non-nil, receives per-round miner counters (Visits).
 	stat *RoundStat
+	// mr carries the run's multiresolution state (frozen coarse oracle,
+	// per-round attempt gate) across rounds. The driver sets it when
+	// multires is enabled; FindCandidates self-initialises on direct
+	// calls.
+	mr *mrState
 }
 
 // Context returns the cancellation context of the run the options belong
@@ -153,6 +170,12 @@ func (o Options) maxPatterns() int {
 	return o.MaxPatterns
 }
 
+// MaxPatternsOrDefault returns the effective per-round pattern budget
+// (resolving the 0 default), so records of the configuration — e.g. the
+// benchmark fingerprint — don't depend on whether the default was
+// spelled out.
+func (o Options) MaxPatternsOrDefault() int { return o.maxPatterns() }
+
 // Extraction records one applied rewrite.
 type Extraction struct {
 	Name    string
@@ -196,6 +219,16 @@ type RoundStat struct {
 	// walks — that difference is the search-order win the benchmarks
 	// track).
 	Visits int
+
+	// CoarseVisits counts coarse-lattice nodes visited by the one-shot
+	// exhaustive coarse mine of the multiresolution pass — nonzero only
+	// in the round that built the oracle (the first) and only with
+	// multires enabled. MultiresDiscarded is the visit count of multires
+	// walks thrown away because the pattern budget truncated them (the
+	// round's Visits then report the plain fallback walk); nonzero only
+	// in rounds where the attempt gate mispredicted a lattice blow-up.
+	CoarseVisits      int
+	MultiresDiscarded int
 
 	// DictHits counts dictionary fragments that revalidated against this
 	// round's view (0 without an Options.Warmstart source). DictDiscarded
@@ -290,6 +323,11 @@ func OptimizeContext(ctx context.Context, prog *loader.Program, m Miner, opts Op
 	var pubFrags []dict.Fragment
 	if opts.Warmstart != nil {
 		opts.dictFrags = opts.Warmstart.Seeds()
+	}
+	// One multiresolution state per run: the coarse oracle is built once
+	// (first round) and frozen, the attempt gate evolves round to round.
+	if !opts.Lexicographic && !opts.NoMultires {
+		opts.mr = newMRState()
 	}
 	var view *cfg.Program
 	var st *incState

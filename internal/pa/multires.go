@@ -1,0 +1,182 @@
+package pa
+
+import (
+	"graphpa/internal/mining"
+)
+
+// Multiresolution coarse-to-fine mining (Huntsman: coarsen, solve small,
+// steer big). Once per run the round-1 mining graphs are contracted
+// (mining.Coarsen: instruction-class labels, straight-line chains into
+// supernodes) and the coarse lattice is mined exhaustively — it is
+// orders of magnitude smaller than the fine one. The coarse results
+// feed the fine walk through two strictly output-preserving channels:
+//
+//   - A search-order oracle: every coarse pattern scores the tuple
+//     classes it contains, and the fine walk descends siblings whose
+//     extending tuple's class scored well first (mining.Config.ChildScore,
+//     a tie-break after the admissible bound). Good incumbents arrive
+//     early, so the strict branch-and-bound pruning bites sooner.
+//   - A tighter admissible bound: each graph's contraction yields a
+//     capacity table Caps[class] bounding any node-disjoint set of fine
+//     edges of that class (see mining.Coarsening). A child pattern's MIS
+//     support — and every descendant's — cannot exceed, per graph, the
+//     least capacity among the classes of its code's tuples, summed over
+//     the graphs it embeds in, so mining.Config.ChildBound takes the min
+//     with misUpperBound.
+//
+// Neither channel admits or rejects candidates directly, so a COMPLETE
+// multires walk returns the same incumbent tie set as a complete plain
+// walk (the PR 5 order-invariance argument: admissible bounds plus
+// strictly-less pruning preserve every maximum-benefit candidate under
+// any sibling order). Byte-identity under the pattern budget is then
+// enforced by construction: a multires walk the budget truncates is
+// discarded (RoundStat.MultiresDiscarded) and the round re-mines with
+// multires off — the plain walk IS the reference output. The oracle is
+// frozen after round 1 (staleness costs steering quality, never
+// correctness); the capacity tables are recomputed per round from the
+// live graphs, keeping every bound a pure function of the pinned graph
+// objects as the checkpoint layer requires.
+
+// mrCoarseBudget caps the one-shot exhaustive coarse mine. The coarse
+// lattice is usually tiny, but label collapsing can densify pathological
+// inputs; the oracle is advisory, so truncating its construction costs
+// steering quality only.
+const mrCoarseBudget = 50_000
+
+// mrState is the per-run multiresolution state, created by the driver
+// (or by FindCandidates itself on direct calls) and threaded through
+// Options.mr.
+type mrState struct {
+	built        bool
+	oracle       map[mining.TupleClass]int // frozen tuple-class scores
+	coarseVisits int                       // coarse-lattice visits (round 1 only)
+
+	// attempt gates the multires walk per round: a round is attempted
+	// only when the previous round's final walk completed (round 1
+	// always attempts). Rounds that truncate burn the full pattern
+	// budget no matter the arm, and a truncated multires walk is
+	// discarded by construction — attempting one there pays a double
+	// walk for nothing. Deterministic per run: visit counts and
+	// truncation are identical across worker widths and incremental
+	// modes, so the gate decides identically too.
+	attempt bool
+	// lastVisits is the previous round's final-walk visit count; the
+	// multires walk's budget is capped near it (see budget) so a round
+	// whose lattice exploded since the gate last saw it discards after a
+	// cheap truncated prefix instead of a full-budget walk.
+	lastVisits int
+}
+
+func newMRState() *mrState {
+	return &mrState{attempt: true, oracle: map[mining.TupleClass]int{}}
+}
+
+// buildOracle runs the one-shot exhaustive coarse mine and freezes the
+// tuple-class score table: each coarse pattern credits every tuple class
+// it contains with support × size, a benefit proxy, and a class keeps
+// its best credit. Serial and lexicographic — determinism over speed.
+// The walk is capped at four supernodes: class collapsing makes coarse
+// patterns hyper-frequent, so deeper coarse mining explodes
+// combinatorially while adding nothing to a per-class score table (a
+// four-supernode pattern already spans up to maxK fine nodes per
+// supernode chain).
+func (mr *mrState) buildOracle(mgs []*mining.Graph, maxK, minSupport int) {
+	mr.built = true
+	coarse := make([]*mining.Graph, len(mgs))
+	for i, g := range mgs {
+		coarse[i] = mining.Coarsen(g).Graph
+	}
+	coarseK := maxK
+	if coarseK > 4 {
+		coarseK = 4
+	}
+	mr.coarseVisits = mining.Mine(coarse, mining.Config{
+		MinSupport:       minSupport,
+		MaxNodes:         coarseK,
+		EmbeddingSupport: true,
+		Lexicographic:    true,
+		MaxPatterns:      mrCoarseBudget,
+	}, func(p *mining.Pattern) {
+		score := p.Support * p.Code.NumNodes()
+		for _, t := range p.Code {
+			ct := mining.ClassOfTuple(t)
+			if score > mr.oracle[ct] {
+				mr.oracle[ct] = score
+			}
+		}
+	})
+}
+
+// budget is the multires walk's pattern budget: the full budget on round
+// 1, then twice the previous round's final visit count — enough slack
+// that a steadily shrinking lattice always completes, cheap enough that
+// a lattice the gate mispredicted truncates (and is discarded) after a
+// small prefix.
+func (mr *mrState) budget(maxPatterns int) int {
+	if mr.lastVisits > 0 && 2*mr.lastVisits < maxPatterns {
+		return 2 * mr.lastVisits
+	}
+	return maxPatterns
+}
+
+// coarseCaps contracts each graph and indexes its capacity table by
+// graph ID for the walk's ChildBound closure. Recomputed per round: the
+// tables are pure functions of the current mining graphs, which is what
+// lets the bound participate in checkpoint records (a record's
+// footprint pins the graphs, and identical graphs reproduce identical
+// caps).
+func coarseCaps(mgs []*mining.Graph) map[int]map[mining.TupleClass]int {
+	caps := make(map[int]map[mining.TupleClass]int, len(mgs))
+	for _, g := range mgs {
+		caps[g.ID] = mining.Coarsen(g).Caps
+	}
+	return caps
+}
+
+// capBound sums, over the distinct graphs of a child's embedding set,
+// the least capacity among ALL the child's tuple classes (the parent
+// code's plus the extending tuple's): every node-disjoint embedding of
+// the child — or of any descendant, which retains every tuple — pins a
+// node-disjoint fine edge of each class, so per graph the rarest class
+// in the code bounds the MIS support. Embedding rows are grouped by
+// graph (materialisation preserves seed packing order), so one pass
+// with a previous-gid check counts each graph once; a repeated
+// non-adjacent gid would only overcount, which keeps the bound
+// admissible.
+func capBound(caps map[int]map[mining.TupleClass]int, code mining.Code, t mining.Tuple, set *mining.EmbSet) int {
+	// The distinct classes of the child's code, newest first (the newest
+	// tuple is often the most constraining — it just shrank the set).
+	cts := make([]mining.TupleClass, 0, len(code)+1)
+	cts = append(cts, mining.ClassOfTuple(t))
+	for _, pt := range code {
+		ct := mining.ClassOfTuple(pt)
+		dup := false
+		for _, seen := range cts {
+			if seen == ct {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cts = append(cts, ct)
+		}
+	}
+	total := 0
+	last := -1
+	for i := 0; i < set.Len(); i++ {
+		gid := set.GID(i)
+		if gid == last {
+			continue
+		}
+		last = gid
+		g := caps[gid]
+		m := g[cts[0]]
+		for _, ct := range cts[1:] {
+			if c := g[ct]; c < m {
+				m = c
+			}
+		}
+		total += m
+	}
+	return total
+}

@@ -22,11 +22,24 @@ func buildForMining(t *testing.T, prog *loader.Program) (*cfg.Program, []*dfg.Gr
 }
 
 // The benefit-directed walk (best-first sibling order, MIS-aware child
-// pruning, warm-started incumbent) must be invisible in the output: the
-// Lexicographic kill switch flips the entire machinery and the Result
-// has to come out byte-identical, at every worker width, in both driver
-// modes. These tests pin that equivalence on small fixed programs; the
-// full-benchmark version lives in the heavy A/B suite.
+// pruning, warm-started incumbent) and the multiresolution coarse-to-fine
+// pass on top of it must both be invisible in the output: the
+// Lexicographic and NoMultires kill switches flip the entire machinery
+// and the Result has to come out byte-identical, at every worker width,
+// in both driver modes. These tests pin that equivalence on small fixed
+// programs; the full-benchmark version lives in the heavy A/B suite.
+
+// searchArms enumerates the three search configurations whose Results
+// must be indistinguishable: the lexicographic reference, the plain
+// benefit-directed walk, and the multiresolution coarse-to-fine walk.
+var searchArms = []struct {
+	name      string
+	lex, nomr bool
+}{
+	{"lex", true, false},
+	{"plain", false, true},
+	{"multires", false, false},
+}
 
 // orderTestSrc is reorderSrc's shape scaled up: several functions sharing
 // repeated connected fragments, some with reordered consumers, some
@@ -114,30 +127,27 @@ func TestOrderInvariantResult(t *testing.T) {
 			ref := Optimize(loadSrc(t, src), miner,
 				Options{Lexicographic: true, NoIncremental: true, MaxPatterns: 10_000_000})
 			want := fingerprint(ref)
-			var lexVisits, bfVisits []int
-			for _, lex := range []bool{true, false} {
+			armVisits := make([][]int, len(searchArms))
+			for ai, arm := range searchArms {
 				for _, workers := range []int{1, 8} {
 					for _, noInc := range []bool{true, false} {
-						name := fmt.Sprintf("%s/%s/lex=%v/w=%d/noinc=%v", sname, miner.Name(), lex, workers, noInc)
+						name := fmt.Sprintf("%s/%s/%s/w=%d/noinc=%v", sname, miner.Name(), arm.name, workers, noInc)
 						res := Optimize(loadSrc(t, src), miner, Options{
-							Lexicographic: lex, Workers: workers, NoIncremental: noInc,
+							Lexicographic: arm.lex, NoMultires: arm.nomr,
+							Workers: workers, NoIncremental: noInc,
 							MaxPatterns: 10_000_000,
 						})
 						if got := fingerprint(res); got != want {
 							t.Fatalf("%s: Result differs from lexicographic reference\ngot:\n%s\nwant:\n%s", name, got, want)
 						}
 						// Visits must be identical across worker widths and
-						// driver modes within one search order (they differ
-						// BETWEEN orders — that difference is the point).
+						// driver modes within one search arm (they differ
+						// BETWEEN arms — that difference is the point).
 						v := visitTrace(res)
-						ref := &lexVisits
-						if !lex {
-							ref = &bfVisits
-						}
-						if *ref == nil {
-							*ref = v
-						} else if fmt.Sprint(v) != fmt.Sprint(*ref) {
-							t.Fatalf("%s: visit trace %v, want %v (must not depend on workers/incremental)", name, v, *ref)
+						if armVisits[ai] == nil {
+							armVisits[ai] = v
+						} else if fmt.Sprint(v) != fmt.Sprint(armVisits[ai]) {
+							t.Fatalf("%s: visit trace %v, want %v (must not depend on workers/incremental)", name, v, armVisits[ai])
 						}
 					}
 				}
@@ -148,17 +158,19 @@ func TestOrderInvariantResult(t *testing.T) {
 
 // TestOrderInvariantCandidateList pins the stronger per-round property
 // behind Result identity: FindCandidates itself returns the identical
-// candidate list (keys and benefits) under both sibling orders.
+// candidate list (keys and benefits) under all three search arms. The
+// multires arm here also covers FindCandidates' self-initialisation of
+// the multiresolution state on direct calls (no driver involved).
 func TestOrderInvariantCandidateList(t *testing.T) {
 	for sname, src := range map[string]string{"reorder": reorderSrc, "mixed": orderTestSrc} {
 		for _, embedding := range []bool{true, false} {
 			miner := &GraphMiner{Embedding: embedding}
 			var want []string
-			for _, lex := range []bool{true, false} {
+			for _, arm := range searchArms {
 				for _, workers := range []int{1, 8} {
 					prog := loadSrc(t, src)
 					view, graphs := buildForMining(t, prog)
-					opts := Options{Lexicographic: lex, Workers: workers, MaxPatterns: 10_000_000}
+					opts := Options{Lexicographic: arm.lex, NoMultires: arm.nomr, Workers: workers, MaxPatterns: 10_000_000}
 					cands := miner.FindCandidates(view, graphs, opts)
 					var got []string
 					for _, c := range cands {
@@ -169,8 +181,8 @@ func TestOrderInvariantCandidateList(t *testing.T) {
 						continue
 					}
 					if fmt.Sprint(got) != fmt.Sprint(want) {
-						t.Fatalf("%s/%s/lex=%v/w=%d: candidate list differs\ngot:  %v\nwant: %v",
-							sname, miner.Name(), lex, workers, got, want)
+						t.Fatalf("%s/%s/%s/w=%d: candidate list differs\ngot:  %v\nwant: %v",
+							sname, miner.Name(), arm.name, workers, got, want)
 					}
 				}
 			}
