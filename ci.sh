@@ -27,8 +27,12 @@ go test ./internal/mining -run '^$' -bench . -benchtime 1x -short >/dev/null
 # output is normalized with sed before diffing.
 TMP=$(mktemp -d)
 PAD_PID=""
+W1_PID=""
+W2_PID=""
 cleanup() {
 	[ -n "$PAD_PID" ] && kill "$PAD_PID" 2>/dev/null || true
+	[ -n "$W1_PID" ] && kill "$W1_PID" 2>/dev/null || true
+	[ -n "$W2_PID" ] && kill "$W2_PID" 2>/dev/null || true
 	rm -rf "$TMP"
 }
 trap cleanup EXIT
@@ -106,6 +110,52 @@ if [ -z "$HITS" ] || [ "$HITS" -eq 0 ]; then
 	exit 1
 fi
 echo "ci.sh: dictionary warm-start reproduces identical images (dict_hits=$HITS)"
+
+# --- sharded distributed search end-to-end -----------------------------
+# Two shard-worker pads plus a coordinator, all on loopback: the same
+# three-program corpus is mined by a plain single-process daemon and by
+# the coordinator distributing speculation across the workers, and the
+# per-program image hashes must be identical — shards only move the
+# speculative work, the coordinator's replay decides every byte. The
+# worker logs must show walks actually opened, so the equality is not
+# vacuously two local runs.
+"$TMP/pad" serve -addr 127.0.0.1:0 -addr-file "$TMP/addr_p" 2>"$TMP/pad_plain.log" &
+PAD_PID=$!
+ADDR=$(wait_addr "$TMP/addr_p" "$TMP/pad_plain.log")
+"$TMP/pad" submit -addr "$ADDR" -json -dir "$TMP/corpus" >"$TMP/shard_plain.json"
+kill -TERM "$PAD_PID"
+wait "$PAD_PID"
+PAD_PID=""
+
+"$TMP/pad" serve -addr 127.0.0.1:0 -addr-file "$TMP/addr_w1" -shard-of ci-coordinator 2>"$TMP/pad_w1.log" &
+W1_PID=$!
+"$TMP/pad" serve -addr 127.0.0.1:0 -addr-file "$TMP/addr_w2" -shard-of ci-coordinator 2>"$TMP/pad_w2.log" &
+W2_PID=$!
+W1=$(wait_addr "$TMP/addr_w1" "$TMP/pad_w1.log")
+W2=$(wait_addr "$TMP/addr_w2" "$TMP/pad_w2.log")
+"$TMP/pad" serve -addr 127.0.0.1:0 -addr-file "$TMP/addr_c" -shards "$W1,$W2" 2>"$TMP/pad_coord.log" &
+PAD_PID=$!
+ADDR=$(wait_addr "$TMP/addr_c" "$TMP/pad_coord.log")
+"$TMP/pad" submit -addr "$ADDR" -json -dir "$TMP/corpus" >"$TMP/shard_coord.json"
+kill -TERM "$PAD_PID"
+wait "$PAD_PID"
+PAD_PID=""
+kill -TERM "$W1_PID" "$W2_PID"
+wait "$W1_PID" "$W2_PID"
+W1_PID=""
+W2_PID=""
+
+grep -o '"image_hash":"[0-9a-f]*"' "$TMP/shard_plain.json" >"$TMP/shard_hashes_plain"
+grep -o '"image_hash":"[0-9a-f]*"' "$TMP/shard_coord.json" >"$TMP/shard_hashes_coord"
+[ -s "$TMP/shard_hashes_plain" ] || { echo "ci.sh: plain batch produced no image hashes" >&2; exit 1; }
+diff "$TMP/shard_hashes_plain" "$TMP/shard_hashes_coord"
+for wl in "$TMP/pad_w1.log" "$TMP/pad_w2.log"; do
+	grep -q "shard walk opened" "$wl" || {
+		echo "ci.sh: worker $wl served no shard walks" >&2
+		exit 1
+	}
+done
+echo "ci.sh: sharded coordinator reproduces identical images across 2 workers"
 
 # --- benchmark-record smoke --------------------------------------------
 # The JSON benchmark harness must keep producing records the committed

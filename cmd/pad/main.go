@@ -5,11 +5,12 @@
 // Usage:
 //
 //	pad serve [-addr host:port] [-addr-file path] [-job-workers n]
-//	          [-mine-workers n] [-queue n] [-cache n] [-dict path] [-pprof]
+//	          [-mine-workers n] [-queue n] [-cache n] [-dict path]
+//	          [-shards host1,host2] [-shard-of name] [-pprof]
 //	pad submit [-addr host:port] [-miner edgar|dgspan|sfx|edgar-canon]
 //	           [-asm] [-O] [-schedule] [-minsup n] [-maxfrag n]
 //	           [-maxrounds n] [-maxpatterns n] [-greedy-mis] [-nomultires]
-//	           [-json] file.mc | -dir corpus/
+//	           [-retries n] [-json] file.mc | -dir corpus/
 //
 // serve binds addr (use port 0 for an ephemeral port), optionally
 // writes the bound address to -addr-file for scripts to discover, and
@@ -21,6 +22,15 @@
 // endpoints under /debug/pprof/ on the same listener (the daemon
 // equivalent of edgar's -cpuprofile/-memprofile); off by default since
 // profiles expose internals.
+// -shards makes this pad a shard COORDINATOR: every mining job
+// distributes its per-seed speculation across the listed worker pads
+// and replays the streamed subtrees locally, so responses stay
+// byte-identical to a single-process run (workers dying mid-walk only
+// cost local fallback work). Any pad can serve as a worker — the
+// /v1/shard endpoints are always registered; -shard-of just names the
+// role for logs.
+// submit retries transient daemon failures (-retries, default 3) with
+// exponential backoff and jitter before giving up with the final error.
 // submit mirrors cmd/edgar's flags and prints the same report lines
 // (minus the wall-clock suffix, which the service deliberately omits so
 // cached responses are byte-identical to fresh ones). With -dir it packs
@@ -33,7 +43,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -85,6 +94,8 @@ func serve(args []string) {
 	queueDepth := fs.Int("queue", 0, "pending-job queue depth (0 = default 64)")
 	cacheEntries := fs.Int("cache", 0, "result-cache entries (0 = default 128)")
 	dictPath := fs.String("dict", "", "persistent fragment-dictionary file (empty = no dictionary)")
+	shards := fs.String("shards", "", "comma-separated shard-worker pad addresses; this pad coordinates, distributing per-seed speculation across them (identical output)")
+	shardOf := fs.String("shard-of", "", "name of the coordinator this pad works for (informational; the shard endpoints are always on)")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the same listener")
 	_ = fs.Parse(args)
 	if fs.NArg() != 0 {
@@ -105,6 +116,12 @@ func serve(args []string) {
 		}
 		logger.Info("dictionary open", "path", *dictPath, "entries", d.Len())
 	}
+	var shardAddrs []string
+	for _, a := range strings.Split(*shards, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			shardAddrs = append(shardAddrs, a)
+		}
+	}
 	svc := service.New(service.Config{
 		JobWorkers:   *jobWorkers,
 		MineWorkers:  *mineWorkers,
@@ -112,6 +129,8 @@ func serve(args []string) {
 		CacheEntries: *cacheEntries,
 		Logger:       logger,
 		Dict:         d,
+		Shards:       shardAddrs,
+		ShardOf:      *shardOf,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -184,7 +203,12 @@ func submit(args []string) {
 	noMultires := fs.Bool("nomultires", false, "disable multiresolution coarse-to-fine mining (identical output)")
 	rawJSON := fs.Bool("json", false, "print the raw JSON response instead of the report")
 	dir := fs.String("dir", "", "submit every .mc/.s file under this directory as one batch")
+	retries := fs.Int("retries", 3, "retry transient daemon failures (connect errors, 429, 5xx) this many times with exponential backoff")
 	_ = fs.Parse(args)
+	if *retries < 0 {
+		fmt.Fprintln(os.Stderr, "pad submit: -retries must be non-negative")
+		os.Exit(2)
+	}
 	opt := service.OptimizeOptions{
 		Miner:       *miner,
 		MinSupport:  *minSup,
@@ -200,7 +224,7 @@ func submit(args []string) {
 			fmt.Fprintln(os.Stderr, "usage: pad submit [flags] -dir corpus/ (no file argument)")
 			os.Exit(2)
 		}
-		submitBatch(*addr, *dir, co, opt, *rawJSON)
+		submitBatch(*addr, *dir, co, opt, *rawJSON, *retries)
 		return
 	}
 	if fs.NArg() != 1 {
@@ -222,23 +246,18 @@ func submit(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	resp, err := http.Post("http://"+*addr+"/v1/compact", "application/json", bytes.NewReader(body))
+	code, respBody, err := postRetry("http://"+*addr+"/v1/compact", "application/json", body, *retries)
 	if err != nil {
 		fatal(err)
 	}
-	defer resp.Body.Close()
-	respBody, err := io.ReadAll(resp.Body)
-	if err != nil {
-		fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
+	if code != http.StatusOK {
 		var eb struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(respBody, &eb) == nil && eb.Error != "" {
-			fatal(fmt.Errorf("%s: %s", resp.Status, eb.Error))
+			fatal(fmt.Errorf("HTTP %d: %s", code, eb.Error))
 		}
-		fatal(errors.New(resp.Status))
+		fatal(fmt.Errorf("HTTP %d: %s", code, bytes.TrimSpace(respBody)))
 	}
 	if *rawJSON {
 		os.Stdout.Write(respBody)
@@ -254,7 +273,7 @@ func submit(args []string) {
 // submitBatch packs the directory's programs into one POST /v1/batch,
 // polls the batch until every program settles, and prints the
 // per-program savings table.
-func submitBatch(addr, dir string, co *service.CompileOptions, opt service.OptimizeOptions, rawJSON bool) {
+func submitBatch(addr, dir string, co *service.CompileOptions, opt service.OptimizeOptions, rawJSON bool, retries int) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		fatal(err)
@@ -285,17 +304,12 @@ func submitBatch(addr, dir string, co *service.CompileOptions, opt service.Optim
 	if err != nil {
 		fatal(err)
 	}
-	resp, err := http.Post("http://"+addr+"/v1/batch", "application/json", bytes.NewReader(body))
+	code, ack, err := postRetry("http://"+addr+"/v1/batch", "application/json", body, retries)
 	if err != nil {
 		fatal(err)
 	}
-	ack, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		fatal(err)
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		fatal(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(ack))))
+	if code != http.StatusAccepted {
+		fatal(fmt.Errorf("HTTP %d: %s", code, bytes.TrimSpace(ack)))
 	}
 	var accepted struct {
 		ID string `json:"id"`

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+)
+
+// stderr is swapped in tests to capture the retry narration.
+var stderr io.Writer = os.Stderr
+
+// Transient daemon failures — a connection refused while the daemon
+// restarts, a 429 from a full queue, a 5xx — are worth a bounded retry
+// from the client; request errors (4xx) are not, they will fail the
+// same way every time. Backoff doubles from retryBaseDelay with ±50%
+// jitter so a corpus of impatient clients does not thundering-herd a
+// recovering daemon.
+const retryBaseDelay = 200 * time.Millisecond
+
+// retrySleep is stubbed in tests.
+var retrySleep = time.Sleep
+
+// retryableStatus reports whether an HTTP status is worth retrying.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// postRetry POSTs body to url up to 1+retries times, backing off
+// between attempts. It returns the final response's status and body;
+// only transport errors and retryable statuses consume attempts. The
+// returned error is terminal and names the attempt count.
+func postRetry(url, contentType string, body []byte, retries int) (int, []byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			d := retryBaseDelay << (attempt - 1)
+			d += time.Duration(rand.Int63n(int64(d))) - d/2
+			fmt.Fprintf(stderr, "pad: %v; retrying in %v (attempt %d/%d)\n", lastErr, d.Round(time.Millisecond), attempt, retries)
+			retrySleep(d)
+		}
+		resp, err := http.Post(url, contentType, bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			if attempt >= retries {
+				break
+			}
+			continue
+		}
+		respBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			if attempt >= retries {
+				break
+			}
+			continue
+		}
+		if retryableStatus(resp.StatusCode) {
+			lastErr = fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(respBody))
+			if attempt >= retries {
+				break
+			}
+			continue
+		}
+		return resp.StatusCode, respBody, nil
+	}
+	return 0, nil, fmt.Errorf("giving up after %d attempts: %w", retries+1, lastErr)
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubRetry silences the narration and records the backoff schedule
+// instead of sleeping.
+func stubRetry(t *testing.T) *[]time.Duration {
+	t.Helper()
+	var slept []time.Duration
+	oldSleep, oldErr := retrySleep, stderr
+	retrySleep = func(d time.Duration) { slept = append(slept, d) }
+	stderr = io.Discard
+	t.Cleanup(func() { retrySleep, stderr = oldSleep, oldErr })
+	return &slept
+}
+
+func TestPostRetryRecoversFromTransientFailures(t *testing.T) {
+	slept := stubRetry(t)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 2:
+			w.WriteHeader(http.StatusInternalServerError)
+		default:
+			body, _ := io.ReadAll(r.Body)
+			w.Write(append([]byte("ok:"), body...))
+		}
+	}))
+	defer ts.Close()
+
+	code, body, err := postRetry(ts.URL, "text/plain", []byte("payload"), 3)
+	if err != nil || code != http.StatusOK || string(body) != "ok:payload" {
+		t.Fatalf("postRetry = %d, %q, %v; want 200, ok:payload, nil", code, body, err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d attempts, want 3", calls.Load())
+	}
+	// Exponential with ±50% jitter: attempt n backs off in
+	// [base<<n/2, 3*(base<<n)/2).
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*slept))
+	}
+	for i, d := range *slept {
+		lo, hi := retryBaseDelay<<i/2, 3*(retryBaseDelay<<i)/2
+		if d < lo || d >= hi {
+			t.Fatalf("backoff %d was %v, want in [%v, %v)", i, d, lo, hi)
+		}
+	}
+}
+
+func TestPostRetryDoesNotRetryRequestErrors(t *testing.T) {
+	stubRetry(t)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"no"}`))
+	}))
+	defer ts.Close()
+
+	code, body, err := postRetry(ts.URL, "application/json", nil, 3)
+	if err != nil || code != http.StatusBadRequest || !bytes.Contains(body, []byte("no")) {
+		t.Fatalf("postRetry = %d, %q, %v; want the 400 passed through", code, body, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("request error consumed %d attempts, want 1", calls.Load())
+	}
+}
+
+func TestPostRetryGivesUpWithClearError(t *testing.T) {
+	slept := stubRetry(t)
+	// A closed server: every attempt is a connect error.
+	ts := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	ts.Close()
+
+	_, _, err := postRetry(ts.URL, "text/plain", nil, 2)
+	if err == nil {
+		t.Fatal("postRetry against a dead server succeeded")
+	}
+	if !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Fatalf("final error %q does not name the attempt count", err)
+	}
+	if !strings.Contains(err.Error(), "connection refused") {
+		t.Fatalf("final error %q does not carry the underlying cause", err)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*slept))
+	}
+}
+
+func TestPostRetryZeroRetriesFailsImmediately(t *testing.T) {
+	slept := stubRetry(t)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	if _, _, err := postRetry(ts.URL, "text/plain", nil, 0); err == nil {
+		t.Fatal("want an error with retries exhausted")
+	}
+	if calls.Load() != 1 || len(*slept) != 0 {
+		t.Fatalf("%d attempts, %d sleeps; want 1, 0", calls.Load(), len(*slept))
+	}
+}

@@ -46,6 +46,12 @@ type BenchFingerprint struct {
 	MaxPatterns   int  `json:"maxpatterns"`
 	Multires      bool `json:"multires"`
 	Lexicographic bool `json:"lexicographic"`
+	// Shards records how many shard workers speculation was distributed
+	// across (0 = single-process). Provenance only, ignored by
+	// FingerprintsMatch like Workers: sharding forces the plain walk —
+	// which Multires already captures — and is otherwise byte-identical
+	// at any shard count.
+	Shards int `json:"shards,omitempty"`
 }
 
 // FingerprintsMatch reports whether two records' search configurations
@@ -86,11 +92,16 @@ func BenchJSON(ev *Evaluation, miners []string) *BenchDoc {
 		Workers: ev.Workers,
 		Miners:  append([]string(nil), miners...),
 		Fingerprint: &BenchFingerprint{
-			Workers:       ev.Workers,
-			MaxPatterns:   ev.Opts.MaxPatternsOrDefault(),
-			Multires:      !ev.Opts.NoMultires && !ev.Opts.Lexicographic,
+			Workers:     ev.Workers,
+			MaxPatterns: ev.Opts.MaxPatternsOrDefault(),
+			// Sharded walks force the plain arm, so multires is off
+			// whenever a shard fleet is configured.
+			Multires:      !ev.Opts.NoMultires && !ev.Opts.Lexicographic && ev.Opts.Shards == nil,
 			Lexicographic: ev.Opts.Lexicographic,
 		},
+	}
+	if ev.Opts.Shards != nil {
+		d.Fingerprint.Shards = ev.Opts.Shards.NumShards()
 	}
 	for _, mn := range miners {
 		for _, w := range ev.Workloads {

@@ -1,6 +1,7 @@
 package mining
 
 import (
+	"context"
 	"slices"
 	"sync"
 )
@@ -121,6 +122,24 @@ type Config struct {
 	// correctness never depends on what speculation decides, only the
 	// amount of replay fallback work does.
 	NewSpeculator func() *Speculator
+	// RemoteSpec, when non-nil, sources a seed subtree's speculation from
+	// a shard worker instead of a local goroutine: called with the
+	// canonical seed index (the position in seedPatterns order), it
+	// returns a recorded subtree in the spec-tree wire form, which is
+	// decoded around the coordinator's own seed pattern and handed to the
+	// authoritative replay exactly like a locally-speculated tree. Any
+	// error — or a payload that fails decoding — falls back to local
+	// speculation for that seed, so a dead or corrupt shard costs work,
+	// never output. Activates the speculate-then-replay pipeline even at
+	// Workers <= 1. Incompatible with ChildBound/ChildScore (the shard
+	// cannot evaluate coordinator closures whose results replay consumes
+	// authoritatively); Mine panics on that combination.
+	RemoteSpec func(ctx context.Context, seed int) ([]byte, error)
+	// NoteRemoteSpec, when non-nil, receives the remote-speculation
+	// accounting once at the end of a RemoteSpec walk (on the calling
+	// goroutine): seeds attempted remotely, subtrees successfully decoded,
+	// and seeds that fell back to local speculation.
+	NoteRemoteSpec func(seeds, subtrees, fallbacks int)
 }
 
 func (c Config) minimal(code Code) bool {
@@ -604,7 +623,10 @@ func Mine(graphs []*Graph, cfg Config, visit func(*Pattern)) int {
 	graphOf := func(id int) *Graph { return byID[id] }
 	roots := seedPatterns(graphs)
 
-	if cfg.Workers > 1 && len(roots) > 1 {
+	if cfg.RemoteSpec != nil && (cfg.ChildBound != nil || cfg.ChildScore != nil) {
+		panic("mining: RemoteSpec cannot be combined with ChildBound/ChildScore")
+	}
+	if (cfg.Workers > 1 || cfg.RemoteSpec != nil) && len(roots) > 1 {
 		return mineParallel(graphOf, roots, cfg, visit)
 	}
 	mn := &miner{cfg: cfg, graphOf: graphOf, visit: visit}

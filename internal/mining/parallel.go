@@ -5,6 +5,7 @@ import (
 	"errors"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"graphpa/internal/par"
 )
@@ -104,12 +105,38 @@ func cmpSpecExt(a, b specExt) int {
 var errAbort = errors.New("mining: pattern budget exhausted")
 
 // mineParallel runs the speculate-then-replay pipeline: one producer job
-// per seed subtree, consumed (replayed) in canonical seed order.
+// per seed subtree, consumed (replayed) in canonical seed order. With
+// cfg.RemoteSpec the producers fetch shard-recorded subtrees instead of
+// speculating locally; a failed fetch or decode degrades that seed to
+// local speculation, so the replay consumer never sees the difference.
 func mineParallel(graphOf func(int) *Graph, roots []*ext, cfg Config, visit func(*Pattern)) int {
 	auth := &miner{cfg: cfg, graphOf: graphOf, visit: visit}
 	budget := &specBudget{max: int64(cfg.MaxPatterns)}
-	err := par.OrderedMap(context.Background(), cfg.Workers, len(roots),
+	width := cfg.Workers
+	if cfg.RemoteSpec != nil && width < 8 {
+		// Remote producers spend their time blocked on shard RPCs, not on
+		// CPU: keep enough seed requests in flight to cover the round-trip
+		// latency regardless of the local worker setting.
+		width = 8
+	}
+	var remSeeds, remTrees, remFallbacks atomic.Int64
+	err := par.OrderedMap(context.Background(), width, len(roots),
 		func(ctx context.Context, i int) (*specNode, error) {
+			if cfg.RemoteSpec != nil {
+				remSeeds.Add(1)
+				if data, err := cfg.RemoteSpec(ctx, i); err == nil {
+					if root, derr := decodeSpecTree(data, Code{roots[i].t}, roots[i].set, graphOf); derr == nil {
+						remTrees.Add(1)
+						return root, nil
+					}
+				}
+				// Count real shard failures only: a cancelled walk makes
+				// every in-flight RPC error, and those seeds' local
+				// speculation is a no-op anyway (budgetLeft sees ctx.Err).
+				if ctx.Err() == nil {
+					remFallbacks.Add(1)
+				}
+			}
 			s := newSpeculator(ctx, cfg, graphOf, budget)
 			return s.mine(Code{roots[i].t}, roots[i].set), nil
 		},
@@ -120,6 +147,9 @@ func mineParallel(graphOf func(int) *Graph, roots []*ext, cfg Config, visit func
 			}
 			return nil
 		})
+	if cfg.RemoteSpec != nil && cfg.NoteRemoteSpec != nil {
+		cfg.NoteRemoteSpec(int(remSeeds.Load()), int(remTrees.Load()), int(remFallbacks.Load()))
+	}
 	if err != nil && !errors.Is(err, errAbort) {
 		// Producers and the replay consumer return no other error, and
 		// worker panics re-raise inside OrderedMap.

@@ -86,6 +86,17 @@ type Options struct {
 	// against; only RoundStat.Visits/CoarseVisits/MultiresDiscarded
 	// change.
 	NoMultires bool
+	// Shards, when non-nil, distributes the lattice walk's speculation
+	// phase across remote shard workers (see shard.go): seed subtrees
+	// are speculated on the shards and replayed authoritatively here, so
+	// the Result is byte-identical to a local run — dead shards, stale
+	// incumbent gossip and lost subtrees only cost replay-fallback work.
+	// Implies NoMultires for the sharded walks: the multiresolution
+	// steering closures cannot be evaluated on a shard, and the recorded
+	// bounds they tighten are consumed authoritatively by the replay.
+	// (Sound by the NoMultires byte-identity guarantee.) Only
+	// RoundStat.Visits and the Shard* counters change.
+	Shards ShardDialer
 
 	// ctx carries the cancellation context of an OptimizeContext run.
 	// Only the driver sets it; miners read it through Context.
@@ -239,6 +250,21 @@ type RoundStat struct {
 	DictHits      int
 	DictDiscarded int
 
+	// Shard counters of the distributed walk (all 0 without
+	// Options.Shards). ShardSeeds counts seed subtrees requested from
+	// shard workers, ShardSubtrees the recorded trees streamed back and
+	// decoded, ShardFallbacks the seeds that degraded to local
+	// speculation (dead shard, RPC failure, corrupt payload).
+	// ShardBroadcasts counts incumbent-floor pushes sent to the shards;
+	// ShardSpecVisits totals the speculative pattern visits the shards
+	// ran on the coordinator's behalf — the honest overhead number next
+	// to the round's authoritative Visits.
+	ShardSeeds      int
+	ShardSubtrees   int
+	ShardFallbacks  int
+	ShardBroadcasts int
+	ShardSpecVisits int
+
 	Extractions int // rewrites applied this round
 }
 
@@ -326,7 +352,8 @@ func OptimizeContext(ctx context.Context, prog *loader.Program, m Miner, opts Op
 	}
 	// One multiresolution state per run: the coarse oracle is built once
 	// (first round) and frozen, the attempt gate evolves round to round.
-	if !opts.Lexicographic && !opts.NoMultires {
+	// Sharded runs stay on the plain walk (see Options.Shards).
+	if !opts.Lexicographic && !opts.NoMultires && opts.Shards == nil {
 		opts.mr = newMRState()
 	}
 	var view *cfg.Program

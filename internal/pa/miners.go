@@ -316,9 +316,11 @@ func (m *GraphMiner) FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts
 	// through the run; direct FindCandidates calls (tests) self-init. The
 	// Lexicographic reference arm never steers — it is the baseline the
 	// order differentials compare against — and NoMultires is the kill
-	// switch.
+	// switch. Sharded runs force the plain walk too: the steering
+	// closures cannot run on a shard, and the bounds they tighten are
+	// consumed authoritatively by the replay (see Options.Shards).
 	mr := opts.mr
-	if opts.Lexicographic || opts.NoMultires {
+	if opts.Lexicographic || opts.NoMultires || opts.Shards != nil {
 		mr = nil
 	} else if mr == nil {
 		mr = newMRState()
@@ -372,6 +374,12 @@ func (m *GraphMiner) FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts
 		opts.stat.DictHits = len(dictCands)
 	}
 	ctx := opts.Context()
+	// One graph encoding per FindCandidates call: every walk of this
+	// round (dict-floored, cold re-mine) ships the same graphs.
+	var graphsEnc []byte
+	if opts.Shards != nil {
+		graphsEnc = mining.EncodeGraphs(mgs)
+	}
 
 	// runWalk runs one complete lattice walk with the incumbent floored
 	// at floor. Each call builds a fresh search (incumbent, ties,
@@ -393,7 +401,9 @@ func (m *GraphMiner) FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts
 			}
 			s.ck = &checkpointer{s: s, memo: inc.memo, arm: ckArm, byID: byID, safe: safeByGraph}
 		}
-		if workers > 1 {
+		if workers > 1 || opts.Shards != nil {
+			// Sharded walks memoise too: replay-fallback seeds speculate
+			// locally through NewSpeculator even at Workers == 1.
 			s.memo = map[*mining.Pattern]*patMemo{}
 		}
 		s.bestBen = floor
@@ -554,7 +564,49 @@ func (m *GraphMiner) FindCandidates(view *cfg.Program, graphs []*dfg.Graph, opts
 				return v
 			}
 		}
+		// Distributed speculation (shard.go): open one walk on the shard
+		// set, shipping the graphs plus the advisory bound state — the
+		// incumbent floor and the maxK row of the bound table, exactly
+		// what the advisory closures above consult — then source each
+		// seed's speculation remotely. A failed open degrades the whole
+		// walk to local mining; a failed seed degrades that seed. The
+		// gossip pump pushes incumbent improvements for the life of the
+		// walk. Never combined with mrOn: shards force the plain arm.
+		var walk ShardWalk
+		var stopGossip func()
+		if opts.Shards != nil {
+			req := mining.EncodeShardWalk(mining.SpecConfig{
+				MinSupport:       opts.minSupport(),
+				MaxNodes:         maxK,
+				MaxPatterns:      budget,
+				EmbeddingSupport: m.Embedding,
+				GreedyMIS:        opts.GreedyMIS,
+				Lexicographic:    opts.Lexicographic,
+				Floor:            floor,
+				UB:               s.ub[(maxK-2)*ubTabM:],
+			}, graphsEnc)
+			if w, err := opts.Shards.NewWalk(ctx, req); err == nil {
+				walk = w
+				cfgm.RemoteSpec = w.Speculate
+				cfgm.NoteRemoteSpec = func(seeds, subtrees, fallbacks int) {
+					if opts.stat != nil {
+						opts.stat.ShardSeeds += seeds
+						opts.stat.ShardSubtrees += subtrees
+						opts.stat.ShardFallbacks += fallbacks
+					}
+				}
+				stopGossip = startGossip(w, s.best)
+			}
+		}
 		visits := mining.Mine(mgs, cfgm, func(p *mining.Pattern) { m.visitPattern(s, byID, maxK, safe, opts, p) })
+		if walk != nil {
+			stopGossip()
+			ws := walk.Close()
+			if opts.stat != nil {
+				opts.stat.ShardBroadcasts += ws.Broadcasts
+				opts.stat.ShardSpecVisits += int(ws.SpecVisits)
+			}
+		}
 		return s, visits, truncated
 	}
 

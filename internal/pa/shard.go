@@ -1,0 +1,90 @@
+package pa
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+)
+
+// This file is the miner-side seam of the distributed lattice search.
+// The pa layer knows nothing about transports: Options.Shards supplies
+// a dialer, the walk ships its mining graphs and advisory bound state
+// through it (mining.EncodeShardWalk), and each seed subtree's
+// speculation is sourced through ShardWalk.Speculate instead of a local
+// goroutine. The authoritative replay — and with it every byte of the
+// Result — still runs here on the coordinator; a shard can only change
+// how much replay-fallback work the walk does, exactly like a stale
+// speculation policy. The HTTP implementation lives in
+// internal/service (ShardPool); tests plug in-process fakes.
+
+// ShardDialer opens distributed walks on a set of shard workers.
+// Implementations must be safe for concurrent use.
+type ShardDialer interface {
+	// NewWalk opens one lattice walk on every reachable shard. req is an
+	// opaque mining.EncodeShardWalk payload (graphs + advisory search
+	// config). An error means no shard is reachable — the caller then
+	// mines locally; partial failures are the walk's to absorb.
+	NewWalk(ctx context.Context, req []byte) (ShardWalk, error)
+	// NumShards is the configured shard count (for stats and sizing).
+	NumShards() int
+}
+
+// ShardWalk is one open distributed walk.
+type ShardWalk interface {
+	// Speculate returns the recorded speculation subtree for one
+	// canonical seed index, in the mining spec-tree wire form. The
+	// implementation owns seed→shard assignment (consistent by canonical
+	// seed order) and per-shard retry; an error degrades that seed to
+	// local speculation.
+	Speculate(ctx context.Context, seed int) ([]byte, error)
+	// Broadcast pushes an improved incumbent floor to every live shard,
+	// best-effort: a lost or reordered push costs wasted speculative
+	// visits on the shard, never output.
+	Broadcast(floor int)
+	// Close releases the walk on every shard and returns its accounting.
+	Close() ShardWalkStats
+}
+
+// ShardWalkStats is the accounting a closed walk reports.
+type ShardWalkStats struct {
+	// SpecVisits is the total speculative pattern visits the shards ran
+	// for this walk — the honest distributed-overhead number (the
+	// coordinator's own Visits only count the authoritative replay).
+	SpecVisits int64
+	// Broadcasts is the number of incumbent pushes actually sent.
+	Broadcasts int
+}
+
+// gossipInterval paces incumbent broadcasts. Pushes are advisory and
+// monotone, so the interval trades shard over-exploration against RPC
+// chatter; it does not affect output.
+const gossipInterval = 50 * time.Millisecond
+
+// startGossip runs the incumbent-broadcast pump: every interval, if the
+// coordinator's incumbent rose since the last push, send it to the
+// shards. Returns the stop function (idempotent callers need not apply
+// — the walk is closed right after).
+func startGossip(walk ShardWalk, best func() int) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		last := math.MinInt
+		t := time.NewTicker(gossipInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if b := best(); b > last {
+					walk.Broadcast(b)
+					last = b
+				}
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}

@@ -243,6 +243,13 @@ func (s *Server) mine(ctx context.Context, req *CompactRequest, key string) (*re
 		// interface would defeat pa's Warmstart == nil check.
 		po.Warmstart = s.cfg.Dict
 	}
+	if s.shardPool != nil {
+		// Shard topology is server deployment (like Workers): it changes
+		// how the lattice is walked, never the bytes of the result, so it
+		// is set here — after Key() — and must never be added to Key().
+		// TestShardCacheKeyTopologyFree pins this.
+		po.Shards = s.shardPool
+	}
 	res, out, err := core.OptimizeContext(ctx, img, m, po)
 	if err != nil {
 		return nil, err

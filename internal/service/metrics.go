@@ -74,6 +74,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		counter("pad_dict_compactions_total", "Log compactions.", ds.Compactions)
 	}
 
+	// Worker half of the shard protocol: always present, like the
+	// endpoints themselves.
+	ws := &s.shardsSrv.stats
+	counter("pad_shard_walks_opened_total", "Speculation walks opened by coordinators.", ws.walksOpened.Load())
+	counter("pad_shard_walks_evicted_total", "Walks evicted idle or by the session bound.", ws.walksEvicted.Load())
+	counter("pad_shard_seeds_served_total", "Seed subtrees speculated for coordinators.", ws.seedsServed.Load())
+	counter("pad_shard_floor_received_total", "Incumbent-floor pushes received.", ws.floorRecv.Load())
+	counter("pad_shard_floor_stale_total", "Floor pushes at or below the current floor.", ws.floorStale.Load())
+	counter("pad_shard_spec_visits_total", "Speculative lattice visits across closed walks.", ws.specVisits.Load())
+
+	// Coordinator half: per-shard labels over the configured address
+	// list, present only when this pad fronts a shard fleet.
+	if s.shardPool != nil {
+		type col struct {
+			name, help string
+			v          func(shardCounters) int64
+		}
+		for _, c := range []col{
+			{"pad_shard_seeds_assigned_total", "Seed subtrees requested from this shard.", func(sc shardCounters) int64 { return sc.Seeds }},
+			{"pad_shard_subtrees_total", "Seed subtrees successfully streamed back.", func(sc shardCounters) int64 { return sc.Subtrees }},
+			{"pad_shard_fallbacks_total", "Seed requests that degraded to local speculation.", func(sc shardCounters) int64 { return sc.Fallbacks }},
+			{"pad_shard_broadcasts_sent_total", "Incumbent-floor pushes delivered to this shard.", func(sc shardCounters) int64 { return sc.Broadcasts }},
+			{"pad_shard_walk_errors_total", "Walk opens that failed on this shard.", func(sc shardCounters) int64 { return sc.WalkErrors }},
+		} {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
+			for _, sc := range s.shardPool.counters() {
+				fmt.Fprintf(&b, "%s{shard=%q} %d\n", c.name, sc.Addr, c.v(sc))
+			}
+		}
+	}
+
 	// Per-miner mining-latency histograms over the fixed bucket bounds.
 	// Bucket counts are cumulative per the exposition format.
 	miners := make([]string, 0, len(snap.Miners))

@@ -70,6 +70,19 @@ type Config struct {
 	// Responses stay byte-identical with or without a dictionary — it
 	// only changes how much lattice the miner walks.
 	Dict *dict.Dict
+	// Shards, when non-empty, makes this pad a shard COORDINATOR: every
+	// mining job distributes its per-seed speculation across these worker
+	// pad addresses ("host:port") and replays the streamed subtrees
+	// locally. Like Workers and Dict, the shard topology is server
+	// deployment, not request content — responses are byte-identical with
+	// or without shards, so topology must never leak into request Key()
+	// and all topologies share one cache line.
+	Shards []string
+	// ShardOf optionally names the coordinator this pad serves as a
+	// shard worker for (`pad serve -shard-of`). Purely informational —
+	// the `/v1/shard` endpoints are always registered — but it shows up
+	// in logs so a fleet is legible.
+	ShardOf string
 }
 
 func (c Config) jobWorkers() int {
@@ -114,12 +127,14 @@ func (c Config) cacheEntries() int {
 // Server is the compaction service. Create with New, serve via Handler,
 // stop with Shutdown.
 type Server struct {
-	cfg   Config
-	log   *slog.Logger
-	mux   *http.ServeMux
-	queue chan *job
-	cache *resultCache
-	stats *stats
+	cfg       Config
+	log       *slog.Logger
+	mux       *http.ServeMux
+	queue     chan *job
+	cache     *resultCache
+	stats     *stats
+	shardsSrv *shardStore // worker half: open walks served to a coordinator
+	shardPool *ShardPool  // coordinator half: nil unless cfg.Shards is set
 
 	mu         sync.Mutex
 	jobs       map[string]*job
@@ -153,10 +168,18 @@ func New(cfg Config) *Server {
 		queue:      make(chan *job, cfg.queueDepth()),
 		cache:      newResultCache(cfg.cacheEntries()),
 		stats:      newStats(),
+		shardsSrv:  newShardStore(),
 		jobs:       map[string]*job{},
 		batches:    map[string]*batch{},
 		baseCtx:    ctx,
 		baseCancel: cancel,
+	}
+	if len(cfg.Shards) > 0 {
+		s.shardPool = NewShardPool(cfg.Shards, lg)
+		lg.Info("shard coordinator", "shards", cfg.Shards)
+	}
+	if cfg.ShardOf != "" {
+		lg.Info("shard worker", "coordinator", cfg.ShardOf)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -167,6 +190,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/batch", s.handleSubmitBatch)
 	s.mux.HandleFunc("GET /v1/batch/{id}", s.handleBatchStatus)
 	s.mux.HandleFunc("GET /v1/report/{id}", s.handleReport)
+	s.mux.HandleFunc("POST /v1/shard/walk", s.handleShardWalkOpen)
+	s.mux.HandleFunc("POST /v1/shard/walk/{id}/seed/{n}", s.handleShardSeed)
+	s.mux.HandleFunc("POST /v1/shard/walk/{id}/floor", s.handleShardFloor)
+	s.mux.HandleFunc("DELETE /v1/shard/walk/{id}", s.handleShardClose)
 	for i := 0; i < cfg.jobWorkers(); i++ {
 		s.wg.Add(1)
 		go s.worker()

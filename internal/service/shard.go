@@ -1,0 +1,232 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphpa/internal/mining"
+)
+
+// This file is the worker half of the distributed lattice search: the
+// `/v1/shard` endpoint family a coordinator pad drives (client side in
+// shardclient.go). A walk is one open speculation session —
+// mining graphs plus advisory bound state, shipped in the mining wire
+// encoding — against which the coordinator requests seed subtrees and
+// pushes incumbent-floor improvements. Everything here is advisory:
+// the coordinator replays every subtree authoritatively, so a worker
+// restart, an evicted session or a half-served walk costs the
+// coordinator local-fallback work, never output. The endpoints are
+// always registered — any pad instance can serve as a shard worker;
+// `pad serve -shard-of` just names the role.
+//
+//	POST   /v1/shard/walk            open a walk (binary EncodeShardWalk body)
+//	POST   /v1/shard/walk/{id}/seed/{n}   speculate one seed (binary tree out)
+//	POST   /v1/shard/walk/{id}/floor      push an incumbent floor (JSON)
+//	DELETE /v1/shard/walk/{id}            close the walk, report accounting
+
+// shardMaxWalkBytes bounds an EncodeShardWalk request body; the largest
+// benchmark corpus encodes to well under a megabyte, so 64 MiB is a
+// pure anti-abuse bound.
+const shardMaxWalkBytes = 64 << 20
+
+// shardMaxSessions bounds concurrently open walks; opening past the
+// bound evicts the least-recently-used session (its coordinator, if
+// still alive, degrades to local mining).
+const shardMaxSessions = 8
+
+// shardIdleTimeout evicts sessions whose coordinator went away without
+// closing them.
+const shardIdleTimeout = 5 * time.Minute
+
+// shardSession is one open walk on a worker.
+type shardSession struct {
+	id       string
+	sess     *mining.SpecSession
+	lastUsed atomic.Int64 // unix nanos
+}
+
+func (ss *shardSession) touch() { ss.lastUsed.Store(time.Now().UnixNano()) }
+
+// shardWorkerStats are the worker-side counters of the `/v1/shard`
+// family, surfaced on GET /metrics.
+type shardWorkerStats struct {
+	walksOpened  atomic.Int64
+	walksEvicted atomic.Int64
+	seedsServed  atomic.Int64
+	floorRecv    atomic.Int64
+	floorStale   atomic.Int64
+	specVisits   atomic.Int64 // accumulated at close/evict time
+}
+
+// shardStore holds a worker's open walks.
+type shardStore struct {
+	mu       sync.Mutex
+	sessions map[string]*shardSession
+	next     int
+	stats    shardWorkerStats
+}
+
+func newShardStore() *shardStore {
+	return &shardStore{sessions: map[string]*shardSession{}}
+}
+
+// open registers a new session, evicting idle or excess ones first.
+func (st *shardStore) open(sess *mining.SpecSession) *shardSession {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cutoff := time.Now().Add(-shardIdleTimeout).UnixNano()
+	for id, ss := range st.sessions {
+		if ss.lastUsed.Load() < cutoff {
+			st.evictLocked(id)
+		}
+	}
+	for len(st.sessions) >= shardMaxSessions {
+		oldest, oldestAt := "", int64(0)
+		for id, ss := range st.sessions {
+			if at := ss.lastUsed.Load(); oldest == "" || at < oldestAt {
+				oldest, oldestAt = id, at
+			}
+		}
+		st.evictLocked(oldest)
+	}
+	st.next++
+	ss := &shardSession{id: fmt.Sprintf("w%06d", st.next), sess: sess}
+	ss.touch()
+	st.sessions[ss.id] = ss
+	st.stats.walksOpened.Add(1)
+	return ss
+}
+
+func (st *shardStore) evictLocked(id string) {
+	if ss := st.sessions[id]; ss != nil {
+		st.stats.specVisits.Add(ss.sess.Visits())
+		st.stats.walksEvicted.Add(1)
+		delete(st.sessions, id)
+	}
+}
+
+func (st *shardStore) get(id string) *shardSession {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if ss := st.sessions[id]; ss != nil {
+		ss.touch()
+		return ss
+	}
+	return nil
+}
+
+// close removes a session and returns it (nil if unknown).
+func (st *shardStore) close(id string) *shardSession {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ss := st.sessions[id]
+	if ss != nil {
+		st.stats.specVisits.Add(ss.sess.Visits())
+		delete(st.sessions, id)
+	}
+	return ss
+}
+
+// shardWalkBody is the JSON acknowledgement of an opened walk.
+type shardWalkBody struct {
+	ID    string `json:"id"`
+	Seeds int    `json:"seeds"`
+}
+
+// shardFloorBody is the incumbent push request and response.
+type shardFloorBody struct {
+	Floor   int  `json:"floor"`
+	Applied bool `json:"applied"`
+}
+
+// shardCloseBody is the DELETE response: the walk's accounting.
+type shardCloseBody struct {
+	SpecVisits int64 `json:"spec_visits"`
+}
+
+func (s *Server) handleShardWalkOpen(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, shardMaxWalkBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	if len(body) > shardMaxWalkBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{"walk request too large"})
+		return
+	}
+	sc, graphs, err := mining.DecodeShardWalk(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	ss := s.shardsSrv.open(mining.NewSpecSession(graphs, sc))
+	s.log.Info("shard walk opened", "walk", ss.id, "graphs", len(graphs), "seeds", ss.sess.NumSeeds())
+	writeJSON(w, http.StatusOK, shardWalkBody{ID: ss.id, Seeds: ss.sess.NumSeeds()})
+}
+
+func (s *Server) handleShardSeed(w http.ResponseWriter, r *http.Request) {
+	ss := s.shardsSrv.get(r.PathValue("id"))
+	if ss == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{"unknown walk id"})
+		return
+	}
+	seed, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{"bad seed index"})
+		return
+	}
+	// Speculation runs on the request goroutine under the request
+	// context: a coordinator that gives up on the seed (or dies) cancels
+	// the walk below it via the speculator's budget check.
+	tree, err := ss.sess.MineSeed(r.Context(), seed)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	s.shardsSrv.stats.seedsServed.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(tree)
+}
+
+func (s *Server) handleShardFloor(w http.ResponseWriter, r *http.Request) {
+	ss := s.shardsSrv.get(r.PathValue("id"))
+	if ss == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{"unknown walk id"})
+		return
+	}
+	var req shardFloorBody
+	if err := readJSON(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	applied := ss.sess.SetFloor(req.Floor)
+	s.shardsSrv.stats.floorRecv.Add(1)
+	if !applied {
+		s.shardsSrv.stats.floorStale.Add(1)
+	}
+	writeJSON(w, http.StatusOK, shardFloorBody{Floor: req.Floor, Applied: applied})
+}
+
+func (s *Server) handleShardClose(w http.ResponseWriter, r *http.Request) {
+	ss := s.shardsSrv.close(r.PathValue("id"))
+	if ss == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{"unknown walk id"})
+		return
+	}
+	s.log.Info("shard walk closed", "walk", ss.id, "spec_visits", ss.sess.Visits())
+	writeJSON(w, http.StatusOK, shardCloseBody{SpecVisits: ss.sess.Visits()})
+}
+
+func readJSON(r *http.Request, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}

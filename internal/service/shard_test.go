@@ -1,0 +1,351 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"graphpa/internal/mining"
+)
+
+// newShardCluster boots n shard-worker pads plus a coordinator fronting
+// them. Returned worker servers can be Closed individually to inject
+// faults; the coordinator cleans up via the usual newTestServer path.
+func newShardCluster(t *testing.T, n int, cfg Config) (*Server, *httptest.Server, []*httptest.Server) {
+	t.Helper()
+	workers := make([]*httptest.Server, n)
+	for i := range workers {
+		_, ts := newTestServer(t, Config{ShardOf: "test-coordinator"})
+		workers[i] = ts
+		cfg.Shards = append(cfg.Shards, strings.TrimPrefix(ts.URL, "http://"))
+	}
+	coord, cts := newTestServer(t, cfg)
+	return coord, cts, workers
+}
+
+func metricsText(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b bytes.Buffer
+	if _, err := b.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// metricValue sums the samples of one metric name across its labels.
+func metricValue(t *testing.T, text, name string) int64 {
+	t.Helper()
+	var sum int64
+	found := false
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name) || strings.HasPrefix(line, "# ") {
+			continue
+		}
+		rest := line[len(name):]
+		if rest != "" && rest[0] != ' ' && rest[0] != '{' {
+			continue // a longer metric name sharing the prefix
+		}
+		var v int64
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &v); err != nil {
+			t.Fatalf("unparseable metric line %q", line)
+		}
+		sum += v
+		found = true
+	}
+	if !found {
+		t.Fatalf("metric %s not found", name)
+	}
+	return sum
+}
+
+// TestShardClusterByteIdentical: a coordinator distributing speculation
+// over two worker pads must answer every benchmark byte-identically to
+// an unsharded server, while actually using the shards.
+func TestShardClusterByteIdentical(t *testing.T) {
+	_, plainTS := newTestServer(t, Config{MineWorkers: 1})
+	_, coordTS, workers := newShardCluster(t, 2, Config{MineWorkers: 1})
+
+	for _, name := range e2ePrograms() {
+		req := benchRequest(t, name)
+		code, _, plain := postJSON(t, plainTS.URL+"/v1/compact", req)
+		if code != http.StatusOK {
+			t.Fatalf("%s: plain server HTTP %d: %s", name, code, plain)
+		}
+		code, hdr, sharded := postJSON(t, coordTS.URL+"/v1/compact", req)
+		if code != http.StatusOK {
+			t.Fatalf("%s: coordinator HTTP %d: %s", name, code, sharded)
+		}
+		if hdr.Get("X-Cache") != string(statusMiss) {
+			t.Fatalf("%s: first coordinator submit was %q, want miss", name, hdr.Get("X-Cache"))
+		}
+		if !bytes.Equal(plain, sharded) {
+			t.Fatalf("%s: sharded response differs from the unsharded server's\nplain:   %s\nsharded: %s",
+				name, plain, sharded)
+		}
+	}
+
+	cm := metricsText(t, coordTS.URL)
+	if n := metricValue(t, cm, "pad_shard_subtrees_total"); n == 0 {
+		t.Fatal("coordinator streamed no subtrees from its shards")
+	}
+	if n := metricValue(t, cm, "pad_shard_fallbacks_total"); n != 0 {
+		t.Fatalf("healthy cluster reported %d fallbacks", n)
+	}
+	var served, opened int64
+	for _, w := range workers {
+		wm := metricsText(t, w.URL)
+		served += metricValue(t, wm, "pad_shard_seeds_served_total")
+		opened += metricValue(t, wm, "pad_shard_walks_opened_total")
+	}
+	if served == 0 || opened == 0 {
+		t.Fatalf("workers served %d seeds across %d walks; want both > 0", served, opened)
+	}
+	// Assigned can exceed served: a seed request aborted by end-of-walk
+	// cancellation (budget truncation) is counted as assigned on the
+	// coordinator but may never reach the worker's handler. It can never
+	// be lower — every served seed was assigned first.
+	if got := metricValue(t, cm, "pad_shard_seeds_assigned_total"); got < served {
+		t.Fatalf("coordinator assigned %d seeds but workers served %d", got, served)
+	}
+}
+
+// TestShardClusterWorkerDeath: killing a worker pad between (and
+// therefore during) walks must degrade to local speculation with a
+// byte-identical response.
+func TestShardClusterWorkerDeath(t *testing.T) {
+	_, plainTS := newTestServer(t, Config{MineWorkers: 1})
+	_, coordTS, workers := newShardCluster(t, 2, Config{MineWorkers: 1})
+
+	req := benchRequest(t, "crc")
+	code, _, plain := postJSON(t, plainTS.URL+"/v1/compact", req)
+	if code != http.StatusOK {
+		t.Fatalf("plain server HTTP %d: %s", code, plain)
+	}
+
+	workers[1].Close() // dies before the coordinator's first walk
+	code, _, sharded := postJSON(t, coordTS.URL+"/v1/compact", req)
+	if code != http.StatusOK {
+		t.Fatalf("coordinator HTTP %d: %s", code, sharded)
+	}
+	if !bytes.Equal(plain, sharded) {
+		t.Fatalf("response changed after a worker died\nplain:   %s\nsharded: %s", plain, sharded)
+	}
+
+	cm := metricsText(t, coordTS.URL)
+	if n := metricValue(t, cm, "pad_shard_walk_errors_total"); n == 0 {
+		t.Fatal("dead worker produced no walk-open errors")
+	}
+	if n := metricValue(t, cm, "pad_shard_fallbacks_total"); n == 0 {
+		t.Fatal("dead worker's seeds produced no local fallbacks")
+	}
+	if n := metricValue(t, cm, "pad_shard_subtrees_total"); n == 0 {
+		t.Fatal("surviving worker streamed no subtrees")
+	}
+}
+
+// TestShardClusterAllShardsDown: with every shard unreachable the
+// coordinator must mine fully locally — same bytes, slower walk.
+func TestShardClusterAllShardsDown(t *testing.T) {
+	_, plainTS := newTestServer(t, Config{MineWorkers: 1})
+	_, coordTS, workers := newShardCluster(t, 2, Config{MineWorkers: 1})
+	workers[0].Close()
+	workers[1].Close()
+
+	req := benchRequest(t, "crc")
+	code, _, plain := postJSON(t, plainTS.URL+"/v1/compact", req)
+	if code != http.StatusOK {
+		t.Fatalf("plain server HTTP %d: %s", code, plain)
+	}
+	code, _, sharded := postJSON(t, coordTS.URL+"/v1/compact", req)
+	if code != http.StatusOK {
+		t.Fatalf("coordinator HTTP %d: %s", code, sharded)
+	}
+	if !bytes.Equal(plain, sharded) {
+		t.Fatalf("response changed with all shards down\nplain:   %s\nsharded: %s", plain, sharded)
+	}
+}
+
+// TestShardCacheKeyTopologyFree pins the cache-key audit: the shard
+// topology is server deployment, so a sharded coordinator and an
+// unsharded server must address identical requests by the same content
+// ID (same cache line), and a repeat submit to the coordinator must hit
+// its cache rather than re-mine.
+func TestShardCacheKeyTopologyFree(t *testing.T) {
+	_, plainTS := newTestServer(t, Config{MineWorkers: 1})
+	_, coordTS, _ := newShardCluster(t, 2, Config{MineWorkers: 1})
+
+	req := benchRequest(t, "crc")
+	wantKey := req.Key()
+	decodeID := func(body []byte) string {
+		var resp CompactResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp.ID
+	}
+
+	_, _, plain := postJSON(t, plainTS.URL+"/v1/compact", req)
+	_, hdr, sharded := postJSON(t, coordTS.URL+"/v1/compact", req)
+	if got := decodeID(plain); got != wantKey {
+		t.Fatalf("unsharded content ID %s, want %s", got, wantKey)
+	}
+	if got := decodeID(sharded); got != wantKey {
+		t.Fatalf("sharded content ID %s, want %s — topology leaked into Key()", got, wantKey)
+	}
+	if hdr.Get("X-Cache") != string(statusMiss) {
+		t.Fatalf("first coordinator submit was %q, want miss", hdr.Get("X-Cache"))
+	}
+	_, hdr, again := postJSON(t, coordTS.URL+"/v1/compact", req)
+	if hdr.Get("X-Cache") != string(statusHit) {
+		t.Fatalf("repeat coordinator submit was %q, want hit", hdr.Get("X-Cache"))
+	}
+	if !bytes.Equal(sharded, again) {
+		t.Fatal("cached coordinator response differs from the mined one")
+	}
+}
+
+// shardTestWalkBody builds a minimal valid walk-open request: one
+// two-node chain graph.
+func shardTestWalkBody() []byte {
+	g := &mining.Graph{ID: 1, Labels: []string{"a", "b"}, Edges: []mining.GEdge{{From: 0, To: 1, Label: "e"}}}
+	g2 := &mining.Graph{ID: 2, Labels: []string{"a", "b"}, Edges: []mining.GEdge{{From: 0, To: 1, Label: "e"}}}
+	return mining.EncodeShardWalk(
+		mining.SpecConfig{MinSupport: 2, MaxNodes: 4},
+		mining.EncodeGraphs([]*mining.Graph{g, g2}))
+}
+
+// TestShardWorkerEndpoints exercises the worker endpoint family
+// directly: open, speculate, floor push (fresh and stale), close, and
+// the error paths.
+func TestShardWorkerEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	post := func(path, ctype string, body []byte) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, ctype, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		_, _ = b.ReadFrom(resp.Body)
+		return resp.StatusCode, b.Bytes()
+	}
+
+	// Corrupt open body → 400.
+	if code, _ := post("/v1/shard/walk", "application/octet-stream", []byte("not a walk")); code != http.StatusBadRequest {
+		t.Fatalf("corrupt walk open: HTTP %d, want 400", code)
+	}
+	// Unknown walk id → 404 on every per-walk route.
+	if code, _ := post("/v1/shard/walk/w999999/seed/0", "", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown walk seed: HTTP %d, want 404", code)
+	}
+	if code, _ := post("/v1/shard/walk/w999999/floor", "application/json", []byte(`{"floor":1}`)); code != http.StatusNotFound {
+		t.Fatalf("unknown walk floor: HTTP %d, want 404", code)
+	}
+
+	code, body := post("/v1/shard/walk", "application/octet-stream", shardTestWalkBody())
+	if code != http.StatusOK {
+		t.Fatalf("walk open: HTTP %d: %s", code, body)
+	}
+	var ack shardWalkBody
+	if err := json.Unmarshal(body, &ack); err != nil || ack.ID == "" || ack.Seeds == 0 {
+		t.Fatalf("walk open ack %s (err %v)", body, err)
+	}
+
+	if code, body = post("/v1/shard/walk/"+ack.ID+"/seed/0", "", nil); code != http.StatusOK || len(body) == 0 {
+		t.Fatalf("seed 0: HTTP %d, %d bytes", code, len(body))
+	}
+	if code, _ = post("/v1/shard/walk/"+ack.ID+"/seed/999", "", nil); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range seed: HTTP %d, want 400", code)
+	}
+
+	var fl shardFloorBody
+	code, body = post("/v1/shard/walk/"+ack.ID+"/floor", "application/json", []byte(`{"floor":7}`))
+	if json.Unmarshal(body, &fl); code != http.StatusOK || !fl.Applied {
+		t.Fatalf("fresh floor push: HTTP %d, %s", code, body)
+	}
+	fl = shardFloorBody{}
+	code, body = post("/v1/shard/walk/"+ack.ID+"/floor", "application/json", []byte(`{"floor":3}`))
+	if json.Unmarshal(body, &fl); code != http.StatusOK || fl.Applied {
+		t.Fatalf("stale floor push applied: HTTP %d, %s", code, body)
+	}
+
+	reqDel, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/shard/walk/"+ack.ID, nil)
+	resp, err := http.DefaultClient.Do(reqDel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cl shardCloseBody
+	if err := json.NewDecoder(resp.Body).Decode(&cl); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("walk close: HTTP %d (err %v)", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	if cl.SpecVisits == 0 {
+		t.Fatal("closed walk reported zero speculative visits")
+	}
+	resp, err = http.DefaultClient.Do(reqDel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double close: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	wm := metricsText(t, ts.URL)
+	if n := metricValue(t, wm, "pad_shard_floor_stale_total"); n != 1 {
+		t.Fatalf("pad_shard_floor_stale_total = %d, want 1", n)
+	}
+	if n := metricValue(t, wm, "pad_shard_spec_visits_total"); n != cl.SpecVisits {
+		t.Fatalf("pad_shard_spec_visits_total = %d, want %d", n, cl.SpecVisits)
+	}
+}
+
+// TestShardSessionEviction: opening past shardMaxSessions evicts the
+// least-recently-used walk.
+func TestShardSessionEviction(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	walk := shardTestWalkBody()
+	ids := make([]string, 0, shardMaxSessions+1)
+	for i := 0; i <= shardMaxSessions; i++ {
+		resp, err := http.Post(ts.URL+"/v1/shard/walk", "application/octet-stream", bytes.NewReader(walk))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ack shardWalkBody
+		if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		ids = append(ids, ack.ID)
+	}
+	if n := svc.shardsSrv.stats.walksEvicted.Load(); n != 1 {
+		t.Fatalf("%d evictions after exceeding the session bound, want 1", n)
+	}
+	resp, err := http.Post(ts.URL+"/v1/shard/walk/"+ids[0]+"/seed/0", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted walk still served a seed: HTTP %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/shard/walk/"+ids[len(ids)-1]+"/seed/0", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("newest walk did not survive eviction: HTTP %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,292 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphpa/internal/pa"
+)
+
+// ShardPool is the coordinator half of the distributed lattice search:
+// a pa.ShardDialer over a fixed set of shard-worker pad instances (the
+// `-shards host1,host2` list). Seeds are assigned consistently by
+// canonical seed order — seed i goes to shard i mod N over the
+// CONFIGURED list, alive or not — so the assignment never depends on
+// failure timing; a dead shard's seeds degrade to coordinator-local
+// speculation. RPCs retry transient failures with exponential backoff
+// plus jitter; a shard that keeps failing is marked dead for the rest
+// of the walk (cheap fast-path errors instead of per-seed timeouts).
+// All of it is advisory: the coordinator's authoritative replay decides
+// every byte of output.
+type ShardPool struct {
+	addrs  []string
+	client *http.Client
+	log    *slog.Logger
+
+	// Per-shard lifetime counters, indexed like addrs; surfaced on the
+	// coordinator's GET /metrics.
+	seeds      []atomic.Int64 // seed subtrees requested
+	subtrees   []atomic.Int64 // successfully streamed back
+	fallbacks  []atomic.Int64 // requests that errored out (seed degrades)
+	broadcasts []atomic.Int64 // incumbent pushes sent
+	walkErrors []atomic.Int64 // walk-open failures
+}
+
+// Shard RPC retry policy: small and bounded — a seed that cannot be
+// fetched quickly is cheaper to speculate locally than to wait for.
+const (
+	shardRetries      = 3
+	shardRetryBackoff = 50 * time.Millisecond
+)
+
+// NewShardPool builds a pool over worker base addresses ("host:port").
+func NewShardPool(addrs []string, lg *slog.Logger) *ShardPool {
+	if lg == nil {
+		lg = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	p := &ShardPool{
+		addrs:      addrs,
+		client:     &http.Client{},
+		log:        lg,
+		seeds:      make([]atomic.Int64, len(addrs)),
+		subtrees:   make([]atomic.Int64, len(addrs)),
+		fallbacks:  make([]atomic.Int64, len(addrs)),
+		broadcasts: make([]atomic.Int64, len(addrs)),
+		walkErrors: make([]atomic.Int64, len(addrs)),
+	}
+	return p
+}
+
+// NumShards implements pa.ShardDialer.
+func (p *ShardPool) NumShards() int { return len(p.addrs) }
+
+// shardCounters is one shard's lifetime counter snapshot (metrics.go).
+type shardCounters struct {
+	Addr       string
+	Seeds      int64
+	Subtrees   int64
+	Fallbacks  int64
+	Broadcasts int64
+	WalkErrors int64
+}
+
+func (p *ShardPool) counters() []shardCounters {
+	out := make([]shardCounters, len(p.addrs))
+	for i, a := range p.addrs {
+		out[i] = shardCounters{
+			Addr:       a,
+			Seeds:      p.seeds[i].Load(),
+			Subtrees:   p.subtrees[i].Load(),
+			Fallbacks:  p.fallbacks[i].Load(),
+			Broadcasts: p.broadcasts[i].Load(),
+			WalkErrors: p.walkErrors[i].Load(),
+		}
+	}
+	return out
+}
+
+// backoff sleeps attempt's exponential delay with ±50% jitter, or
+// returns false if ctx expires first.
+func backoff(ctx context.Context, attempt int) bool {
+	d := shardRetryBackoff << attempt
+	d += time.Duration(rand.Int63n(int64(d))) - d/2
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// retryable reports whether an RPC failure is worth another attempt:
+// transport errors and 5xx are; 4xx (bad request, unknown walk) and
+// context cancellation are not.
+func retryable(status int, err error) bool {
+	if err != nil {
+		return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+	}
+	return status >= 500
+}
+
+// post runs one POST with the retry policy. body may be nil. Returns
+// the response body bytes on 2xx.
+func (p *ShardPool) post(ctx context.Context, url string, contentType string, body []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= shardRetries; attempt++ {
+		if attempt > 0 && !backoff(ctx, attempt-1) {
+			return nil, ctx.Err()
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := p.client.Do(req)
+		if err != nil {
+			lastErr = err
+			if !retryable(0, err) {
+				return nil, err
+			}
+			continue
+		}
+		out, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode/100 == 2 && rerr == nil {
+			return out, nil
+		}
+		lastErr = fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, bytes.TrimSpace(out))
+		if rerr != nil {
+			lastErr = rerr
+		}
+		if !retryable(resp.StatusCode, rerr) {
+			return nil, lastErr
+		}
+	}
+	return nil, fmt.Errorf("after %d attempts: %w", shardRetries+1, lastErr)
+}
+
+// poolShard is one shard's state within an open walk.
+type poolShard struct {
+	idx    int    // index into pool.addrs
+	walkID string // empty: the open failed, shard unused this walk
+	dead   atomic.Bool
+}
+
+// poolWalk implements pa.ShardWalk over the pool.
+type poolWalk struct {
+	p      *ShardPool
+	shards []*poolShard
+	visits atomic.Int64 // spec visits reported by closed shards
+	sent   atomic.Int64 // broadcasts actually sent
+}
+
+// NewWalk implements pa.ShardDialer: open the walk on every configured
+// shard concurrently. Shards whose open fails are dead for this walk;
+// if ALL fail, the walk fails and the caller mines locally.
+func (p *ShardPool) NewWalk(ctx context.Context, req []byte) (pa.ShardWalk, error) {
+	w := &poolWalk{p: p, shards: make([]*poolShard, len(p.addrs))}
+	var wg sync.WaitGroup
+	for i := range p.addrs {
+		w.shards[i] = &poolShard{idx: i}
+		wg.Add(1)
+		go func(sh *poolShard) {
+			defer wg.Done()
+			body, err := p.post(ctx, p.url(sh.idx, "/v1/shard/walk"), "application/octet-stream", req)
+			if err != nil {
+				p.walkErrors[sh.idx].Add(1)
+				p.log.Warn("shard walk open failed", "shard", p.addrs[sh.idx], "err", err)
+				sh.dead.Store(true)
+				return
+			}
+			var ack shardWalkBody
+			if err := json.Unmarshal(body, &ack); err != nil || ack.ID == "" {
+				p.walkErrors[sh.idx].Add(1)
+				sh.dead.Store(true)
+				return
+			}
+			sh.walkID = ack.ID
+		}(w.shards[i])
+	}
+	wg.Wait()
+	live := 0
+	for _, sh := range w.shards {
+		if !sh.dead.Load() {
+			live++
+		}
+	}
+	if live == 0 {
+		return nil, fmt.Errorf("service: no shard reachable (%d configured)", len(p.addrs))
+	}
+	return w, nil
+}
+
+func (p *ShardPool) url(idx int, path string) string {
+	return "http://" + p.addrs[idx] + path
+}
+
+// Speculate implements pa.ShardWalk: fetch seed's recorded subtree from
+// its assigned shard. Failures mark the shard dead for the walk — its
+// remaining seeds fail fast and speculate locally.
+func (w *poolWalk) Speculate(ctx context.Context, seed int) ([]byte, error) {
+	sh := w.shards[seed%len(w.shards)]
+	if sh.dead.Load() {
+		w.p.fallbacks[sh.idx].Add(1)
+		return nil, fmt.Errorf("service: shard %s is down", w.p.addrs[sh.idx])
+	}
+	w.p.seeds[sh.idx].Add(1)
+	tree, err := w.p.post(ctx, w.p.url(sh.idx, fmt.Sprintf("/v1/shard/walk/%s/seed/%d", sh.walkID, seed)), "", nil)
+	if err != nil {
+		if ctx.Err() == nil {
+			w.p.fallbacks[sh.idx].Add(1)
+			w.p.log.Warn("shard seed failed, marking shard dead", "shard", w.p.addrs[sh.idx], "seed", seed, "err", err)
+			sh.dead.Store(true)
+		}
+		return nil, err
+	}
+	w.p.subtrees[sh.idx].Add(1)
+	return tree, nil
+}
+
+// Broadcast implements pa.ShardWalk: best-effort incumbent push to
+// every live shard. Failures are ignored beyond logging — a missed
+// floor costs shard over-exploration, never output — but do not mark
+// the shard dead: the gossip path is cheaper to lose than the seed
+// stream.
+func (w *poolWalk) Broadcast(floor int) {
+	body, _ := json.Marshal(shardFloorBody{Floor: floor})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for _, sh := range w.shards {
+		if sh.dead.Load() {
+			continue
+		}
+		if _, err := w.p.post(ctx, w.p.url(sh.idx, "/v1/shard/walk/"+sh.walkID+"/floor"), "application/json", body); err == nil {
+			w.p.broadcasts[sh.idx].Add(1)
+			w.sent.Add(1)
+		}
+	}
+}
+
+// Close implements pa.ShardWalk: release the walk on every shard and
+// collect the speculative-visit accounting.
+func (w *poolWalk) Close() pa.ShardWalkStats {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, sh := range w.shards {
+		if sh.walkID == "" {
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, w.p.url(sh.idx, "/v1/shard/walk/"+sh.walkID), nil)
+		if err != nil {
+			continue
+		}
+		resp, err := w.p.client.Do(req)
+		if err != nil {
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			continue
+		}
+		var ack shardCloseBody
+		if json.Unmarshal(body, &ack) == nil {
+			w.visits.Add(ack.SpecVisits)
+		}
+	}
+	return pa.ShardWalkStats{SpecVisits: w.visits.Load(), Broadcasts: int(w.sent.Load())}
+}
